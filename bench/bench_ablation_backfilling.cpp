@@ -1,0 +1,41 @@
+// Ablation X3 — LRMS dispatch discipline: plain FCFS (GridSim SpaceShared,
+// the paper's setting) vs conservative backfilling.  Backfilling fills
+// schedule holes without delaying earlier reservations, so acceptance and
+// utilization can only improve; this bench quantifies by how much on the
+// same workload.
+
+#include "bench_common.hpp"
+
+using namespace gridfed;
+
+namespace {
+void report(const char* label, const core::FederationResult& r) {
+  double mean_util = 0.0;
+  for (const auto& row : r.resources) mean_util += row.utilization;
+  mean_util /= static_cast<double>(r.resources.size());
+  std::printf("%-30s acceptance=%6.2f%%  mean-util=%5.1f%%  "
+              "avg-response=%.4g s\n",
+              label, r.acceptance_pct(), 100.0 * mean_util,
+              r.fed_response_excl.mean());
+}
+}  // namespace
+
+int main() {
+  bench::banner("Ablation X3",
+                "FCFS vs conservative backfilling in the LRMS");
+
+  for (const auto mode : {core::SchedulingMode::kIndependent,
+                          core::SchedulingMode::kEconomy}) {
+    std::printf("Mode: %s\n", core::to_string(mode));
+    auto cfg = core::make_config(mode);
+    cfg.queue_policy = cluster::QueuePolicy::kFcfs;
+    report("  FCFS (paper setting)", core::run_experiment(cfg, 8, 50));
+    cfg.queue_policy = cluster::QueuePolicy::kConservativeBackfilling;
+    report("  conservative backfilling", core::run_experiment(cfg, 8, 50));
+    std::printf("\n");
+  }
+  std::printf("Expected: backfilling lifts acceptance/utilization most on\n"
+              "the saturated SDSC resources where FCFS head-of-line jobs\n"
+              "strand processors.\n");
+  return 0;
+}

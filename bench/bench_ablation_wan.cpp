@@ -1,0 +1,68 @@
+// Ablation X6 — the WAN model vs the paper's free network.  The paper
+// abstracts the Internet away (instant messages, free payload movement);
+// this bench quantifies what that abstraction hides: per-pair control
+// latency plus Eq. 1 payload staging erode the deadline slack migrating
+// jobs live on, so migration and federation utility shrink as the WAN
+// gets slower.
+
+#include "bench_common.hpp"
+#include "network/latency_model.hpp"
+
+using namespace gridfed;
+
+namespace {
+void report(const char* label, const core::FederationResult& r) {
+  std::uint64_t migrated = 0;
+  for (const auto& row : r.resources) migrated += row.migrated;
+  std::printf("%-34s accept=%6.2f%%  migrated=%5llu  avg-response=%.4g s  "
+              "msgs=%llu\n",
+              label, r.acceptance_pct(),
+              static_cast<unsigned long long>(migrated),
+              r.fed_response_excl.mean(),
+              static_cast<unsigned long long>(r.total_messages));
+}
+}  // namespace
+
+int main() {
+  bench::banner("Ablation X6",
+                "Free network (paper) vs WAN latency + Eq. 1 payload "
+                "staging, 50/50 population");
+
+  report("free network (paper assumption)",
+         core::run_experiment(
+             core::make_config(core::SchedulingMode::kEconomy), 8, 50));
+
+  for (const auto policy : {cluster::QueuePolicy::kFcfs,
+                            cluster::QueuePolicy::kConservativeBackfilling}) {
+    std::printf("\nLRMS policy: %s\n",
+                policy == cluster::QueuePolicy::kFcfs
+                    ? "FCFS"
+                    : "conservative backfilling");
+    for (const double eff : {0.5, 0.25, 0.1, 0.02}) {
+      auto cfg = core::make_config(core::SchedulingMode::kEconomy);
+      cfg.queue_policy = policy;
+      network::NetworkConfig wan;
+      wan.kind = network::LatencyKind::kCoordinates;
+      wan.base_latency = 0.05;
+      wan.diameter = 0.2;
+      wan.wan_efficiency = eff;
+      cfg.wan = wan;
+      char label[64];
+      std::snprintf(label, sizeof label, "  WAN, %2.0f%% of NIC bandwidth",
+                    100.0 * eff);
+      report(label, core::run_experiment(cfg, 8, 50));
+    }
+  }
+
+  std::printf(
+      "\nRead: staging time scales with job data volume (Eq. 1) over the\n"
+      "bottleneck link.  Under FCFS a far-future staged reservation drags\n"
+      "the whole queue behind it (head-of-line blocking through the\n"
+      "staging window), collapsing acceptance at mid-range WAN speeds;\n"
+      "conservative backfilling lets local work flow around the staging\n"
+      "holes and restores most of the federation's utility.  At very low\n"
+      "WAN bandwidth migration dries up entirely and the system\n"
+      "degenerates toward independent resources — a bound on how far the\n"
+      "paper's free-network conclusions stretch.\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+#pragma once
+// Shared helpers for the experiment bench binaries: uniform headers, the
+// Table 1 banner, and profile-sweep result caching so that the fig3..fig9
+// binaries (which all consume the same sweep) stay cheap.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/catalog.hpp"
+#include "core/experiment.hpp"
+#include "stats/table.hpp"
+
+namespace gridfed::bench {
+
+/// Prints the standard banner: which artifact this binary regenerates.
+inline void banner(const std::string& artifact, const std::string& what) {
+  std::printf("=============================================================\n");
+  std::printf("gridfed reproduction — %s\n", artifact.c_str());
+  std::printf("%s\n", what.c_str());
+  std::printf("=============================================================\n\n");
+}
+
+/// The Experiment 3/4 population sweep, computed once per process.
+inline const std::vector<core::FederationResult>& economy_sweep() {
+  static const std::vector<core::FederationResult> sweep =
+      core::run_profile_sweep(
+          core::make_config(core::SchedulingMode::kEconomy));
+  return sweep;
+}
+
+/// Formats a profile as the paper labels it, e.g. "OFC70/OFT30".
+inline std::string profile_label(std::uint32_t oft_percent) {
+  return "OFC" + std::to_string(100 - oft_percent) + "/OFT" +
+         std::to_string(oft_percent);
+}
+
+}  // namespace gridfed::bench

@@ -1,0 +1,27 @@
+// Fig 4 — Resource owner perspective: average resource utilization (%)
+// vs user population profile, one series per resource.
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace gridfed;
+  bench::banner("Fig 4",
+                "Experiment 3 — utilization per resource vs population "
+                "profile");
+
+  const auto& sweep = bench::economy_sweep();
+  std::vector<std::string> header{"Resource"};
+  for (const auto& r : sweep) {
+    header.push_back("OFT" + std::to_string(r.oft_percent) + "%");
+  }
+  stats::Table t(header);
+  for (std::size_t i = 0; i < sweep.front().resources.size(); ++i) {
+    std::vector<std::string> row{sweep.front().resources[i].name};
+    for (const auto& r : sweep) {
+      row.push_back(stats::Table::num(100.0 * r.resources[i].utilization, 1));
+    }
+    t.add_row(std::move(row));
+  }
+  std::printf("%s\n", t.str().c_str());
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Fig 6 — Resource owner perspective: number of jobs rejected per
+// resource vs user population profile (economy scheduling).
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace gridfed;
+  bench::banner("Fig 6",
+                "Experiment 3 — jobs rejected per resource vs population "
+                "profile");
+
+  const auto& sweep = bench::economy_sweep();
+  std::vector<std::string> header{"Resource"};
+  for (const auto& r : sweep) {
+    header.push_back("OFT" + std::to_string(r.oft_percent) + "%");
+  }
+  stats::Table t(header);
+  for (std::size_t i = 0; i < sweep.front().resources.size(); ++i) {
+    std::vector<std::string> row{sweep.front().resources[i].name};
+    for (const auto& r : sweep) {
+      row.push_back(std::to_string(r.resources[i].rejected));
+    }
+    t.add_row(std::move(row));
+  }
+  std::printf("%s\n", t.str().c_str());
+
+  std::printf("Federation-wide rejected jobs per profile:\n");
+  for (const auto& r : sweep) {
+    std::printf("  OFT%3u%%: %llu of %llu (%.2f%%)\n", r.oft_percent,
+                static_cast<unsigned long long>(r.total_rejected),
+                static_cast<unsigned long long>(r.total_jobs),
+                100.0 - r.acceptance_pct());
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Kernel microbenchmarks (google-benchmark): event queue throughput,
+// availability-profile operations, directory ranked queries, and the
+// end-to-end jobs/second of a full federation run — the numbers that
+// justify replacing the Java GridSim substrate (DESIGN.md substitution 2).
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/availability_profile.hpp"
+#include "cluster/catalog.hpp"
+#include "core/experiment.hpp"
+#include "directory/federation_directory.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+
+namespace {
+
+using namespace gridfed;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(1);
+  std::vector<double> times(n);
+  for (auto& t : times) t = rng.uniform(0.0, 1e6);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (std::size_t i = 0; i < n; ++i) {
+      q.push(sim::Event{times[i], sim::EventPriority::kArrival,
+                        static_cast<sim::EventSeq>(i), [] {}});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n) * 2);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(1024)->Arg(16384);
+
+void BM_SimulationEventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule_at(static_cast<double>(i), sim::EventPriority::kControl,
+                      [&acc] { ++acc; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_SimulationEventDispatch);
+
+void BM_AvailabilityReserve(benchmark::State& state) {
+  sim::Rng rng(7);
+  for (auto _ : state) {
+    cluster::AvailabilityProfile p(1024);
+    for (int i = 0; i < 1000; ++i) {
+      const auto procs = static_cast<std::uint32_t>(rng.uniform_int(1, 256));
+      const double dur = rng.uniform(1.0, 500.0);
+      const double start = p.earliest_start(rng.uniform(0.0, 1e4), procs, dur);
+      p.reserve(start, start + dur, procs);
+    }
+    benchmark::DoNotOptimize(p.step_count());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          1000);
+}
+BENCHMARK(BM_AvailabilityReserve);
+
+void BM_DirectoryRankedQuery(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  directory::FederationDirectory dir;
+  const auto specs = cluster::replicated_specs(n);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    dir.subscribe(directory::Quote::from_spec(
+        static_cast<cluster::ResourceIndex>(i), specs[i]));
+  }
+  std::uint32_t r = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dir.query(directory::OrderBy::kCheapest,
+                  1 + (r++ % static_cast<std::uint32_t>(n))));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DirectoryRankedQuery)->Arg(8)->Arg(50);
+
+void BM_EndToEndTwoDayEconomy(benchmark::State& state) {
+  const auto cfg = core::make_config(core::SchedulingMode::kEconomy);
+  for (auto _ : state) {
+    const auto r = core::run_experiment(cfg, 8, 50);
+    benchmark::DoNotOptimize(r.total_messages);
+  }
+  // 2662 jobs per run: report jobs/second.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2662);
+}
+BENCHMARK(BM_EndToEndTwoDayEconomy)->Unit(benchmark::kMillisecond);
+
+void BM_EndToEndScaling50(benchmark::State& state) {
+  const auto cfg = core::make_config(core::SchedulingMode::kEconomy);
+  for (auto _ : state) {
+    const auto r = core::run_experiment(cfg, 50, 50);
+    benchmark::DoNotOptimize(r.total_messages);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          (2662 * 50 / 8));
+}
+BENCHMARK(BM_EndToEndScaling50)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

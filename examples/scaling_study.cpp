@@ -1,0 +1,47 @@
+// Scaling study — Experiment 5 beyond the paper.  The authors note their
+// Java tooling "prohibited us from scaling the system further" than 50
+// resources; the native engine does not have that problem.  This example
+// pushes the federation to 200 resources and reports how per-job and
+// per-GFA message complexity grow.
+//
+//   $ ./build/examples/scaling_study [max_size]
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridfed;
+
+  std::size_t max_size = 200;
+  if (argc > 1) max_size = static_cast<std::size_t>(std::atoi(argv[1]));
+
+  std::vector<std::size_t> sizes;
+  for (std::size_t n = 25; n <= max_size; n *= 2) sizes.push_back(n);
+  if (sizes.empty()) sizes.push_back(max_size);
+
+  const auto cfg = core::make_config(core::SchedulingMode::kEconomy);
+  std::printf("Scaling the federation to %zu resources (paper stopped at "
+              "50)...\n\n", sizes.back());
+
+  stats::Table t({"Size", "Jobs", "Avg msgs/job", "Max msgs/job",
+                  "Avg msgs/GFA", "Directory msgs", "Acceptance %"});
+  for (const auto n : sizes) {
+    const auto r = core::run_experiment(cfg, n, 30);
+    t.add_row({std::to_string(n), std::to_string(r.total_jobs),
+               stats::Table::num(r.msgs_per_job.mean(), 2),
+               stats::Table::num(r.msgs_per_job.max(), 0),
+               stats::Table::num(r.msgs_per_gfa.mean(), 0),
+               std::to_string(r.directory_traffic.total_messages()),
+               stats::Table::num(r.acceptance_pct(), 2)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf("Read: average complexity grows slowly (the rank walk rarely\n"
+              "goes deep), while the max shows the worst-case job that had\n"
+              "to walk far down the ranking — the paper's scalability\n"
+              "caveat, reproduced.\n");
+  return 0;
+}

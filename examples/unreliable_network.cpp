@@ -1,0 +1,54 @@
+// Unreliable network — the failure-injection extension in action.  The
+// paper assumes lossless, instantaneous negotiation; real wide-area
+// deployments drop enquiries.  This example sweeps the enquiry-channel
+// loss rate and shows how the Grid-Federation protocol degrades: timeouts
+// burn rank-walk attempts, phantom reservations get cancelled, acceptance
+// erodes gently rather than collapsing.
+//
+//   $ ./build/examples/unreliable_network
+
+#include <cstdio>
+
+#include "cluster/catalog.hpp"
+#include "core/federation.hpp"
+#include "stats/table.hpp"
+#include "workload/synthetic.hpp"
+
+int main() {
+  using namespace gridfed;
+
+  stats::Table t({"Drop rate", "Accepted %", "Dropped msgs", "Cancelled holds",
+                  "Sent msgs", "Avg negotiations/job"});
+  for (const double drop : {0.0, 0.05, 0.10, 0.20, 0.30, 0.50}) {
+    core::FederationConfig cfg;
+    cfg.message_drop_rate = drop;
+    cfg.negotiate_timeout = drop > 0.0 ? 30.0 : 0.0;
+    cfg.network_latency = 1.0;
+
+    auto specs = cluster::table1_specs();
+    core::Federation fed(cfg, specs);
+    const auto traces = workload::generate_federation_workload(
+        specs, cfg.window, cfg.seed);
+    fed.load_workload(traces, workload::PopulationProfile{30});
+    const auto result = fed.run();
+
+    std::uint64_t cancelled = 0;
+    for (cluster::ResourceIndex i = 0; i < 8; ++i) {
+      cancelled += fed.lrms(i).jobs_cancelled();
+    }
+    t.add_row({stats::Table::num(100.0 * drop, 0) + "%",
+               stats::Table::num(result.acceptance_pct(), 2),
+               std::to_string(fed.messages_dropped()),
+               std::to_string(cancelled),
+               std::to_string(result.total_messages),
+               stats::Table::num(result.negotiations_per_job.mean(), 2)});
+  }
+  std::printf("%s\n", t.str().c_str());
+  std::printf(
+      "Reading the table: lost replies strand reservations (cancelled by\n"
+      "the hold timeout), lost negotiates waste a timeout window; both\n"
+      "push jobs further down the rank walk, so negotiations/job rises\n"
+      "while acceptance falls only gradually — the directory walk's\n"
+      "redundancy is what keeps the federation usable on a lossy WAN.\n");
+  return 0;
+}

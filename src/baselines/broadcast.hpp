@@ -1,0 +1,92 @@
+#pragma once
+// NASA-superscheduler baseline (Shan, Oliker & Biswas, SC'03) — the
+// broadcast-based job-migration algorithms the paper's related-work section
+// contrasts Grid-Federation against (§4):
+//
+//  * Sender-Initiated (S-I): when the local average wait time (AWT) for a
+//    job exceeds a threshold phi, the grid scheduler broadcasts a resource
+//    demand query to *every* other scheduler, collects AWT+ERT replies,
+//    and migrates the job to the minimum-turnaround-cost site.
+//  * Receiver-Initiated (R-I): every sigma seconds, a scheduler whose
+//    resource utilization status (RUS) is below delta broadcasts itself as
+//    a volunteer; senders then run the S-I query against the current
+//    volunteer set only.
+//  * Symmetrically-Initiated (Sy-I): both behaviours at once.
+//
+// The point of the comparison is message complexity: broadcast scheduling
+// costs Theta(n) messages per migration (plus Theta(n) periodic volunteer
+// floods for R-I/Sy-I), whereas Grid-Federation's directory walk costs
+// O(negotiations).  bench_ablation_broadcast reproduces that contrast on
+// identical workloads.  For a fair acceptance comparison the baseline
+// honours the same fabricated deadlines: a migration target must still
+// guarantee completion by s+d, and infeasible jobs are dropped.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/result.hpp"
+#include "sim/types.hpp"
+
+namespace gridfed::baselines {
+
+/// Migration strategy of the broadcast superscheduler.
+enum class BroadcastStrategy : std::uint8_t {
+  kSenderInitiated,
+  kReceiverInitiated,
+  kSymmetric,
+};
+
+[[nodiscard]] constexpr const char* to_string(BroadcastStrategy s) noexcept {
+  switch (s) {
+    case BroadcastStrategy::kSenderInitiated:
+      return "sender-initiated";
+    case BroadcastStrategy::kReceiverInitiated:
+      return "receiver-initiated";
+    case BroadcastStrategy::kSymmetric:
+      return "symmetric";
+  }
+  return "?";
+}
+
+/// Baseline tuning knobs (defaults follow the SC'03 description's spirit).
+struct BroadcastConfig {
+  BroadcastStrategy strategy = BroadcastStrategy::kSenderInitiated;
+  /// phi: a job migrates when its local expected wait exceeds this many
+  /// seconds OR the local cluster cannot honour its deadline.
+  sim::SimTime awt_threshold = 0.0;
+  /// sigma: volunteer-check period (R-I / Sy-I).
+  sim::SimTime volunteer_period = 600.0;
+  /// delta: a scheduler volunteers when its instantaneous load is below
+  /// this fraction.
+  double volunteer_load_threshold = 0.5;
+  sim::SimTime window = 172800.0;
+  std::uint64_t seed = core::FederationConfig{}.seed;
+};
+
+/// Per-run summary of the broadcast baseline (message complexity is the
+/// comparison of interest; job accounting mirrors FederationResult).
+struct BroadcastResult {
+  BroadcastStrategy strategy = BroadcastStrategy::kSenderInitiated;
+  std::size_t system_size = 0;
+  std::uint64_t total_jobs = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t migrated = 0;
+  std::uint64_t total_messages = 0;      ///< queries + replies + transfers
+  std::uint64_t volunteer_messages = 0;  ///< R-I/Sy-I periodic floods
+  stats::Accumulator msgs_per_job;
+  stats::Accumulator response_time;
+
+  [[nodiscard]] double acceptance_pct() const noexcept {
+    return total_jobs ? 100.0 * static_cast<double>(accepted) /
+                            static_cast<double>(total_jobs)
+                      : 0.0;
+  }
+};
+
+/// Runs the broadcast superscheduler over the same calibrated synthetic
+/// workload the Grid-Federation experiments use.
+[[nodiscard]] BroadcastResult run_broadcast(const BroadcastConfig& config,
+                                            std::size_t n_resources = 8);
+
+}  // namespace gridfed::baselines

@@ -1,0 +1,14 @@
+#include "baselines/independent.hpp"
+
+#include "core/experiment.hpp"
+
+namespace gridfed::baselines {
+
+core::FederationResult run_independent(std::size_t n_resources,
+                                       std::uint64_t seed) {
+  const auto config =
+      core::make_config(core::SchedulingMode::kIndependent, seed);
+  return core::run_experiment(config, n_resources);
+}
+
+}  // namespace gridfed::baselines

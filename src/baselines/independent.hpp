@@ -1,0 +1,18 @@
+#pragma once
+// Experiment 1 baseline — independent resources.  Every cluster processes
+// only its own workload; a job whose deadline the local LRMS cannot honour
+// is rejected.  This is the control experiment Table 2 reports and the
+// reference all federation gains are measured against.
+
+#include <cstdint>
+
+#include "core/result.hpp"
+
+namespace gridfed::baselines {
+
+/// Runs the paper's Experiment 1 over the calibrated synthetic workload.
+[[nodiscard]] core::FederationResult run_independent(
+    std::size_t n_resources = 8,
+    std::uint64_t seed = core::FederationConfig{}.seed);
+
+}  // namespace gridfed::baselines

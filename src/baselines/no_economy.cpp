@@ -1,0 +1,14 @@
+#include "baselines/no_economy.hpp"
+
+#include "core/experiment.hpp"
+
+namespace gridfed::baselines {
+
+core::FederationResult run_federation_no_economy(std::size_t n_resources,
+                                                 std::uint64_t seed) {
+  const auto config =
+      core::make_config(core::SchedulingMode::kFederationNoEconomy, seed);
+  return core::run_experiment(config, n_resources);
+}
+
+}  // namespace gridfed::baselines

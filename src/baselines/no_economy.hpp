@@ -1,0 +1,19 @@
+#pragma once
+// Experiment 2 baseline — federation without economy.  Jobs run locally
+// when the deadline allows; otherwise the GFA walks the federation in
+// decreasing order of computational speed (no prices, no budgets) and the
+// first cluster that can honour the deadline takes the job.  Table 3 and
+// Fig 2 compare this against Experiment 1.
+
+#include <cstdint>
+
+#include "core/result.hpp"
+
+namespace gridfed::baselines {
+
+/// Runs the paper's Experiment 2 over the calibrated synthetic workload.
+[[nodiscard]] core::FederationResult run_federation_no_economy(
+    std::size_t n_resources = 8,
+    std::uint64_t seed = core::FederationConfig{}.seed);
+
+}  // namespace gridfed::baselines

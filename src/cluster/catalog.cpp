@@ -1,0 +1,62 @@
+#include "cluster/catalog.hpp"
+
+#include <stdexcept>
+
+namespace gridfed::cluster {
+
+const std::vector<CatalogEntry>& table1() {
+  // Quotes are the paper's printed values; they equal Eq. 6 with
+  // c = 5.3 G$ and mu_max = 930 MIPS to the printed precision (verified by
+  // tests/economy tests).
+  static const std::vector<CatalogEntry> entries = {
+      {{"CTC SP2", 512, 850.0, 2.0, 4.84}, "June96-May97", 79302, 417, 53.492,
+       96.642},
+      {{"KTH SP2", 100, 900.0, 1.6, 5.12}, "Sep96-Aug97", 28490, 163, 50.064,
+       93.865},
+      {{"LANL CM5", 1024, 700.0, 1.0, 3.98}, "Oct94-Sep96", 201387, 215,
+       47.103, 83.72},
+      {{"LANL Origin", 2048, 630.0, 1.6, 3.59}, "Nov99-Apr2000", 121989, 817,
+       44.550, 93.757},
+      {{"NASA iPSC", 128, 930.0, 4.0, 5.3}, "Oct93-Dec93", 42264, 535, 62.347,
+       100.0},
+      {{"SDSC Par96", 416, 710.0, 1.0, 4.04}, "Dec95-Dec96", 38719, 189,
+       48.179, 98.941},
+      {{"SDSC Blue", 1152, 730.0, 2.0, 4.16}, "Apr2000-Jan2003", 250440, 215,
+       82.088, 57.67},
+      {{"SDSC SP2", 128, 920.0, 4.0, 5.24}, "Apr98-Apr2000", 73496, 111,
+       79.492, 50.45},
+  };
+  return entries;
+}
+
+std::vector<ResourceSpec> table1_specs() {
+  std::vector<ResourceSpec> specs;
+  specs.reserve(table1().size());
+  for (const auto& entry : table1()) specs.push_back(entry.spec);
+  return specs;
+}
+
+std::vector<ResourceSpec> replicated_specs(std::size_t n) {
+  const auto base = table1_specs();
+  std::vector<ResourceSpec> specs;
+  specs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ResourceSpec spec = base[i % base.size()];
+    const std::size_t replica = i / base.size();
+    if (replica > 0) {
+      spec.name += " #" + std::to_string(replica + 1);
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+ResourceIndex catalog_index(const std::string& name) {
+  const auto& entries = table1();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].spec.name == name) return static_cast<ResourceIndex>(i);
+  }
+  throw std::out_of_range("catalog_index: unknown resource " + name);
+}
+
+}  // namespace gridfed::cluster

@@ -1,0 +1,42 @@
+#pragma once
+// Table 1 of the paper: the eight Parallel-Workloads-Archive resources the
+// evaluation federates, with their processor counts, MIPS ratings, quotes
+// and NIC bandwidths, plus the per-resource workload facts of Tables 2/3
+// used to calibrate the synthetic traces (see workload/calibration).
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/resource.hpp"
+
+namespace gridfed::cluster {
+
+/// One row of Table 1 (augmented with Table 2's two-day job counts and the
+/// paper's measured independent-case statistics, which the synthetic
+/// workload generator targets).
+struct CatalogEntry {
+  ResourceSpec spec;
+  const char* trace_period = "";
+  std::uint64_t full_trace_jobs = 0;  ///< Table 1 "Jobs" column
+  std::uint32_t two_day_jobs = 0;     ///< Table 2 "Total Job" column
+  double paper_independent_utilization = 0.0;  ///< Table 2 "%", target shape
+  double paper_independent_accept_pct = 0.0;   ///< Table 2 "%", target shape
+};
+
+/// The eight Table 1 resources, in paper order (index 0 = CTC SP2 ...
+/// index 7 = SDSC SP2).
+[[nodiscard]] const std::vector<CatalogEntry>& table1();
+
+/// Just the ResourceSpecs of Table 1.
+[[nodiscard]] std::vector<ResourceSpec> table1_specs();
+
+/// Experiment 5's scaled federation: the Table 1 set replicated round-robin
+/// to `n` resources (replicas get a "#r" name suffix).  n need not be a
+/// multiple of 8.
+[[nodiscard]] std::vector<ResourceSpec> replicated_specs(std::size_t n);
+
+/// Index into table1() by resource name; throws std::out_of_range if the
+/// name is unknown.
+[[nodiscard]] ResourceIndex catalog_index(const std::string& name);
+
+}  // namespace gridfed::cluster

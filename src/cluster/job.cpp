@@ -1,0 +1,33 @@
+#include "cluster/job.hpp"
+
+namespace gridfed::cluster {
+
+double data_transferred(const Job& job, const ResourceSpec& origin) noexcept {
+  return job.comm_overhead * origin.bandwidth;
+}
+
+sim::SimTime compute_time(const Job& job, const ResourceSpec& exec) noexcept {
+  return job.length_mi /
+         (exec.mips * static_cast<double>(job.processors));
+}
+
+sim::SimTime comm_time(const Job& job, const ResourceSpec& origin,
+                       const ResourceSpec& exec) noexcept {
+  return job.comm_overhead * origin.bandwidth / exec.bandwidth;
+}
+
+sim::SimTime execution_time(const Job& job, const ResourceSpec& origin,
+                            const ResourceSpec& exec) noexcept {
+  return compute_time(job, exec) + comm_time(job, origin, exec);
+}
+
+double compute_only_cost(const Job& job, const ResourceSpec& exec) noexcept {
+  return exec.quote * compute_time(job, exec);
+}
+
+double wall_time_cost(const Job& job, const ResourceSpec& origin,
+                      const ResourceSpec& exec) noexcept {
+  return exec.quote * execution_time(job, origin, exec);
+}
+
+}  // namespace gridfed::cluster

@@ -1,0 +1,106 @@
+#include "cluster/lrms.hpp"
+
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace gridfed::cluster {
+
+Lrms::Lrms(sim::Simulation& sim, sim::EntityId id, ResourceSpec spec,
+           ResourceIndex index, QueuePolicy policy)
+    : Entity(sim, id, spec.name),
+      spec_(std::move(spec)),
+      index_(index),
+      policy_(policy),
+      profile_(spec_.processors),
+      util_(spec_.processors) {
+  GF_EXPECTS(spec_.valid());
+}
+
+sim::SimTime Lrms::feasible_start(std::uint32_t procs,
+                                  sim::SimTime exec_time,
+                                  sim::SimTime earliest) const {
+  sim::SimTime not_before = std::max(now(), earliest);
+  if (policy_ == QueuePolicy::kFcfs) {
+    not_before = std::max(not_before, last_fcfs_start_);
+  }
+  return profile_.earliest_start(not_before, procs, exec_time);
+}
+
+sim::SimTime Lrms::estimate_completion(const Job& job, sim::SimTime exec_time,
+                                       sim::SimTime earliest) const {
+  if (job.processors > spec_.processors) return sim::kTimeInfinity;
+  return feasible_start(job.processors, exec_time, earliest) + exec_time;
+}
+
+sim::SimTime Lrms::expected_wait(std::uint32_t procs,
+                                 sim::SimTime exec_time) const {
+  if (procs > spec_.processors) return sim::kTimeInfinity;
+  return feasible_start(procs, exec_time, 0.0) - now();
+}
+
+Reservation Lrms::submit(const Job& job, sim::SimTime exec_time,
+                         sim::SimTime earliest) {
+  GF_EXPECTS(job.processors > 0 && job.processors <= spec_.processors);
+  GF_EXPECTS(exec_time >= 0.0);
+
+  const sim::SimTime start =
+      feasible_start(job.processors, exec_time, earliest);
+  const sim::SimTime completion = start + exec_time;
+  profile_.reserve(start, completion, job.processors);
+  if (policy_ == QueuePolicy::kFcfs) last_fcfs_start_ = start;
+
+  Reservation res{job.id, start, completion, job.processors};
+  ++accepted_;
+  ++queued_;
+
+  // Start and completion are definite: schedule both now.  Completion runs
+  // at kCompletion priority so freed processors are visible to same-instant
+  // arrivals (see EventPriority).
+  simulation().schedule_at(
+      start, sim::EventPriority::kCompletion,
+      [this, id = job.id, procs = job.processors] { on_start(id, procs); });
+  simulation().schedule_at(completion, sim::EventPriority::kCompletion,
+                           [this, job, res] { on_finish(job, res); });
+  return res;
+}
+
+void Lrms::cancel(const Reservation& reservation) {
+  GF_EXPECTS(now() <= reservation.start);
+  GF_EXPECTS(!cancelled_.contains(reservation.job));
+  profile_.release(reservation.start, reservation.completion,
+                   reservation.processors);
+  cancelled_.insert(reservation.job);
+  GF_ENSURES(queued_ > 0);
+  --queued_;
+  ++cancelled_count_;
+  // Note: last_fcfs_start_ may still point at the cancelled reservation;
+  // later jobs then start no earlier than the cancelled slot would have —
+  // a conservative but sound FCFS interpretation.
+}
+
+void Lrms::on_start(JobId job, std::uint32_t procs) {
+  if (cancelled_.contains(job)) return;  // cancelled before start
+  GF_ENSURES(queued_ > 0);
+  --queued_;
+  ++running_;
+  busy_ += procs;
+  GF_ENSURES(busy_ <= spec_.processors);
+  util_.set_busy(now(), busy_);
+  profile_.trim(now());
+}
+
+void Lrms::on_finish(const Job& job, const Reservation& res) {
+  if (cancelled_.erase(job.id) > 0) return;  // cancelled reservation
+  GF_ENSURES(running_ > 0);
+  --running_;
+  GF_ENSURES(busy_ >= res.processors);
+  busy_ -= res.processors;
+  util_.set_busy(now(), busy_);
+  ++completed_;
+  if (on_completion_) {
+    on_completion_(CompletedJob{job, res, index_});
+  }
+}
+
+}  // namespace gridfed::cluster

@@ -1,0 +1,5 @@
+#include "cluster/resource.hpp"
+
+// ResourceSpec is a plain aggregate; this TU exists to give the module a
+// stable object file and a place for future out-of-line helpers.
+namespace gridfed::cluster {}

@@ -1,0 +1,40 @@
+#pragma once
+// Cluster resource description.  A cluster is a homogeneous collection of
+// machines with a single system image (paper §2.0.1); for scheduling
+// purposes it is fully described by the paper's resource set
+// R_i = (p_i, mu_i, gamma_i) plus the owner's access quote c_i.
+
+#include <cstdint>
+#include <string>
+
+namespace gridfed::cluster {
+
+/// Index of a cluster within a federation (k in J_{i,j,k}).
+using ResourceIndex = std::uint32_t;
+
+/// R_i = (p_i, mu_i, gamma_i) with the owner's quote.
+///
+/// * `processors` — p_i, number of (homogeneous) processors.
+/// * `mips`       — mu_i, per-processor speed in MIPS.
+/// * `bandwidth`  — gamma_i, NIC-to-network bandwidth in Gb/s.
+/// * `quote`      — c_i, access price in Grid Dollars per unit time,
+///                  normally derived from Eq. 6 (economy::quote_for) but
+///                  owners may configure any value (site autonomy).
+struct ResourceSpec {
+  std::string name;
+  std::uint32_t processors = 0;
+  double mips = 0.0;
+  double bandwidth = 0.0;
+  double quote = 0.0;
+
+  [[nodiscard]] bool valid() const noexcept {
+    return processors > 0 && mips > 0.0 && bandwidth > 0.0 && quote >= 0.0;
+  }
+
+  /// Aggregate MIPS of the whole cluster (p_i * mu_i).
+  [[nodiscard]] double total_mips() const noexcept {
+    return static_cast<double>(processors) * mips;
+  }
+};
+
+}  // namespace gridfed::cluster

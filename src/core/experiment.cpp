@@ -1,0 +1,55 @@
+#include "core/experiment.hpp"
+
+#include "cluster/catalog.hpp"
+#include "workload/synthetic.hpp"
+
+namespace gridfed::core {
+
+FederationConfig make_config(SchedulingMode mode, std::uint64_t seed) {
+  FederationConfig config;
+  config.mode = mode;
+  config.seed = seed;
+  return config;
+}
+
+FederationResult run_experiment(const FederationConfig& config,
+                                std::size_t n_resources,
+                                std::uint32_t oft_percent) {
+  auto specs = cluster::replicated_specs(n_resources);
+  Federation fed(config, specs);
+  const auto traces = workload::generate_federation_workload(
+      specs, config.window, config.seed);
+  std::optional<workload::PopulationProfile> profile;
+  if (config.mode == SchedulingMode::kEconomy) {
+    profile = workload::PopulationProfile{oft_percent};
+  }
+  fed.load_workload(traces, profile);
+  FederationResult result = fed.run();
+  result.oft_percent = oft_percent;
+  return result;
+}
+
+std::vector<FederationResult> run_profile_sweep(const FederationConfig& config,
+                                                std::size_t n_resources) {
+  std::vector<FederationResult> results;
+  results.reserve(11);
+  for (std::uint32_t oft = 0; oft <= 100; oft += 10) {
+    results.push_back(run_experiment(config, n_resources, oft));
+  }
+  return results;
+}
+
+std::vector<FederationResult> run_scaling_study(
+    const FederationConfig& config, const std::vector<std::size_t>& sizes,
+    const std::vector<std::uint32_t>& oft_percents) {
+  std::vector<FederationResult> results;
+  results.reserve(sizes.size() * oft_percents.size());
+  for (const std::size_t n : sizes) {
+    for (const std::uint32_t oft : oft_percents) {
+      results.push_back(run_experiment(config, n, oft));
+    }
+  }
+  return results;
+}
+
+}  // namespace gridfed::core

@@ -1,0 +1,37 @@
+#pragma once
+// Experiment drivers: one-call reproductions of the paper's five
+// experiments.  Each bench binary is a thin printer over these functions;
+// tests exercise them directly.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/federation.hpp"
+#include "core/result.hpp"
+
+namespace gridfed::core {
+
+/// Default config for one of the paper's three environments.
+[[nodiscard]] FederationConfig make_config(
+    SchedulingMode mode, std::uint64_t seed = FederationConfig{}.seed);
+
+/// Runs one federation over the calibrated synthetic workload.
+/// `n_resources` replicates Table 1 round-robin (8 = the paper's set);
+/// `oft_percent` selects the population profile (ignored outside economy
+/// mode).
+[[nodiscard]] FederationResult run_experiment(const FederationConfig& config,
+                                              std::size_t n_resources = 8,
+                                              std::uint32_t oft_percent = 0);
+
+/// Experiment 3/4: the population sweep OFT = 0, 10, ..., 100 (11 runs).
+[[nodiscard]] std::vector<FederationResult> run_profile_sweep(
+    const FederationConfig& config, std::size_t n_resources = 8);
+
+/// Experiment 5: message complexity vs system size.  Returns one result
+/// per (size, profile) pair, ordered size-major.
+[[nodiscard]] std::vector<FederationResult> run_scaling_study(
+    const FederationConfig& config, const std::vector<std::size_t>& sizes,
+    const std::vector<std::uint32_t>& oft_percents);
+
+}  // namespace gridfed::core

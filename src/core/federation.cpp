@@ -1,0 +1,280 @@
+#include "core/federation.hpp"
+
+#include <utility>
+
+#include "economy/cost_model.hpp"
+#include "sim/check.hpp"
+
+namespace gridfed::core {
+
+Federation::Federation(FederationConfig config,
+                       std::vector<cluster::ResourceSpec> specs)
+    : cfg_(config),
+      specs_(std::move(specs)),
+      ledger_(specs_.empty() ? 1 : specs_.size()),
+      bank_(specs_.empty() ? 1 : specs_.size()),
+      util_at_window_(specs_.size(), 0.0),
+      drop_rng_(sim::Rng::stream(config.seed, "message-drop")) {
+  GF_EXPECTS(!specs_.empty());
+  GF_EXPECTS(cfg_.window > 0.0);
+  GF_EXPECTS(cfg_.message_drop_rate >= 0.0 && cfg_.message_drop_rate < 1.0);
+  if (cfg_.wan) {
+    wan_.emplace(*cfg_.wan, specs_);
+  }
+  // Lossy enquiries need timeouts to make progress, and the timeout must
+  // outlast a negotiate+reply round trip.
+  GF_EXPECTS(cfg_.message_drop_rate == 0.0 || cfg_.negotiate_timeout > 0.0);
+  const sim::SimTime worst_latency =
+      wan_ ? wan_->max_latency() : cfg_.network_latency;
+  GF_EXPECTS(cfg_.negotiate_timeout == 0.0 ||
+             cfg_.negotiate_timeout > 2.0 * worst_latency);
+
+  lrms_.reserve(specs_.size());
+  gfas_.reserve(specs_.size());
+  sim::EntityId next_id = 0;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    const auto index = static_cast<cluster::ResourceIndex>(i);
+    lrms_.push_back(std::make_unique<cluster::Lrms>(
+        sim_, next_id++, specs_[i], index, cfg_.queue_policy));
+    gfas_.push_back(std::make_unique<Gfa>(sim_, next_id++, index,
+                                          *lrms_.back(), dir_, *this));
+    // Wire cluster completions into the owning agent.
+    Gfa* agent = gfas_.back().get();
+    lrms_.back()->set_completion_handler(
+        [agent](const cluster::CompletedJob& done) {
+          agent->on_lrms_completion(done);
+        });
+    // subscribe: the agent joins the federation and advertises its quote.
+    dir_.subscribe(directory::Quote::from_spec(index, specs_[i]));
+  }
+
+  if (cfg_.dynamic_pricing) {
+    pricers_.reserve(specs_.size());
+    pricer_last_area_.assign(specs_.size(), 0.0);
+    for (const auto& spec : specs_) {
+      pricers_.emplace_back(spec.quote, cfg_.pricing);
+    }
+  }
+  arm_periodic_behaviours();
+}
+
+Federation::~Federation() = default;
+
+Gfa& Federation::gfa(cluster::ResourceIndex i) {
+  GF_EXPECTS(i < gfas_.size());
+  return *gfas_[i];
+}
+
+cluster::Lrms& Federation::lrms(cluster::ResourceIndex i) {
+  GF_EXPECTS(i < lrms_.size());
+  return *lrms_[i];
+}
+
+void Federation::arm_periodic_behaviours() {
+  // Utilization snapshot at the window boundary (jobs keep running, but
+  // Tables 2/3 and Fig 4 report utilization over the window).
+  sim_.schedule_at(cfg_.window, sim::EventPriority::kControl, [this] {
+    for (std::size_t i = 0; i < lrms_.size(); ++i) {
+      util_at_window_[i] = lrms_[i]->utilization().utilization(cfg_.window);
+    }
+  });
+
+  // Coordination extension: periodic load-hint refresh.
+  if (cfg_.use_load_hints) {
+    for (sim::SimTime t = cfg_.load_hint_period; t <= cfg_.window;
+         t += cfg_.load_hint_period) {
+      sim_.schedule_at(t, sim::EventPriority::kControl, [this] {
+        for (auto& agent : gfas_) agent->publish_load_hint();
+      });
+    }
+  }
+
+  // Dynamic-pricing extension: periodic repricing from recent load.
+  if (cfg_.dynamic_pricing) {
+    const sim::SimTime period = cfg_.pricing.period;
+    for (sim::SimTime t = period; t <= cfg_.window; t += period) {
+      sim_.schedule_at(t, sim::EventPriority::kControl, [this, period] {
+        for (std::size_t i = 0; i < lrms_.size(); ++i) {
+          const double area = lrms_[i]->utilization().busy_area(sim_.now());
+          const double window_area =
+              static_cast<double>(specs_[i].processors) * period;
+          const double recent_load = std::min(
+              1.0, (area - pricer_last_area_[i]) / window_area);
+          pricer_last_area_[i] = area;
+          const double new_quote = pricers_[i].reprice(recent_load);
+          specs_[i].quote = new_quote;
+          dir_.update_price(static_cast<cluster::ResourceIndex>(i),
+                            new_quote);
+        }
+      });
+    }
+  }
+}
+
+void Federation::load_workload(
+    const std::vector<workload::ResourceTrace>& traces,
+    std::optional<workload::PopulationProfile> profile) {
+  GF_EXPECTS(!ran_);
+  for (const auto& trace : traces) {
+    GF_EXPECTS(trace.resource < specs_.size());
+    const auto& origin_spec = specs_[trace.resource];
+    for (const auto& raw : trace.jobs) {
+      cluster::Job job = workload::to_job(raw, next_job_id_++, trace.resource,
+                                          origin_spec, cfg_.comm_fraction);
+      economy::fabricate_qos(job, origin_spec, cfg_.cost_model, cfg_.qos);
+      if (profile) {
+        job.opt = profile->preference(job.origin, job.user, cfg_.seed);
+      }
+      ++jobs_loaded_;
+      Gfa* agent = gfas_[trace.resource].get();
+      sim_.schedule_at(job.submit, sim::EventPriority::kArrival,
+                       [agent, job = std::move(job)] {
+                         agent->submit_local(job);
+                       });
+    }
+  }
+}
+
+FederationResult Federation::run() {
+  GF_EXPECTS(!ran_);
+  ran_ = true;
+  outcomes_.reserve(jobs_loaded_);
+  sim_.run();
+  GF_ENSURES(outcomes_.size() == jobs_loaded_);
+  return aggregate();
+}
+
+void Federation::send(Message msg) {
+  GF_EXPECTS(msg.to < gfas_.size());
+  ledger_.record(msg);
+  // Failure injection: the best-effort enquiry channel (negotiate/reply)
+  // may drop; payload transfers are reliable (see config.hpp).
+  const bool droppable = msg.type == MessageType::kNegotiate ||
+                         msg.type == MessageType::kReply;
+  if (droppable && cfg_.message_drop_rate > 0.0 &&
+      drop_rng_.bernoulli(cfg_.message_drop_rate)) {
+    ++messages_dropped_;
+    return;
+  }
+  Gfa* target = gfas_[msg.to].get();
+  // Control messages see per-pair latency under the WAN model; the job
+  // payload (submission) additionally ships Eq. 1's data volume.
+  sim::SimTime delay = cfg_.network_latency;
+  if (wan_) {
+    delay = msg.type == MessageType::kJobSubmission
+                ? wan_->transfer_time(
+                      msg.from, msg.to,
+                      cluster::data_transferred(msg.job,
+                                                specs_[msg.job.origin]))
+                : wan_->latency(msg.from, msg.to);
+  }
+  sim_.schedule_in(delay, sim::EventPriority::kMessage,
+                   [target, msg = std::move(msg)] { target->receive(msg); });
+}
+
+const cluster::ResourceSpec& Federation::spec_of(
+    cluster::ResourceIndex index) const {
+  GF_EXPECTS(index < specs_.size());
+  return specs_[index];
+}
+
+sim::SimTime Federation::payload_staging_time(
+    const cluster::Job& job, cluster::ResourceIndex site) const {
+  if (!wan_ || site == job.origin) return 0.0;
+  return wan_->transfer_time(job.origin, site,
+                             cluster::data_transferred(job,
+                                                       specs_[job.origin]));
+}
+
+void Federation::job_completed(const JobOutcome& outcome) {
+  bank_.settle(economy::Settlement{outcome.job.id, outcome.job.origin,
+                                   outcome.executed_on, outcome.cost,
+                                   outcome.job.user});
+  outcomes_.push_back(outcome);
+}
+
+void Federation::job_rejected(const cluster::Job& job,
+                              std::uint32_t negotiations,
+                              std::uint64_t messages) {
+  JobOutcome outcome;
+  outcome.job = job;
+  outcome.accepted = false;
+  outcome.negotiations = negotiations;
+  outcome.messages = messages;
+  outcomes_.push_back(std::move(outcome));
+}
+
+FederationResult Federation::aggregate() const {
+  FederationResult result;
+  result.mode = cfg_.mode;
+  result.system_size = specs_.size();
+  result.resources.resize(specs_.size());
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    auto& row = result.resources[i];
+    row.name = specs_[i].name;
+    row.utilization = util_at_window_[i];
+    row.incentive = bank_.incentive(static_cast<cluster::ResourceIndex>(i));
+    row.spent_by_home =
+        bank_.spent_by_home(static_cast<cluster::ResourceIndex>(i));
+    row.local_messages =
+        ledger_.local_at(static_cast<cluster::ResourceIndex>(i));
+    row.remote_messages =
+        ledger_.remote_at(static_cast<cluster::ResourceIndex>(i));
+    result.msgs_per_gfa.add(static_cast<double>(
+        ledger_.total_at(static_cast<cluster::ResourceIndex>(i))));
+  }
+
+  for (const auto& outcome : outcomes_) {
+    auto& row = result.resources[outcome.job.origin];
+    const auto& origin_spec = specs_[outcome.job.origin];
+    row.total_jobs += 1;
+    result.total_jobs += 1;
+    result.msgs_per_job.add(static_cast<double>(outcome.messages));
+    result.negotiations_per_job.add(
+        static_cast<double>(outcome.negotiations));
+
+    if (outcome.accepted) {
+      row.accepted += 1;
+      result.total_accepted += 1;
+      if (outcome.executed_on == outcome.job.origin) {
+        row.processed_locally += 1;
+      } else {
+        row.migrated += 1;
+        result.resources[outcome.executed_on].remote_processed += 1;
+      }
+      const double response = outcome.response_time();
+      row.response_excl.add(response);
+      row.budget_excl.add(outcome.cost);
+      row.response_incl.add(response);
+      row.budget_incl.add(outcome.cost);
+      result.fed_response_excl.add(response);
+      result.fed_budget_excl.add(outcome.cost);
+      result.fed_response_incl.add(response);
+      result.fed_budget_incl.add(outcome.cost);
+    } else {
+      row.rejected += 1;
+      result.total_rejected += 1;
+      // Paper Fig 8: rejected jobs contribute their *expected* response and
+      // cost as if executed on the unloaded originating resource.
+      const double est_response =
+          cluster::execution_time(outcome.job, origin_spec, origin_spec);
+      const double est_cost = economy::job_cost(outcome.job, origin_spec,
+                                                origin_spec, cfg_.cost_model);
+      row.response_incl.add(est_response);
+      row.budget_incl.add(est_cost);
+      result.fed_response_incl.add(est_response);
+      result.fed_budget_incl.add(est_cost);
+    }
+  }
+
+  result.total_messages = ledger_.total();
+  for (std::size_t t = 0; t < 4; ++t) {
+    result.messages_by_type[t] =
+        ledger_.count_of(static_cast<MessageType>(t));
+  }
+  result.directory_traffic = dir_.traffic();
+  result.total_incentive = bank_.total();
+  return result;
+}
+
+}  // namespace gridfed::core

@@ -1,0 +1,123 @@
+#pragma once
+// The Grid-Federation driver: owns the simulation engine, the clusters,
+// the agents, the directory, the bank and the ledgers; feeds a workload;
+// runs it to completion; and aggregates the per-job outcomes into a
+// FederationResult.
+//
+// Typical use (this is the public API the examples exercise):
+//
+// ```
+// auto specs = cluster::table1_specs();
+// core::FederationConfig cfg;                       // economy mode
+// core::Federation fed(cfg, specs);
+// auto traces = workload::generate_federation_workload(specs, cfg.window,
+//                                                      cfg.seed);
+// fed.load_workload(traces, workload::PopulationProfile{30});
+// core::FederationResult result = fed.run();
+// ```
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/lrms.hpp"
+#include "core/config.hpp"
+#include "core/gfa.hpp"
+#include "core/message.hpp"
+#include "core/outcome.hpp"
+#include "core/result.hpp"
+#include "directory/federation_directory.hpp"
+#include "economy/dynamic_pricing.hpp"
+#include "economy/grid_bank.hpp"
+#include "sim/random.hpp"
+#include "sim/simulation.hpp"
+#include "workload/population.hpp"
+#include "workload/trace.hpp"
+
+namespace gridfed::core {
+
+/// One federation instance: construction wires every entity, subscribes
+/// quotes, and arms the periodic extension behaviours the config enables.
+class Federation final : public GfaHost {
+ public:
+  Federation(FederationConfig config,
+             std::vector<cluster::ResourceSpec> specs);
+  ~Federation() override;
+  Federation(const Federation&) = delete;
+  Federation& operator=(const Federation&) = delete;
+
+  /// Converts raw traces into federation jobs (Eqs. 1-3 split, Eqs. 7/8
+  /// QoS fabrication), applies the population profile (economy runs), and
+  /// schedules every arrival.  May be called multiple times before run().
+  void load_workload(const std::vector<workload::ResourceTrace>& traces,
+                     std::optional<workload::PopulationProfile> profile);
+
+  /// Runs the simulation until every accepted job has completed, then
+  /// aggregates.  Call once.
+  [[nodiscard]] FederationResult run();
+
+  // ---- GfaHost ----------------------------------------------------------
+  void send(Message msg) override;
+  [[nodiscard]] const cluster::ResourceSpec& spec_of(
+      cluster::ResourceIndex index) const override;
+  [[nodiscard]] const FederationConfig& config() const override {
+    return cfg_;
+  }
+  [[nodiscard]] sim::SimTime payload_staging_time(
+      const cluster::Job& job, cluster::ResourceIndex site) const override;
+  void job_completed(const JobOutcome& outcome) override;
+  void job_rejected(const cluster::Job& job, std::uint32_t negotiations,
+                    std::uint64_t messages) override;
+
+  // ---- introspection (examples, tests) -----------------------------------
+  [[nodiscard]] std::size_t size() const noexcept { return gfas_.size(); }
+  [[nodiscard]] sim::Simulation& simulation() noexcept { return sim_; }
+  [[nodiscard]] Gfa& gfa(cluster::ResourceIndex i);
+  [[nodiscard]] cluster::Lrms& lrms(cluster::ResourceIndex i);
+  [[nodiscard]] const directory::FederationDirectory& directory()
+      const noexcept {
+    return dir_;
+  }
+  [[nodiscard]] const economy::GridBank& bank() const noexcept {
+    return bank_;
+  }
+  [[nodiscard]] const MessageLedger& ledger() const noexcept {
+    return ledger_;
+  }
+  /// Raw per-job outcomes (accepted and rejected) after run().
+  [[nodiscard]] const std::vector<JobOutcome>& outcomes() const noexcept {
+    return outcomes_;
+  }
+
+  /// Messages lost to the failure-injection channel (0 unless
+  /// config.message_drop_rate > 0).
+  [[nodiscard]] std::uint64_t messages_dropped() const noexcept {
+    return messages_dropped_;
+  }
+
+ private:
+  void arm_periodic_behaviours();
+  [[nodiscard]] FederationResult aggregate() const;
+
+  FederationConfig cfg_;
+  std::vector<cluster::ResourceSpec> specs_;
+  std::optional<network::LatencyModel> wan_;
+  sim::Simulation sim_;
+  directory::FederationDirectory dir_;
+  MessageLedger ledger_;
+  economy::GridBank bank_;
+  std::vector<std::unique_ptr<cluster::Lrms>> lrms_;
+  std::vector<std::unique_ptr<Gfa>> gfas_;
+  std::vector<economy::DynamicPricer> pricers_;
+  std::vector<double> pricer_last_area_;
+
+  std::vector<JobOutcome> outcomes_;
+  std::vector<double> util_at_window_;
+  sim::Rng drop_rng_;
+  std::uint64_t messages_dropped_ = 0;
+  cluster::JobId next_job_id_ = 1;
+  std::uint64_t jobs_loaded_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace gridfed::core

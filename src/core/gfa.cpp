@@ -1,0 +1,354 @@
+#include "core/gfa.hpp"
+
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace gridfed::core {
+
+namespace {
+// Service (unloaded execution) time promised by a quote: Eq. 3 computed
+// from the advertised mu/gamma instead of a ResourceSpec.
+sim::SimTime service_time_from_quote(const cluster::Job& job,
+                                     const cluster::ResourceSpec& origin,
+                                     const directory::Quote& quote) {
+  const sim::SimTime compute =
+      job.length_mi / (quote.mips * static_cast<double>(job.processors));
+  const sim::SimTime comm =
+      job.comm_overhead * origin.bandwidth / quote.bandwidth;
+  return compute + comm;
+}
+}  // namespace
+
+Gfa::Gfa(sim::Simulation& sim, sim::EntityId id, cluster::ResourceIndex index,
+         cluster::Lrms& lrms, directory::FederationDirectory& dir,
+         GfaHost& host)
+    : Entity(sim, id, "GFA(" + lrms.spec().name + ")"),
+      index_(index),
+      lrms_(lrms),
+      dir_(dir),
+      host_(host) {}
+
+void Gfa::submit_local(cluster::Job job) {
+  GF_EXPECTS(job.origin == index_);
+  advance(Pending{std::move(job), 1, 0, 0});
+}
+
+void Gfa::advance(Pending p) {
+  switch (host_.config().mode) {
+    case SchedulingMode::kIndependent:
+      schedule_independent(std::move(p));
+      break;
+    case SchedulingMode::kFederationNoEconomy:
+      schedule_no_economy(std::move(p));
+      break;
+    case SchedulingMode::kEconomy:
+      schedule_economy(std::move(p));
+      break;
+  }
+}
+
+bool Gfa::local_deadline_ok(const cluster::Job& job) const {
+  const auto& cfg = host_.config();
+  if (job.processors > lrms_.spec().processors) return false;
+  if (!cfg.enforce_deadline) return true;
+  const sim::SimTime exec = cluster::execution_time(
+      job, host_.spec_of(job.origin), lrms_.spec());
+  return lrms_.estimate_completion(job, exec) <= job.absolute_deadline();
+}
+
+double Gfa::cost_from_quote(const cluster::Job& job,
+                            const directory::Quote& quote) const {
+  const auto& cfg = host_.config();
+  const auto& origin = host_.spec_of(job.origin);
+  switch (cfg.cost_model) {
+    case economy::CostModel::kComputeOnly:
+      return quote.price * job.length_mi /
+             (quote.mips * static_cast<double>(job.processors));
+    case economy::CostModel::kWallTime:
+      return quote.price * service_time_from_quote(job, origin, quote);
+    case economy::CostModel::kPerMi:
+    default:
+      return quote.price * job.length_mi / economy::kMiPerChargeUnit;
+  }
+}
+
+void Gfa::schedule_independent(Pending p) {
+  // Experiment 1: the cluster is alone in the world.  Accept iff the local
+  // LRMS can honour the deadline.
+  if (local_deadline_ok(p.job)) {
+    execute_here(std::move(p));
+  } else {
+    reject(std::move(p));
+  }
+}
+
+void Gfa::schedule_no_economy(Pending p) {
+  // Experiment 2: process locally when possible; otherwise walk the
+  // federation in decreasing order of computational speed (paper §3.3).
+  if (p.next_rank == 1 && p.negotiations == 0 && local_deadline_ok(p.job)) {
+    execute_here(std::move(p));
+    return;
+  }
+  const auto& cfg = host_.config();
+  while (true) {
+    const auto quote =
+        cfg.use_load_hints
+            ? dir_.query_filtered(directory::OrderBy::kFastest, p.next_rank,
+                                  cfg.load_hint_threshold)
+            : dir_.query(directory::OrderBy::kFastest, p.next_rank);
+    if (!quote) {
+      reject(std::move(p));
+      return;
+    }
+    ++p.next_rank;
+    if (quote->resource == index_) continue;  // local already checked
+    if (quote->processors < p.job.processors) continue;  // statically too small
+    // Dynamic feasibility needs the remote queue: negotiate.
+    send_negotiate(std::move(p), quote->resource);
+    return;  // resume in handle_reply (or the timeout)
+  }
+}
+
+void Gfa::schedule_economy(Pending p) {
+  // Experiments 3-5: the DBC algorithm of §2.2.  OFC walks the cheapest
+  // ranking, OFT the fastest; the origin cluster competes at its natural
+  // rank (negotiating with ourselves costs no network messages).
+  const auto& cfg = host_.config();
+  const auto order = p.job.opt == cluster::Optimization::kTime
+                         ? directory::OrderBy::kFastest
+                         : directory::OrderBy::kCheapest;
+  while (true) {
+    const auto quote =
+        cfg.use_load_hints
+            ? dir_.query_filtered(order, p.next_rank, cfg.load_hint_threshold)
+            : dir_.query(order, p.next_rank);
+    if (!quote) {
+      reject(std::move(p));
+      return;
+    }
+    ++p.next_rank;
+    if (quote->processors < p.job.processors) continue;
+    if (cfg.enforce_budget && cost_from_quote(p.job, *quote) > p.job.budget) {
+      continue;  // the quote alone rules this site out
+    }
+    if (quote->resource == index_) {
+      if (local_deadline_ok(p.job)) {
+        execute_here(std::move(p));
+        return;
+      }
+      continue;
+    }
+    send_negotiate(std::move(p), quote->resource);
+    return;  // resume in handle_reply (or the timeout)
+  }
+}
+
+void Gfa::send_negotiate(Pending p, cluster::ResourceIndex target) {
+  ++p.negotiations;
+  ++p.messages;  // the negotiate
+  p.current_target = target;
+  ++p.attempt;
+  Message negotiate{MessageType::kNegotiate, index_, target, p.job, false,
+                    0.0};
+  const cluster::JobId id = p.job.id;
+  const std::uint64_t attempt = p.attempt;
+  pending_.insert_or_assign(id, std::move(p));
+  host_.send(std::move(negotiate));
+
+  const auto& cfg = host_.config();
+  if (cfg.negotiate_timeout > 0.0) {
+    simulation().schedule_in(
+        cfg.negotiate_timeout, sim::EventPriority::kControl,
+        [this, id, attempt] { on_negotiate_timeout(id, attempt); });
+  }
+}
+
+void Gfa::on_negotiate_timeout(cluster::JobId id, std::uint64_t attempt) {
+  const auto it = pending_.find(id);
+  if (it == pending_.end()) return;            // reply already handled
+  if (it->second.attempt != attempt) return;   // a later enquiry is live
+  if (it->second.current_target == kNoTarget) return;
+  // No reply: abandon this enquiry (the remote may have reserved — its own
+  // hold timeout will release the processors) and walk on.
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  p.current_target = kNoTarget;
+  advance(std::move(p));
+}
+
+void Gfa::execute_here(Pending p) {
+  const auto& cfg = host_.config();
+  const auto& own = lrms_.spec();
+  const sim::SimTime exec =
+      cluster::execution_time(p.job, host_.spec_of(p.job.origin), own);
+  lrms_.submit(p.job, exec);
+  const double cost =
+      economy::job_cost(p.job, host_.spec_of(p.job.origin), own,
+                        cfg.cost_model);
+  awaiting_.emplace(p.job.id, Awaiting{p.job, p.negotiations, p.messages,
+                                       cost, index_});
+}
+
+void Gfa::reject(Pending p) {
+  host_.job_rejected(p.job, p.negotiations, p.messages);
+}
+
+void Gfa::receive(const Message& msg) {
+  GF_EXPECTS(msg.to == index_);
+  switch (msg.type) {
+    case MessageType::kNegotiate:
+      handle_negotiate(msg);
+      break;
+    case MessageType::kReply:
+      handle_reply(msg);
+      break;
+    case MessageType::kJobSubmission:
+      handle_submission(msg);
+      break;
+    case MessageType::kJobCompletion:
+      handle_completion(msg);
+      break;
+  }
+}
+
+void Gfa::handle_negotiate(const Message& msg) {
+  // Resource-manager side of admission control: ask the LRMS for the exact
+  // completion time; accept iff it honours the deadline.  On acceptance we
+  // reserve immediately so the guarantee stays binding until the job
+  // payload arrives.
+  const auto& cfg = host_.config();
+  const auto& own = lrms_.spec();
+  const cluster::Job& job = msg.job;
+
+  bool accept = job.processors <= own.processors;
+  sim::SimTime estimate = sim::kTimeInfinity;
+  if (accept) {
+    const sim::SimTime exec =
+        cluster::execution_time(job, host_.spec_of(job.origin), own);
+    // The job cannot start before its input data lands here (Eq. 1 volume
+    // over the WAN model; 0 under the paper's free-network assumption).
+    const sim::SimTime staged =
+        now() + host_.payload_staging_time(job, index_);
+    estimate = lrms_.estimate_completion(job, exec, staged);
+    if (cfg.enforce_deadline && estimate > job.absolute_deadline()) {
+      accept = false;
+    }
+    if (accept) {
+      const cluster::Reservation res = lrms_.submit(job, exec, staged);
+      ++remote_accepted_;
+      holds_.insert_or_assign(job.id, RemoteHold{res, false});
+      if (cfg.negotiate_timeout > 0.0) {
+        // If the payload never arrives (reply or submission lost), release
+        // the processors.  2x the enquiry timeout comfortably covers the
+        // origin's reply wait plus the submission leg.
+        simulation().schedule_in(2.0 * cfg.negotiate_timeout,
+                                 sim::EventPriority::kControl,
+                                 [this, id = job.id] { on_hold_timeout(id); });
+      }
+    }
+  }
+  host_.send(Message{MessageType::kReply, index_, msg.from, job, accept,
+                     estimate});
+}
+
+void Gfa::on_hold_timeout(cluster::JobId id) {
+  const auto it = holds_.find(id);
+  if (it == holds_.end()) return;      // completed (short job) — fine
+  if (it->second.submitted) return;    // payload arrived; hold is live
+  // Cancellation is only sound before the reservation starts.  If the
+  // phantom already started (reply lost + a fast queue), keep the hold in
+  // place: on_lrms_completion uses it to recognize the phantom and swallow
+  // the completion instead of mailing output nobody is waiting for.
+  if (now() <= it->second.reservation.start) {
+    lrms_.cancel(it->second.reservation);
+    holds_.erase(it);
+  }
+}
+
+void Gfa::handle_reply(const Message& msg) {
+  const auto it = pending_.find(msg.job.id);
+  if (it == pending_.end()) return;  // a timeout already abandoned this job
+  if (it->second.current_target != msg.from) return;  // stale (older enquiry)
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  p.current_target = kNoTarget;
+  ++p.messages;  // the reply we just received
+
+  if (!msg.accept) {
+    advance(std::move(p));  // continue the rank walk
+    return;
+  }
+  // Accepted: ship the job.  The remote reserved at negotiate time, so the
+  // submission is the payload transfer the ledger must count.
+  ++p.messages;
+  const double cost = economy::job_cost(p.job, host_.spec_of(p.job.origin),
+                                        host_.spec_of(msg.from),
+                                        host_.config().cost_model);
+  Message submission{MessageType::kJobSubmission, index_, msg.from, p.job,
+                     true, msg.completion_estimate};
+  awaiting_.emplace(p.job.id, Awaiting{std::move(p.job), p.negotiations,
+                                       p.messages, cost, msg.from});
+  host_.send(std::move(submission));
+}
+
+void Gfa::handle_submission(const Message& msg) {
+  // Payload arrival for a job reserved at negotiate-accept; the LRMS
+  // already has it.  Mark the hold live so its timeout (if armed) knows
+  // the reservation is backed by a real job.
+  GF_EXPECTS(msg.job.origin != index_);
+  const auto it = holds_.find(msg.job.id);
+  if (it != holds_.end()) it->second.submitted = true;
+}
+
+void Gfa::handle_completion(const Message& msg) {
+  finalize(msg.job.id, msg.from, msg.start_time, msg.completion_estimate);
+}
+
+void Gfa::on_lrms_completion(const cluster::CompletedJob& done) {
+  if (done.job.origin == index_) {
+    // Our own user's job finished here.
+    finalize(done.job.id, index_, done.reservation.start,
+             done.reservation.completion);
+    return;
+  }
+  // A remote job finished.  A hold whose payload never arrived (the reply
+  // was lost and its start slipped past the hold timeout's cancel window)
+  // is a phantom: it consumed the reservation but there is no one to send
+  // output to — the origin rescheduled elsewhere long ago.
+  const auto hold = holds_.find(done.job.id);
+  const bool phantom = hold != holds_.end() && !hold->second.submitted;
+  if (hold != holds_.end()) holds_.erase(hold);
+  if (phantom) return;
+  // Send the output home with the definite execution window.
+  host_.send(Message{MessageType::kJobCompletion, index_, done.job.origin,
+                     done.job, true, done.reservation.completion,
+                     done.reservation.start});
+}
+
+void Gfa::finalize(cluster::JobId id, cluster::ResourceIndex exec,
+                   sim::SimTime start, sim::SimTime completion) {
+  const auto it = awaiting_.find(id);
+  GF_EXPECTS(it != awaiting_.end());
+  Awaiting info = std::move(it->second);
+  awaiting_.erase(it);
+
+  JobOutcome outcome;
+  outcome.job = std::move(info.job);
+  outcome.accepted = true;
+  outcome.executed_on = exec;
+  outcome.start = start;
+  outcome.completion = completion;
+  outcome.cost = info.cost;
+  outcome.negotiations = info.negotiations;
+  // A migrated job's record gains the completion message that just
+  // arrived; local jobs finish without network traffic.
+  outcome.messages = info.messages + (exec == index_ ? 0 : 1);
+  host_.job_completed(outcome);
+}
+
+void Gfa::publish_load_hint() {
+  dir_.update_load_hint(index_, lrms_.instantaneous_load(), now());
+}
+
+}  // namespace gridfed::core

@@ -1,0 +1,179 @@
+#pragma once
+// GFA — the Grid Federation Agent (paper §2.0.3), the new RMS layer that
+// turns an autonomous cluster into a federation member.  It is a two-layer
+// system:
+//
+//  * the *distributed information manager* talks to the shared federation
+//    directory (subscribe/quote/query) to discover the r-th
+//    cheapest/fastest cluster for a job;
+//  * the *resource manager* performs local superscheduling, runs the
+//    admission-control negotiation with remote GFAs, and manages remote
+//    jobs on the local LRMS.
+//
+// Scheduling follows the paper's DBC algorithm (§2.2): walk the directory
+// ranking (cheapest order for OFC users, fastest for OFT), skip clusters
+// that statically cannot satisfy the job (too small, or the quoted price
+// would blow the budget — both computable from the quote alone), negotiate
+// the deadline guarantee with the rest, and dispatch to the first
+// accepting cluster; a job whose every rank fails is dropped.
+//
+// Admission control: the remote resource manager asks its LRMS for an
+// exact completion-time estimate; on acceptance it *reserves* the
+// processors immediately, which is what makes the returned guarantee
+// binding even with nonzero message latency.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cluster/lrms.hpp"
+#include "core/config.hpp"
+#include "core/message.hpp"
+#include "core/outcome.hpp"
+#include "directory/federation_directory.hpp"
+#include "sim/entity.hpp"
+
+namespace gridfed::core {
+
+/// Environment a GFA operates in, implemented by the Federation driver:
+/// message routing, the peer catalog, configuration, and outcome sinks.
+class GfaHost {
+ public:
+  virtual ~GfaHost() = default;
+
+  /// Routes a message to its destination GFA (records it in the message
+  /// ledger and applies the configured network latency).
+  virtual void send(Message msg) = 0;
+
+  /// Resource description of any federation member.
+  [[nodiscard]] virtual const cluster::ResourceSpec& spec_of(
+      cluster::ResourceIndex index) const = 0;
+
+  [[nodiscard]] virtual const FederationConfig& config() const = 0;
+
+  /// Staging delay before `job`'s input data is available at `site`
+  /// (0 without the WAN model or for the job's own origin).  The remote
+  /// resource manager folds this into its admission estimate — a job
+  /// cannot start before its data lands (Eq. 1).
+  [[nodiscard]] virtual sim::SimTime payload_staging_time(
+      const cluster::Job& job, cluster::ResourceIndex site) const = 0;
+
+  /// A job finished (successfully scheduled earlier).
+  virtual void job_completed(const JobOutcome& outcome) = 0;
+
+  /// A job was dropped: no cluster in the federation could satisfy it.
+  virtual void job_rejected(const cluster::Job& job,
+                            std::uint32_t negotiations,
+                            std::uint64_t messages) = 0;
+};
+
+/// The Grid Federation Agent for one cluster.
+class Gfa : public sim::Entity {
+ public:
+  Gfa(sim::Simulation& sim, sim::EntityId id, cluster::ResourceIndex index,
+      cluster::Lrms& lrms, directory::FederationDirectory& dir, GfaHost& host);
+
+  [[nodiscard]] cluster::ResourceIndex index() const noexcept {
+    return index_;
+  }
+  [[nodiscard]] cluster::Lrms& lrms() noexcept { return lrms_; }
+  [[nodiscard]] const cluster::Lrms& lrms() const noexcept { return lrms_; }
+
+  /// Entry point for the local user population: schedule this job per the
+  /// configured mode.  Must be invoked at job.submit (the federation
+  /// driver schedules the arrival event).
+  void submit_local(cluster::Job job);
+
+  /// Message delivery (called by the host's router).
+  void receive(const Message& msg);
+
+  /// Wired by the federation driver to the LRMS completion callback.
+  void on_lrms_completion(const cluster::CompletedJob& done);
+
+  /// Publishes the current instantaneous load into the directory (the
+  /// §2.3 coordination extension; driven periodically by the federation).
+  void publish_load_hint();
+
+  /// Jobs this GFA accepted on behalf of remote GFAs (Table 3's "remote
+  /// jobs processed" is derived from outcomes; this counter cross-checks).
+  [[nodiscard]] std::uint64_t remote_jobs_accepted() const noexcept {
+    return remote_accepted_;
+  }
+
+ private:
+  /// In-flight scheduling state for a job this GFA originated.
+  struct Pending {
+    cluster::Job job;
+    std::uint32_t next_rank = 1;     ///< next directory rank to try
+    std::uint32_t negotiations = 0;  ///< remote enquiries so far
+    std::uint64_t messages = 0;      ///< protocol messages so far
+    /// The GFA currently being negotiated with (kNoTarget = none).  Used
+    /// to discard stale replies after a timeout abandoned the enquiry.
+    cluster::ResourceIndex current_target = kNoTarget;
+    /// Monotone enquiry counter so a timeout only fires for its own
+    /// enquiry, never a later one.
+    std::uint64_t attempt = 0;
+  };
+  static constexpr cluster::ResourceIndex kNoTarget =
+      static_cast<cluster::ResourceIndex>(-1);
+
+  /// A reservation held on behalf of a remote GFA between negotiate-accept
+  /// and payload arrival (cancelled if the payload never comes).
+  struct RemoteHold {
+    cluster::Reservation reservation;
+    bool submitted = false;
+  };
+  /// A scheduled job awaiting its completion notification.
+  struct Awaiting {
+    cluster::Job job;
+    std::uint32_t negotiations = 0;
+    std::uint64_t messages = 0;
+    double cost = 0.0;
+    cluster::ResourceIndex exec = 0;
+  };
+
+  // -- origin-side scheduling -------------------------------------------
+  void advance(Pending p);
+  void schedule_economy(Pending p);
+  void schedule_no_economy(Pending p);
+  void schedule_independent(Pending p);
+  /// True when this cluster can complete the job within its deadline.
+  [[nodiscard]] bool local_deadline_ok(const cluster::Job& job) const;
+  /// Reserves the job on the local LRMS and records it as awaiting.
+  void execute_here(Pending p);
+  void reject(Pending p);
+
+  /// Cost of running `job` on the cluster advertised by `quote` (uses only
+  /// information the quote carries — this is the static budget check a GFA
+  /// can do without any negotiation).
+  [[nodiscard]] double cost_from_quote(const cluster::Job& job,
+                                       const directory::Quote& quote) const;
+
+  /// Sends the enquiry to `target` and parks the job in pending_; arms the
+  /// reply timeout when the config enables it.
+  void send_negotiate(Pending p, cluster::ResourceIndex target);
+  /// Fires when no reply arrived in time: abandon the enquiry, walk on.
+  void on_negotiate_timeout(cluster::JobId id, std::uint64_t attempt);
+  /// Fires when a held reservation saw no payload: cancel it.
+  void on_hold_timeout(cluster::JobId id);
+
+  // -- message handlers ---------------------------------------------------
+  void handle_negotiate(const Message& msg);
+  void handle_reply(const Message& msg);
+  void handle_submission(const Message& msg);
+  void handle_completion(const Message& msg);
+
+  void finalize(cluster::JobId id, cluster::ResourceIndex exec,
+                sim::SimTime start, sim::SimTime completion);
+
+  cluster::ResourceIndex index_;
+  cluster::Lrms& lrms_;
+  directory::FederationDirectory& dir_;
+  GfaHost& host_;
+
+  std::unordered_map<cluster::JobId, Pending> pending_;
+  std::unordered_map<cluster::JobId, Awaiting> awaiting_;
+  std::unordered_map<cluster::JobId, RemoteHold> holds_;
+  std::uint64_t remote_accepted_ = 0;
+};
+
+}  // namespace gridfed::core

@@ -1,0 +1,45 @@
+#include "core/message.hpp"
+
+#include "sim/check.hpp"
+
+namespace gridfed::core {
+
+MessageLedger::MessageLedger(std::size_t n_gfas)
+    : local_(n_gfas, 0), remote_(n_gfas, 0) {
+  GF_EXPECTS(n_gfas > 0);
+}
+
+void MessageLedger::record(const Message& msg) {
+  GF_EXPECTS(msg.from < local_.size() && msg.to < local_.size());
+  GF_EXPECTS(msg.from != msg.to);  // self-messages are free (no network)
+  const cluster::ResourceIndex origin = msg.job.origin;
+  // The origin endpoint books the message as local scheduling work; the
+  // counterpart books it as remote.  Exactly one endpoint is the origin:
+  // every protocol message has the origin GFA on one side.
+  const cluster::ResourceIndex other = (msg.from == origin) ? msg.to : msg.from;
+  GF_EXPECTS(msg.from == origin || msg.to == origin);
+  local_[origin] += 1;
+  remote_[other] += 1;
+  by_type_[static_cast<std::size_t>(msg.type)] += 1;
+  total_ += 1;
+}
+
+std::uint64_t MessageLedger::local_at(cluster::ResourceIndex gfa) const {
+  GF_EXPECTS(gfa < local_.size());
+  return local_[gfa];
+}
+
+std::uint64_t MessageLedger::remote_at(cluster::ResourceIndex gfa) const {
+  GF_EXPECTS(gfa < remote_.size());
+  return remote_[gfa];
+}
+
+std::uint64_t MessageLedger::total_at(cluster::ResourceIndex gfa) const {
+  return local_at(gfa) + remote_at(gfa);
+}
+
+std::uint64_t MessageLedger::count_of(MessageType t) const {
+  return by_type_[static_cast<std::size_t>(t)];
+}
+
+}  // namespace gridfed::core

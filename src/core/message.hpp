@@ -1,0 +1,97 @@
+#pragma once
+// Inter-GFA scheduling messages and their accounting.
+//
+// The paper's protocol uses four message types (§3.5): `negotiate` (the
+// admission-control enquiry), `reply` (accept/reject with the completion
+// guarantee), `job-submission` (the job itself) and `job-completion` (the
+// output coming home).  Experiments 4 and 5 are entirely about counting
+// these messages, split per the paper's definition:
+//
+//   * a message is *local* at the GFA whose own job it concerns (the
+//     home/origin GFA scheduling its user's job), and
+//   * *remote* at the counterpart GFA (working on a foreigner's job).
+//
+// Every message therefore contributes exactly one local count and one
+// remote count; federation-wide, sum(local) == sum(remote) == total
+// messages (the Fig 9(c) series counts each message once).
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/job.hpp"
+#include "cluster/resource.hpp"
+#include "sim/types.hpp"
+
+namespace gridfed::core {
+
+/// The four scheduling message types of §3.5.
+enum class MessageType : std::uint8_t {
+  kNegotiate,      ///< admission-control enquiry (can you meet s+d?)
+  kReply,          ///< accept/reject + completion-time guarantee
+  kJobSubmission,  ///< the job payload
+  kJobCompletion,  ///< the job output returning to the origin
+};
+
+[[nodiscard]] constexpr const char* to_string(MessageType t) noexcept {
+  switch (t) {
+    case MessageType::kNegotiate:
+      return "negotiate";
+    case MessageType::kReply:
+      return "reply";
+    case MessageType::kJobSubmission:
+      return "job-submission";
+    case MessageType::kJobCompletion:
+      return "job-completion";
+  }
+  return "?";
+}
+
+/// One inter-GFA message.  The full Job rides along: negotiate needs the
+/// QoS parameters for the remote estimate, submission needs the payload,
+/// and reply/completion use it for identification/accounting.
+struct Message {
+  MessageType type = MessageType::kNegotiate;
+  cluster::ResourceIndex from = 0;
+  cluster::ResourceIndex to = 0;
+  cluster::Job job;
+
+  // Reply payload.
+  bool accept = false;
+  sim::SimTime completion_estimate = 0.0;
+
+  // Job-completion payload: the definite execution window, so the origin
+  // records the true completion instant rather than the (latency-delayed)
+  // arrival of this message.
+  sim::SimTime start_time = 0.0;
+};
+
+/// Per-GFA local/remote message counters plus per-type totals.
+class MessageLedger {
+ public:
+  explicit MessageLedger(std::size_t n_gfas);
+
+  /// Records one message.  Classification: the endpoint that equals
+  /// msg.job.origin counts it as local traffic, the other as remote.
+  void record(const Message& msg);
+
+  [[nodiscard]] std::uint64_t local_at(cluster::ResourceIndex gfa) const;
+  [[nodiscard]] std::uint64_t remote_at(cluster::ResourceIndex gfa) const;
+
+  /// local + remote at one GFA (the Fig 11 per-GFA series).
+  [[nodiscard]] std::uint64_t total_at(cluster::ResourceIndex gfa) const;
+
+  /// Federation-wide message count (each message counted once).
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  [[nodiscard]] std::uint64_t count_of(MessageType t) const;
+
+  [[nodiscard]] std::size_t gfas() const noexcept { return local_.size(); }
+
+ private:
+  std::vector<std::uint64_t> local_;
+  std::vector<std::uint64_t> remote_;
+  std::uint64_t by_type_[4] = {0, 0, 0, 0};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace gridfed::core

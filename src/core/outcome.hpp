@@ -1,0 +1,46 @@
+#pragma once
+// Per-job outcome records.  The federation driver collects one JobOutcome
+// per trace job; every table and figure of the evaluation is an
+// aggregation over these records.
+
+#include <cstdint>
+
+#include "cluster/job.hpp"
+#include "cluster/resource.hpp"
+#include "sim/types.hpp"
+
+namespace gridfed::core {
+
+/// Final fate of one job.
+struct JobOutcome {
+  cluster::Job job;
+  bool accepted = false;
+
+  // Valid when accepted:
+  cluster::ResourceIndex executed_on = 0;
+  sim::SimTime start = 0.0;
+  sim::SimTime completion = 0.0;
+  double cost = 0.0;  ///< Grid Dollars settled
+
+  /// Remote negotiate rounds performed (accepted + rejected enquiries).
+  std::uint32_t negotiations = 0;
+  /// Protocol messages attributable to this job
+  /// (2 * negotiations [+ submission + completion when migrated]).
+  std::uint64_t messages = 0;
+
+  /// Response time experienced by the user (queue wait + execution).
+  [[nodiscard]] sim::SimTime response_time() const noexcept {
+    return completion - job.submit;
+  }
+  /// True when the job ran on a cluster other than its origin.
+  [[nodiscard]] bool migrated() const noexcept {
+    return accepted && executed_on != job.origin;
+  }
+  /// QoS verdict: completed within both deadline and budget (paper §2.1).
+  [[nodiscard]] bool qos_satisfied() const noexcept {
+    return accepted && completion <= job.absolute_deadline() &&
+           cost <= job.budget;
+  }
+};
+
+}  // namespace gridfed::core

@@ -1,0 +1,93 @@
+#pragma once
+// Aggregated results of one federation run.  Every table/figure bench is a
+// projection of these records (see DESIGN.md §2 for the mapping).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "directory/query_cost.hpp"
+#include "stats/accumulator.hpp"
+
+namespace gridfed::core {
+
+/// Per-resource statistics (one row of Tables 2/3; one bar of Figs 2-9).
+struct ResourceStats {
+  std::string name;
+
+  // Job accounting for jobs *originating* here.
+  std::uint32_t total_jobs = 0;
+  std::uint32_t accepted = 0;
+  std::uint32_t rejected = 0;
+  std::uint32_t processed_locally = 0;  ///< origin == executor == here
+  std::uint32_t migrated = 0;           ///< originated here, executed away
+
+  /// Jobs executed here on behalf of other clusters (Table 3 last column,
+  /// Fig 3(b)).
+  std::uint32_t remote_processed = 0;
+
+  /// Mean utilization over the experiment window, fraction in [0, 1].
+  double utilization = 0.0;
+
+  /// Grid Dollars earned by this owner (Fig 3(a)).
+  double incentive = 0.0;
+  /// Grid Dollars spent by users whose home is this cluster.
+  double spent_by_home = 0.0;
+
+  // User QoS metrics for jobs originating here (Figs 7/8): excluding
+  // rejected jobs, and including them at their origin-cluster estimate.
+  stats::Accumulator response_excl;
+  stats::Accumulator budget_excl;
+  stats::Accumulator response_incl;
+  stats::Accumulator budget_incl;
+
+  // Message split at this GFA (Fig 9).
+  std::uint64_t local_messages = 0;
+  std::uint64_t remote_messages = 0;
+
+  [[nodiscard]] double acceptance_pct() const noexcept {
+    return total_jobs ? 100.0 * accepted / total_jobs : 0.0;
+  }
+  [[nodiscard]] double rejection_pct() const noexcept {
+    return total_jobs ? 100.0 * rejected / total_jobs : 0.0;
+  }
+};
+
+/// Whole-run aggregate.
+struct FederationResult {
+  SchedulingMode mode = SchedulingMode::kEconomy;
+  std::uint32_t oft_percent = 0;  ///< population profile of this run
+  std::size_t system_size = 0;
+
+  std::vector<ResourceStats> resources;
+
+  // Message complexity (Experiments 4/5).
+  stats::Accumulator msgs_per_job;          ///< over every originated job
+  stats::Accumulator negotiations_per_job;  ///< remote enquiries per job
+  stats::Accumulator msgs_per_gfa;          ///< local+remote per GFA
+  std::uint64_t total_messages = 0;
+  std::uint64_t messages_by_type[4] = {0, 0, 0, 0};
+  directory::DirectoryTraffic directory_traffic;
+
+  // Economy aggregate.
+  double total_incentive = 0.0;
+
+  // Federation-wide user QoS.
+  stats::Accumulator fed_response_excl;
+  stats::Accumulator fed_budget_excl;
+  stats::Accumulator fed_response_incl;
+  stats::Accumulator fed_budget_incl;
+
+  std::uint64_t total_jobs = 0;
+  std::uint64_t total_accepted = 0;
+  std::uint64_t total_rejected = 0;
+
+  [[nodiscard]] double acceptance_pct() const noexcept {
+    return total_jobs ? 100.0 * static_cast<double>(total_accepted) /
+                            static_cast<double>(total_jobs)
+                      : 0.0;
+  }
+};
+
+}  // namespace gridfed::core

@@ -1,0 +1,64 @@
+#include "core/trace_export.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "stats/csv.hpp"
+#include "stats/table.hpp"
+
+namespace gridfed::core {
+
+std::vector<std::string> outcome_csv_header() {
+  return {"job",         "origin",     "user",        "processors",
+          "length_mi",   "submit",     "deadline",    "budget",
+          "optimization", "accepted",  "executed_on", "start",
+          "completion",  "response",   "cost",        "negotiations",
+          "messages",    "qos_satisfied"};
+}
+
+std::vector<std::string> outcome_csv_row(const JobOutcome& o) {
+  const auto& j = o.job;
+  return {std::to_string(j.id),
+          std::to_string(j.origin),
+          std::to_string(j.user),
+          std::to_string(j.processors),
+          stats::Table::num(j.length_mi, 0),
+          stats::Table::num(j.submit, 3),
+          stats::Table::num(j.deadline, 3),
+          stats::Table::num(j.budget, 3),
+          j.opt == cluster::Optimization::kTime ? "OFT" : "OFC",
+          o.accepted ? "1" : "0",
+          o.accepted ? std::to_string(o.executed_on) : "",
+          o.accepted ? stats::Table::num(o.start, 3) : "",
+          o.accepted ? stats::Table::num(o.completion, 3) : "",
+          o.accepted ? stats::Table::num(o.response_time(), 3) : "",
+          o.accepted ? stats::Table::num(o.cost, 3) : "",
+          std::to_string(o.negotiations),
+          std::to_string(o.messages),
+          o.qos_satisfied() ? "1" : "0"};
+}
+
+void write_outcomes_csv(std::ostream& out,
+                        const std::vector<JobOutcome>& outcomes) {
+  auto emit = [&out](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out << ',';
+      out << stats::CsvWriter::escape(cells[i]);
+    }
+    out << '\n';
+  };
+  emit(outcome_csv_header());
+  for (const auto& o : outcomes) emit(outcome_csv_row(o));
+}
+
+void save_outcomes_csv(const std::string& path,
+                       const std::vector<JobOutcome>& outcomes) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("save_outcomes_csv: cannot open " + path);
+  }
+  write_outcomes_csv(out, outcomes);
+}
+
+}  // namespace gridfed::core

@@ -1,0 +1,30 @@
+#pragma once
+// Outcome export.  Research workflows want the raw per-job records, not
+// just the aggregated tables: this writes the full JobOutcome set as CSV
+// (one row per job) so schedules can be re-analyzed or re-plotted without
+// re-running the simulation.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/outcome.hpp"
+
+namespace gridfed::core {
+
+/// Column header of the outcome CSV (stable, documented order).
+[[nodiscard]] std::vector<std::string> outcome_csv_header();
+
+/// One outcome as CSV cells, matching outcome_csv_header().
+[[nodiscard]] std::vector<std::string> outcome_csv_row(
+    const JobOutcome& outcome);
+
+/// Writes header + all outcomes to `out` as RFC-4180 CSV.
+void write_outcomes_csv(std::ostream& out,
+                        const std::vector<JobOutcome>& outcomes);
+
+/// Convenience file writer; throws std::runtime_error on failure.
+void save_outcomes_csv(const std::string& path,
+                       const std::vector<JobOutcome>& outcomes);
+
+}  // namespace gridfed::core

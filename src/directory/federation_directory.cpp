@@ -1,0 +1,122 @@
+#include "directory/federation_directory.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace gridfed::directory {
+
+namespace {
+// Locates a quote by resource index; returns quotes.size() when absent.
+std::size_t find_quote(const std::vector<Quote>& quotes,
+                       cluster::ResourceIndex resource) {
+  for (std::size_t i = 0; i < quotes.size(); ++i) {
+    if (quotes[i].resource == resource) return i;
+  }
+  return quotes.size();
+}
+}  // namespace
+
+void FederationDirectory::subscribe(const Quote& quote) {
+  const std::size_t pos = find_quote(quotes_, quote.resource);
+  if (pos < quotes_.size()) {
+    quotes_[pos] = quote;
+  } else {
+    quotes_.push_back(quote);
+  }
+  traffic_.publishes += 1;
+  traffic_.publish_messages += publish_message_cost(quotes_.size());
+  invalidate();
+}
+
+void FederationDirectory::unsubscribe(cluster::ResourceIndex resource) {
+  const std::size_t pos = find_quote(quotes_, resource);
+  GF_EXPECTS(pos < quotes_.size());
+  quotes_.erase(quotes_.begin() + static_cast<std::ptrdiff_t>(pos));
+  traffic_.publishes += 1;
+  traffic_.publish_messages += publish_message_cost(quotes_.size() + 1);
+  invalidate();
+}
+
+void FederationDirectory::update_price(cluster::ResourceIndex resource,
+                                       double price) {
+  const std::size_t pos = find_quote(quotes_, resource);
+  GF_EXPECTS(pos < quotes_.size());
+  quotes_[pos].price = price;
+  traffic_.publishes += 1;
+  traffic_.publish_messages += publish_message_cost(quotes_.size());
+  invalidate();
+}
+
+void FederationDirectory::update_load_hint(cluster::ResourceIndex resource,
+                                           double load, sim::SimTime now) {
+  const std::size_t pos = find_quote(quotes_, resource);
+  GF_EXPECTS(pos < quotes_.size());
+  quotes_[pos].load_hint = load;
+  quotes_[pos].hint_time = now;
+  traffic_.publishes += 1;
+  traffic_.publish_messages += publish_message_cost(quotes_.size());
+  // Load refreshes do not change price/speed rankings.
+}
+
+void FederationDirectory::rebuild_rankings() const {
+  by_price_.resize(quotes_.size());
+  by_speed_.resize(quotes_.size());
+  for (std::size_t i = 0; i < quotes_.size(); ++i) {
+    by_price_[i] = i;
+    by_speed_[i] = i;
+  }
+  std::sort(by_price_.begin(), by_price_.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (quotes_[a].price != quotes_[b].price)
+                return quotes_[a].price < quotes_[b].price;
+              return quotes_[a].resource < quotes_[b].resource;
+            });
+  std::sort(by_speed_.begin(), by_speed_.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (quotes_[a].mips != quotes_[b].mips)
+                return quotes_[a].mips > quotes_[b].mips;
+              return quotes_[a].resource < quotes_[b].resource;
+            });
+  rankings_valid_ = true;
+}
+
+std::optional<Quote> FederationDirectory::query(OrderBy order,
+                                                std::uint32_t r) {
+  GF_EXPECTS(r >= 1);
+  traffic_.queries += 1;
+  traffic_.query_messages += query_message_cost(std::max<std::size_t>(
+      quotes_.size(), 1));
+  if (r > quotes_.size()) return std::nullopt;
+  if (!rankings_valid_) rebuild_rankings();
+  const auto& ranking =
+      order == OrderBy::kCheapest ? by_price_ : by_speed_;
+  return quotes_[ranking[r - 1]];
+}
+
+std::optional<Quote> FederationDirectory::query_filtered(
+    OrderBy order, std::uint32_t r, double load_threshold) {
+  GF_EXPECTS(r >= 1);
+  traffic_.queries += 1;
+  traffic_.query_messages += query_message_cost(std::max<std::size_t>(
+      quotes_.size(), 1));
+  if (!rankings_valid_) rebuild_rankings();
+  const auto& ranking =
+      order == OrderBy::kCheapest ? by_price_ : by_speed_;
+  std::uint32_t seen = 0;
+  for (const std::size_t idx : ranking) {
+    const Quote& q = quotes_[idx];
+    if (q.has_load_hint() && q.load_hint > load_threshold) continue;
+    if (++seen == r) return q;
+  }
+  return std::nullopt;
+}
+
+std::optional<Quote> FederationDirectory::peek(
+    cluster::ResourceIndex resource) const {
+  const std::size_t pos = find_quote(quotes_, resource);
+  if (pos == quotes_.size()) return std::nullopt;
+  return quotes_[pos];
+}
+
+}  // namespace gridfed::directory

@@ -1,0 +1,76 @@
+#pragma once
+// The shared federation directory (paper Fig. 1).  A decentralized
+// database of quotes supporting the four primitives subscribe / quote /
+// unsubscribe / query; gridfed simulates it as a consistent in-process
+// index while metering message costs under the O(log n) overlay model
+// (see query_cost.hpp).  "Query" answers the superscheduler's central
+// question: *which is the r-th cheapest (or fastest) cluster?*
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "directory/query_cost.hpp"
+#include "directory/quote.hpp"
+#include "sim/types.hpp"
+
+namespace gridfed::directory {
+
+/// Decentralized quote index with ranked queries.
+///
+/// Rankings are total orders: price ties (and MIPS ties between replicas)
+/// break by resource index, so walks are deterministic.
+class FederationDirectory {
+ public:
+  /// subscribe — a GFA joins the federation and publishes its quote.
+  /// Re-subscribing an existing resource refreshes its quote.
+  void subscribe(const Quote& quote);
+
+  /// unsubscribe — removes the resource's advertisement.
+  void unsubscribe(cluster::ResourceIndex resource);
+
+  /// quote — refreshes the advertised price (owner repricing; used by the
+  /// dynamic-pricing extension).
+  void update_price(cluster::ResourceIndex resource, double price);
+
+  /// Coordination extension (paper §2.3): refreshes the advertised load.
+  void update_load_hint(cluster::ResourceIndex resource, double load,
+                        sim::SimTime now);
+
+  /// query — the r-th best quote under `order` (r is 1-based, the paper's
+  /// "r-th cheapest / r-th fastest").  Meters one O(log n) query.
+  /// Returns nullopt when r exceeds the number of subscribed resources.
+  [[nodiscard]] std::optional<Quote> query(OrderBy order, std::uint32_t r);
+
+  /// Like query(), but skips resources whose advertised load exceeds
+  /// `load_threshold` (resources without a hint are never skipped).  The
+  /// coordination extension uses this to avoid negotiating with saturated
+  /// sites.  Rank r counts *after* filtering.
+  [[nodiscard]] std::optional<Quote> query_filtered(OrderBy order,
+                                                    std::uint32_t r,
+                                                    double load_threshold);
+
+  /// Current quote of one resource (no message cost: local cache peek).
+  [[nodiscard]] std::optional<Quote> peek(
+      cluster::ResourceIndex resource) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return quotes_.size(); }
+
+  /// Overlay traffic metered so far.
+  [[nodiscard]] const DirectoryTraffic& traffic() const noexcept {
+    return traffic_;
+  }
+  void reset_traffic() noexcept { traffic_ = {}; }
+
+ private:
+  void invalidate() noexcept { rankings_valid_ = false; }
+  void rebuild_rankings() const;
+
+  std::vector<Quote> quotes_;  // unordered storage
+  mutable std::vector<std::size_t> by_price_;  // indices into quotes_
+  mutable std::vector<std::size_t> by_speed_;
+  mutable bool rankings_valid_ = false;
+  DirectoryTraffic traffic_;
+};
+
+}  // namespace gridfed::directory

@@ -1,0 +1,16 @@
+#include "directory/query_cost.hpp"
+
+#include <bit>
+
+namespace gridfed::directory {
+
+std::uint64_t query_message_cost(std::size_t n) noexcept {
+  if (n <= 2) return 1;
+  return std::bit_width(n - 1);  // ceil(log2 n)
+}
+
+std::uint64_t publish_message_cost(std::size_t n) noexcept {
+  return query_message_cost(n);
+}
+
+}  // namespace gridfed::directory

@@ -1,0 +1,34 @@
+#pragma once
+// Directory message-cost model.  The paper assumes the shared federation
+// directory is realized over a structured P2P overlay (Pastry/MAAN-like)
+// where a query resolves in O(log n) routing hops, and its experiments
+// count only the *scheduling* messages on top of that.  gridfed meters
+// directory traffic under the same O(log n) model in a separate ledger so
+// the coordination ablation (X2) can reason about total network cost.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gridfed::directory {
+
+/// Messages consumed by one directory query against an n-GFA federation:
+/// ceil(log2 n), minimum 1 (the paper's O(log n) assumption, [15]).
+[[nodiscard]] std::uint64_t query_message_cost(std::size_t n) noexcept;
+
+/// Messages consumed by publishing/refreshing a quote: same routing cost
+/// as a query (one overlay insertion).
+[[nodiscard]] std::uint64_t publish_message_cost(std::size_t n) noexcept;
+
+/// Running totals of overlay traffic.
+struct DirectoryTraffic {
+  std::uint64_t queries = 0;
+  std::uint64_t publishes = 0;
+  std::uint64_t query_messages = 0;
+  std::uint64_t publish_messages = 0;
+
+  [[nodiscard]] std::uint64_t total_messages() const noexcept {
+    return query_messages + publish_messages;
+  }
+};
+
+}  // namespace gridfed::directory

@@ -1,0 +1,4 @@
+#include "directory/quote.hpp"
+
+// Quote is a plain aggregate; TU anchors the module's object file.
+namespace gridfed::directory {}

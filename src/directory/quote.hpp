@@ -1,0 +1,46 @@
+#pragma once
+// Resource quotes.  A quote is the advertisement a GFA publishes into the
+// shared federation directory (paper §2.0.3): the resource description R_i
+// together with the owner-configured access price c_i.  The optional load
+// hint implements the paper's future-work coordination extension (§2.3):
+// agents may refresh their advertised utilization so other agents can skip
+// saturated sites without a negotiation round-trip.
+
+#include <cstdint>
+
+#include "cluster/resource.hpp"
+#include "sim/types.hpp"
+
+namespace gridfed::directory {
+
+/// A GFA's advertisement in the federation directory.
+struct Quote {
+  cluster::ResourceIndex resource = 0;
+  double price = 0.0;            ///< c_i, Grid Dollars per unit time
+  double mips = 0.0;             ///< mu_i
+  std::uint32_t processors = 0;  ///< p_i
+  double bandwidth = 0.0;        ///< gamma_i
+
+  /// Coordination extension: advertised instantaneous load in [0, 1]
+  /// (fraction of processors committed).  Negative = no hint published.
+  double load_hint = -1.0;
+  /// When the hint was last refreshed (staleness diagnostics).
+  sim::SimTime hint_time = 0.0;
+
+  [[nodiscard]] bool has_load_hint() const noexcept { return load_hint >= 0.0; }
+
+  /// Builds the static part of a quote from a resource spec.
+  [[nodiscard]] static Quote from_spec(cluster::ResourceIndex index,
+                                       const cluster::ResourceSpec& spec) {
+    return Quote{index, spec.quote, spec.mips, spec.processors,
+                 spec.bandwidth, -1.0, 0.0};
+  }
+};
+
+/// Ranking criteria the directory can answer "r-th best" queries for.
+enum class OrderBy : std::uint8_t {
+  kCheapest,  ///< ascending price (OFC walks this order)
+  kFastest,   ///< descending MIPS (OFT walks this order)
+};
+
+}  // namespace gridfed::directory

@@ -1,0 +1,28 @@
+#include "economy/cost_model.hpp"
+
+#include "sim/check.hpp"
+
+namespace gridfed::economy {
+
+double job_cost(const cluster::Job& job, const cluster::ResourceSpec& origin,
+                const cluster::ResourceSpec& exec, CostModel model) noexcept {
+  switch (model) {
+    case CostModel::kComputeOnly:
+      return cluster::compute_only_cost(job, exec);
+    case CostModel::kWallTime:
+      return cluster::wall_time_cost(job, origin, exec);
+    case CostModel::kPerMi:
+    default:
+      return exec.quote * job.length_mi / kMiPerChargeUnit;
+  }
+}
+
+void fabricate_qos(cluster::Job& job, const cluster::ResourceSpec& origin,
+                   CostModel model, const QosFactors& factors) {
+  GF_EXPECTS(factors.budget_factor > 0.0 && factors.deadline_factor > 0.0);
+  job.budget = factors.budget_factor * job_cost(job, origin, origin, model);
+  job.deadline =
+      factors.deadline_factor * cluster::execution_time(job, origin, origin);
+}
+
+}  // namespace gridfed::economy

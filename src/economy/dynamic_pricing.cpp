@@ -1,0 +1,28 @@
+#include "economy/dynamic_pricing.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace gridfed::economy {
+
+DynamicPricer::DynamicPricer(double initial_quote, DynamicPricingConfig config)
+    : initial_(initial_quote), quote_(initial_quote), config_(config) {
+  GF_EXPECTS(initial_quote > 0.0);
+  GF_EXPECTS(config_.eta >= 0.0);
+  GF_EXPECTS(config_.floor_factor > 0.0 &&
+             config_.floor_factor <= config_.ceiling_factor);
+  GF_EXPECTS(config_.period > 0.0);
+}
+
+double DynamicPricer::reprice(double recent_load) {
+  GF_EXPECTS(recent_load >= 0.0 && recent_load <= 1.0);
+  const double raw =
+      quote_ * (1.0 + config_.eta * (recent_load - config_.target_load));
+  quote_ = std::clamp(raw, initial_ * config_.floor_factor,
+                      initial_ * config_.ceiling_factor);
+  ++steps_;
+  return quote_;
+}
+
+}  // namespace gridfed::economy

@@ -1,0 +1,52 @@
+#pragma once
+// Dynamic supply/demand pricing — the paper's future work (§5: "study ...
+// how pricing policies for resources leads to varied utility of the
+// system").  gridfed ships a simple tatonnement-style controller: each
+// owner periodically adjusts its quote toward a utilization target,
+//
+//     c_i  <-  clamp(c_i * (1 + eta * (util_i - target)), floor, ceiling)
+//
+// so overloaded (popular) resources become more expensive and idle ones
+// cheaper, spreading demand.  bench_ablation_dynamic_pricing compares this
+// against the paper's static quotes.
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/resource.hpp"
+
+namespace gridfed::economy {
+
+/// Controller parameters.
+struct DynamicPricingConfig {
+  double eta = 0.5;          ///< adjustment gain per repricing period
+  double target_load = 0.7;  ///< utilization the owner aims for
+  double floor_factor = 0.25;   ///< min quote = factor * initial quote
+  double ceiling_factor = 4.0;  ///< max quote = factor * initial quote
+  double period = 3600.0;       ///< repricing interval (simulated seconds)
+};
+
+/// Per-resource multiplicative price controller.
+class DynamicPricer {
+ public:
+  DynamicPricer(double initial_quote, DynamicPricingConfig config);
+
+  /// One repricing step given the resource's recent load in [0, 1];
+  /// returns the new quote.
+  double reprice(double recent_load);
+
+  [[nodiscard]] double quote() const noexcept { return quote_; }
+  [[nodiscard]] double initial_quote() const noexcept { return initial_; }
+  [[nodiscard]] std::uint64_t steps() const noexcept { return steps_; }
+  [[nodiscard]] const DynamicPricingConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  double initial_;
+  double quote_;
+  DynamicPricingConfig config_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace gridfed::economy

@@ -1,0 +1,28 @@
+#include "economy/pricing.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace gridfed::economy {
+
+double quote_for(double mips, double access_price, double max_mips) noexcept {
+  return access_price / max_mips * mips;
+}
+
+void apply_commodity_pricing(std::span<cluster::ResourceSpec> specs,
+                             double access_price) {
+  GF_EXPECTS(!specs.empty());
+  const double max_mips =
+      std::max_element(specs.begin(), specs.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.mips < b.mips;
+                       })
+          ->mips;
+  GF_EXPECTS(max_mips > 0.0);
+  for (auto& spec : specs) {
+    spec.quote = quote_for(spec.mips, access_price, max_mips);
+  }
+}
+
+}  // namespace gridfed::economy

@@ -1,0 +1,32 @@
+#pragma once
+// Commodity-market pricing (paper Eqs. 5/6).  Every resource owner prices
+// access proportionally to speed: c_i = (c / mu_max) * mu_i, where c is the
+// access price of the fastest resource in the federation.  With the
+// paper's configuration (c = 5.3 Grid Dollars, mu_max = 930 MIPS) this
+// reproduces every quote in Table 1 to the printed precision.
+
+#include <span>
+
+#include "cluster/resource.hpp"
+
+namespace gridfed::economy {
+
+/// The paper's access price of the fastest resource (NASA iPSC).
+inline constexpr double kDefaultAccessPrice = 5.3;
+
+/// The paper's fastest MIPS rating (NASA iPSC).
+inline constexpr double kDefaultMaxMips = 930.0;
+
+/// Eq. 6: quote for a resource of speed `mips` given the federation's
+/// fastest speed and its access price.
+[[nodiscard]] double quote_for(double mips,
+                               double access_price = kDefaultAccessPrice,
+                               double max_mips = kDefaultMaxMips) noexcept;
+
+/// Applies Eq. 6 across a federation: mu_max is taken from the specs
+/// themselves, `access_price` is the price of that fastest resource.
+/// Overwrites each spec's quote.
+void apply_commodity_pricing(std::span<cluster::ResourceSpec> specs,
+                             double access_price = kDefaultAccessPrice);
+
+}  // namespace gridfed::economy

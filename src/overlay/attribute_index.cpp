@@ -1,0 +1,132 @@
+#include "overlay/attribute_index.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace gridfed::overlay {
+
+AttributeIndex::AttributeIndex(const ChordRing& ring, double lo, double hi)
+    : ring_(&ring), lo_(lo), hi_(hi) {
+  GF_EXPECTS(lo < hi);
+}
+
+std::uint64_t AttributeIndex::publish(std::uint32_t from_owner, double value,
+                                      std::uint32_t payload) {
+  const RingKey key = locality_hash(value, lo_, hi_);
+  const auto route = ring_->route(from_owner, key);
+  by_payload_[payload] = value;
+  return route.hops;
+}
+
+std::uint64_t AttributeIndex::withdraw(std::uint32_t from_owner,
+                                       std::uint32_t payload) {
+  const auto it = by_payload_.find(payload);
+  GF_EXPECTS(it != by_payload_.end());
+  const RingKey key = locality_hash(it->second, lo_, hi_);
+  const auto route = ring_->route(from_owner, key);
+  by_payload_.erase(it);
+  return route.hops;
+}
+
+std::vector<AttributeIndex::Registration>
+AttributeIndex::sorted_registrations() const {
+  std::vector<Registration> regs;
+  regs.reserve(by_payload_.size());
+  for (const auto& [payload, value] : by_payload_) {
+    regs.push_back(Registration{value, payload});
+  }
+  std::sort(regs.begin(), regs.end(), [](const auto& a, const auto& b) {
+    if (a.value != b.value) return a.value < b.value;
+    return a.payload < b.payload;
+  });
+  return regs;
+}
+
+std::uint64_t AttributeIndex::data_walk_cost(std::size_t first_rank,
+                                             std::size_t last_rank) const {
+  // Data-holding peers keep direct successor-of-data links (the
+  // MAAN/Mercury range-index optimization), so a rank walk hops only the
+  // *distinct responsible peers* between the two ranks — empty arcs are
+  // skipped.  Each transition between distinct peers is one message.
+  const auto regs = sorted_registrations();
+  GF_EXPECTS(first_rank >= 1 && first_rank <= last_rank);
+  GF_EXPECTS(last_rank <= regs.size());
+  std::uint64_t transitions = 0;
+  RingKey previous_peer =
+      ring_->successor(locality_hash(regs[first_rank - 1].value, lo_, hi_)).id;
+  for (std::size_t k = first_rank; k < last_rank; ++k) {
+    const RingKey peer =
+        ring_->successor(locality_hash(regs[k].value, lo_, hi_)).id;
+    if (peer != previous_peer) {
+      ++transitions;
+      previous_peer = peer;
+    }
+  }
+  return transitions;
+}
+
+AttributeIndex::RankedResult AttributeIndex::query_rank(
+    std::uint32_t from_owner, std::uint32_t r, bool ascending) {
+  GF_EXPECTS(r >= 1);
+  RankedResult result;
+  const auto regs = sorted_registrations();
+  if (regs.empty()) {
+    // Route to the arc edge, find nothing.
+    result.messages =
+        ring_->route(from_owner, locality_hash(ascending ? lo_ : hi_, lo_,
+                                               hi_))
+            .hops;
+    return result;
+  }
+  // Route to the peer holding the extreme registration (rank 1), then walk
+  // the data links toward rank r.
+  const Registration& extreme = ascending ? regs.front() : regs.back();
+  const RingKey extreme_key = locality_hash(extreme.value, lo_, hi_);
+  result.messages = ring_->route(from_owner, extreme_key).hops;
+
+  if (r > regs.size()) {
+    // Exhausts the whole data chain.
+    result.messages +=
+        ascending ? data_walk_cost(1, regs.size())
+                  : data_walk_cost(1, regs.size());
+    return result;
+  }
+  const Registration& hit = ascending ? regs[r - 1] : regs[regs.size() - r];
+  result.payload = hit.payload;
+  result.value = hit.value;
+  if (ascending) {
+    result.messages += data_walk_cost(1, static_cast<std::size_t>(r));
+  } else {
+    result.messages +=
+        data_walk_cost(regs.size() - r + 1, regs.size());
+  }
+  return result;
+}
+
+AttributeIndex::RangeResult AttributeIndex::query_range(
+    std::uint32_t from_owner, double value_lo, double value_hi) {
+  GF_EXPECTS(value_lo <= value_hi);
+  RangeResult result;
+  const auto regs = sorted_registrations();
+  std::size_t first = regs.size(), last = 0;
+  for (std::size_t k = 0; k < regs.size(); ++k) {
+    if (regs[k].value >= value_lo && regs[k].value <= value_hi) {
+      first = std::min(first, k + 1);
+      last = std::max(last, k + 1);
+      result.payloads.push_back(regs[k].payload);
+    }
+  }
+  if (result.payloads.empty()) {
+    // Route to the range start; its responsible peer answers "empty".
+    result.messages =
+        ring_->route(from_owner, locality_hash(value_lo, lo_, hi_)).hops;
+    return result;
+  }
+  const RingKey first_key = locality_hash(regs[first - 1].value, lo_, hi_);
+  result.messages = ring_->route(from_owner, first_key).hops;
+  result.messages += data_walk_cost(first, last);
+  return result;
+}
+
+}  // namespace gridfed::overlay

@@ -1,0 +1,88 @@
+#pragma once
+// MAAN-style attribute index over the Chord ring.  The federation
+// directory must answer "the r-th cheapest cluster" / "the r-th fastest
+// cluster" — *range/rank* queries, which plain DHTs cannot do.  MAAN (Cai
+// et al., the paper's [15]) solves this with a locality-preserving hash:
+// attribute values map onto the ring in value order, so a rank walk is an
+// arc walk over successive peers.  This module implements exactly that and
+// meters every message:
+//
+//   publish:   route(owner -> successor(key(value)))             O(log n)
+//   rank r:    route(owner -> rank-1 peer) + data-link walk      O(log n + r)
+//
+// Data-holding peers maintain direct successor-of-data links (the
+// standard MAAN/Mercury range-index optimization), so rank/range walks
+// hop only the distinct peers that actually store registrations — empty
+// arcs cost nothing.  bench_overlay_directory uses this to *measure* the
+// O(log n) cost the paper's experiments assume analytically
+// (directory/query_cost.hpp).
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "overlay/chord_ring.hpp"
+
+namespace gridfed::overlay {
+
+/// One indexed attribute dimension (e.g. quote price, MIPS rating).
+class AttributeIndex {
+ public:
+  /// `lo`/`hi` bound the attribute's value domain; values map onto the
+  /// ring via locality_hash so ordering is preserved.
+  AttributeIndex(const ChordRing& ring, double lo, double hi);
+
+  /// Publishes (value, payload) from `from_owner`'s peer.  Returns the
+  /// routing hops consumed.  Re-publishing the same payload replaces its
+  /// previous value (a quote refresh).
+  std::uint64_t publish(std::uint32_t from_owner, double value,
+                        std::uint32_t payload);
+
+  /// Removes the registration carrying `payload`; returns routing hops.
+  std::uint64_t withdraw(std::uint32_t from_owner, std::uint32_t payload);
+
+  struct RankedResult {
+    std::optional<std::uint32_t> payload;  ///< r-th payload, if it exists
+    double value = 0.0;                    ///< its attribute value
+    std::uint64_t messages = 0;            ///< hops + arc-walk steps
+  };
+
+  /// The r-th registration (1-based) in ascending (or descending) value
+  /// order, resolved by routing to the arc end and walking peers.
+  [[nodiscard]] RankedResult query_rank(std::uint32_t from_owner,
+                                        std::uint32_t r, bool ascending);
+
+  /// Registrations whose value lies in [value_lo, value_hi], with the
+  /// message cost of the arc walk (a true MAAN range query).
+  struct RangeResult {
+    std::vector<std::uint32_t> payloads;
+    std::uint64_t messages = 0;
+  };
+  [[nodiscard]] RangeResult query_range(std::uint32_t from_owner,
+                                        double value_lo, double value_hi);
+
+  [[nodiscard]] std::size_t registrations() const noexcept {
+    return by_payload_.size();
+  }
+
+ private:
+  struct Registration {
+    double value;
+    std::uint32_t payload;
+  };
+
+  /// All registrations in ascending value order.
+  [[nodiscard]] std::vector<Registration> sorted_registrations() const;
+  /// Messages to walk the data links from the peer holding rank
+  /// `first_rank` to the peer holding rank `last_rank` (1-based,
+  /// ascending): the number of distinct-responsible-peer transitions.
+  [[nodiscard]] std::uint64_t data_walk_cost(std::size_t first_rank,
+                                             std::size_t last_rank) const;
+
+  const ChordRing* ring_;
+  double lo_, hi_;
+  std::map<std::uint32_t, double> by_payload_;  // payload -> current value
+};
+
+}  // namespace gridfed::overlay

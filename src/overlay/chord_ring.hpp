@@ -1,0 +1,79 @@
+#pragma once
+// Chord-style structured overlay (simulated).  Each federation GFA runs a
+// directory peer; peers form a ring ordered by their 64-bit ids and keep
+// finger tables (peer owning id + 2^i for i = 0..63).  Routing greedily
+// forwards to the closest preceding finger, resolving any key in O(log n)
+// hops — the cost model the paper assumes for its shared federation
+// directory, here measured instead of asserted.
+//
+// The membership is quasi-static per simulation run (clusters do not churn
+// during the paper's experiments), so joins/leaves rebuild finger tables
+// eagerly; the routing path itself is faithfully hop-by-hop.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "overlay/node_id.hpp"
+
+namespace gridfed::overlay {
+
+/// A directory peer (one per GFA).
+struct Peer {
+  RingKey id = 0;
+  std::uint32_t owner = 0;  ///< the GFA / resource index running this peer
+  std::string name;
+};
+
+/// Result of routing a key: the responsible peer and the path length.
+struct RouteResult {
+  Peer responsible;
+  std::uint32_t hops = 0;  ///< messages consumed (forwardings)
+};
+
+/// The simulated ring.
+class ChordRing {
+ public:
+  /// Adds a peer (id = ring_hash(name) unless given).  Rebuilds fingers.
+  void join(std::uint32_t owner, const std::string& name);
+  void join_with_id(std::uint32_t owner, const std::string& name, RingKey id);
+
+  /// Removes the peer owned by `owner`.  Rebuilds fingers.
+  void leave(std::uint32_t owner);
+
+  [[nodiscard]] std::size_t size() const noexcept { return peers_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return peers_.empty(); }
+
+  /// The peer responsible for `key` (its successor on the ring).
+  [[nodiscard]] const Peer& successor(RingKey key) const;
+
+  /// Routes from the peer owned by `from_owner` to the peer responsible
+  /// for `key`, greedily via finger tables, counting hops.
+  [[nodiscard]] RouteResult route(std::uint32_t from_owner, RingKey key) const;
+
+  /// Walks clockwise from the peer responsible for `from_key` while peers'
+  /// arcs intersect [from_key, to_key]; returns the visited peers in order.
+  /// Used by range queries (each step is one extra message).
+  [[nodiscard]] std::vector<Peer> arc_walk(RingKey from_key,
+                                           RingKey to_key) const;
+
+  /// All peers, ring order (tests / diagnostics).
+  [[nodiscard]] const std::vector<Peer>& peers() const noexcept {
+    return peers_;
+  }
+
+  /// Theoretical hop bound for the current size: ceil(log2 n), min 1.
+  [[nodiscard]] std::uint32_t hop_bound() const noexcept;
+
+ private:
+  void rebuild();
+  [[nodiscard]] std::size_t peer_index_of_owner(std::uint32_t owner) const;
+  [[nodiscard]] std::size_t successor_index(RingKey key) const;
+
+  std::vector<Peer> peers_;  // sorted by id
+  // fingers_[p][i] = index into peers_ of successor(peers_[p].id + 2^i).
+  std::vector<std::vector<std::uint32_t>> fingers_;
+};
+
+}  // namespace gridfed::overlay

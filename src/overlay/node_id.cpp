@@ -1,0 +1,25 @@
+#include "overlay/node_id.hpp"
+
+#include <algorithm>
+
+#include "sim/random.hpp"
+
+namespace gridfed::overlay {
+
+RingKey ring_hash(std::string_view label) noexcept {
+  // FNV-1a mixed through SplitMix64 for avalanche: names that share long
+  // prefixes ("CTC SP2", "CTC SP2 #2") must land far apart.
+  std::uint64_t state = sim::hash_label(label);
+  return sim::splitmix64(state);
+}
+
+RingKey locality_hash(double value, double lo, double hi) noexcept {
+  if (hi <= lo) return 0;
+  const double clamped = std::clamp(value, lo, hi);
+  const double fraction = (clamped - lo) / (hi - lo);
+  // Scale into the full ring, reserving the top value for `hi` exactly.
+  constexpr double kRing = 18446744073709551615.0;  // 2^64 - 1
+  return static_cast<RingKey>(fraction * kRing);
+}
+
+}  // namespace gridfed::overlay

@@ -1,0 +1,42 @@
+#pragma once
+// Identifier arithmetic for the structured overlay.  The paper assumes the
+// shared federation directory runs over a P2P system "with efficient
+// updates and range query capabilities" and charges O(log n) messages per
+// query ([15], MAAN).  gridfed builds that substrate for real (simulated):
+// a Chord-style ring over a 64-bit identifier space.  This header is the
+// ring math: clockwise distance, interval membership, and the key-space
+// mapping used by the attribute index.
+
+#include <cstdint>
+#include <string_view>
+
+namespace gridfed::overlay {
+
+/// Position on the identifier ring (the full 2^64 space).
+using RingKey = std::uint64_t;
+
+/// Clockwise distance from `from` to `to` on the ring (wraps).
+[[nodiscard]] constexpr RingKey clockwise_distance(RingKey from,
+                                                   RingKey to) noexcept {
+  return to - from;  // modular arithmetic does the wrap for us
+}
+
+/// True iff `key` lies in the half-open clockwise interval (from, to].
+/// This is Chord's "key is owned by successor" test.
+[[nodiscard]] constexpr bool in_interval_oc(RingKey key, RingKey from,
+                                            RingKey to) noexcept {
+  return clockwise_distance(from, key) != 0 &&
+         clockwise_distance(from, key) <= clockwise_distance(from, to);
+}
+
+/// Hashes an arbitrary label (node name) onto the ring.
+[[nodiscard]] RingKey ring_hash(std::string_view label) noexcept;
+
+/// Locality-preserving map from an attribute value in [lo, hi] onto the
+/// ring: equal ordering of values and keys, so attribute *ranges* map to
+/// contiguous ring arcs (the MAAN trick that enables range queries over a
+/// DHT).  Values outside [lo, hi] clamp.
+[[nodiscard]] RingKey locality_hash(double value, double lo,
+                                    double hi) noexcept;
+
+}  // namespace gridfed::overlay

@@ -1,0 +1,54 @@
+#include "overlay/overlay_directory.hpp"
+
+#include "sim/check.hpp"
+
+namespace gridfed::overlay {
+
+OverlayDirectory::OverlayDirectory(double price_lo, double price_hi,
+                                   double mips_lo, double mips_hi)
+    : by_price_(ring_, price_lo, price_hi),
+      by_speed_(ring_, mips_lo, mips_hi) {}
+
+void OverlayDirectory::subscribe(const directory::Quote& quote,
+                                 const std::string& name) {
+  ring_.join(quote.resource, name);
+  traffic_.publish_messages += by_price_.publish(quote.resource, quote.price,
+                                                 quote.resource);
+  traffic_.publish_messages +=
+      by_speed_.publish(quote.resource, quote.mips, quote.resource);
+  traffic_.publishes += 2;
+}
+
+void OverlayDirectory::unsubscribe(cluster::ResourceIndex resource) {
+  traffic_.publish_messages += by_price_.withdraw(resource, resource);
+  traffic_.publish_messages += by_speed_.withdraw(resource, resource);
+  traffic_.publishes += 2;
+  ring_.leave(resource);
+}
+
+void OverlayDirectory::update_price(cluster::ResourceIndex resource,
+                                    double price) {
+  traffic_.publish_messages += by_price_.publish(resource, price, resource);
+  traffic_.publishes += 1;
+}
+
+OverlayDirectory::Result OverlayDirectory::query(cluster::ResourceIndex from,
+                                                 directory::OrderBy order,
+                                                 std::uint32_t r) {
+  GF_EXPECTS(!ring_.empty());
+  traffic_.queries += 1;
+  Result out;
+  if (order == directory::OrderBy::kCheapest) {
+    const auto hit = by_price_.query_rank(from, r, /*ascending=*/true);
+    out.resource = hit.payload;
+    out.messages = hit.messages;
+  } else {
+    const auto hit = by_speed_.query_rank(from, r, /*ascending=*/false);
+    out.resource = hit.payload;
+    out.messages = hit.messages;
+  }
+  traffic_.query_messages += out.messages;
+  return out;
+}
+
+}  // namespace gridfed::overlay

@@ -1,0 +1,67 @@
+#pragma once
+// A shared federation directory actually running over the simulated P2P
+// overlay: two MAAN attribute dimensions (quote price ascending, MIPS
+// rating descending) over one Chord ring of GFA peers.  Functionally
+// equivalent to directory::FederationDirectory, but every subscribe /
+// quote / query is routed hop-by-hop and metered, so the analytic
+// O(log n) model used by the main experiments can be validated against a
+// real substrate (bench_overlay_directory).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "directory/quote.hpp"
+#include "overlay/attribute_index.hpp"
+#include "overlay/chord_ring.hpp"
+
+namespace gridfed::overlay {
+
+/// Measured overlay traffic.
+struct OverlayTraffic {
+  std::uint64_t publish_messages = 0;
+  std::uint64_t query_messages = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t publishes = 0;
+};
+
+/// Directory facade over ChordRing + AttributeIndex.
+class OverlayDirectory {
+ public:
+  /// `price_hi` / `mips_hi` bound the attribute domains (values beyond
+  /// clamp; pick generous bounds for dynamic pricing).
+  OverlayDirectory(double price_lo, double price_hi, double mips_lo,
+                   double mips_hi);
+
+  /// subscribe: the GFA joins the ring and publishes both attributes.
+  void subscribe(const directory::Quote& quote, const std::string& name);
+
+  /// unsubscribe: withdraws both attributes and leaves the ring.
+  void unsubscribe(cluster::ResourceIndex resource);
+
+  /// quote refresh (dynamic pricing): re-publishes the price dimension.
+  void update_price(cluster::ResourceIndex resource, double price);
+
+  /// The r-th cheapest / fastest resource as seen from `from`'s peer,
+  /// with the measured message cost.
+  struct Result {
+    std::optional<cluster::ResourceIndex> resource;
+    std::uint64_t messages = 0;
+  };
+  [[nodiscard]] Result query(cluster::ResourceIndex from,
+                             directory::OrderBy order, std::uint32_t r);
+
+  [[nodiscard]] std::size_t size() const noexcept { return ring_.size(); }
+  [[nodiscard]] const OverlayTraffic& traffic() const noexcept {
+    return traffic_;
+  }
+  [[nodiscard]] const ChordRing& ring() const noexcept { return ring_; }
+
+ private:
+  ChordRing ring_;
+  AttributeIndex by_price_;
+  AttributeIndex by_speed_;
+  OverlayTraffic traffic_;
+};
+
+}  // namespace gridfed::overlay

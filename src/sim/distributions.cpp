@@ -1,0 +1,95 @@
+#include "sim/distributions.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "sim/check.hpp"
+
+namespace gridfed::sim {
+
+double sample_exponential(Rng& rng, double lambda) {
+  GF_EXPECTS(lambda > 0.0);
+  // 1 - u in (0,1] avoids log(0).
+  return -std::log(1.0 - rng.uniform01()) / lambda;
+}
+
+double sample_normal(Rng& rng, double mean, double stddev) {
+  GF_EXPECTS(stddev >= 0.0);
+  const double u1 = 1.0 - rng.uniform01();  // (0,1]
+  const double u2 = rng.uniform01();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+  return mean + stddev * z;
+}
+
+double sample_lognormal(Rng& rng, double mu, double sigma) {
+  return std::exp(sample_normal(rng, mu, sigma));
+}
+
+double sample_hyperexponential(Rng& rng, double p, double l1, double l2) {
+  GF_EXPECTS(p >= 0.0 && p <= 1.0);
+  return rng.bernoulli(p) ? sample_exponential(rng, l1)
+                          : sample_exponential(rng, l2);
+}
+
+double sample_bounded_pareto(Rng& rng, double alpha, double lo, double hi) {
+  GF_EXPECTS(alpha > 0.0);
+  GF_EXPECTS(0.0 < lo && lo < hi);
+  const double u = rng.uniform01();
+  const double la = std::pow(lo, alpha);
+  const double ha = std::pow(hi, alpha);
+  return std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha);
+}
+
+double sample_weibull(Rng& rng, double shape, double scale) {
+  GF_EXPECTS(shape > 0.0 && scale > 0.0);
+  return scale * std::pow(-std::log(1.0 - rng.uniform01()), 1.0 / shape);
+}
+
+std::uint32_t sample_pow2(Rng& rng, std::uint32_t lo_exp,
+                          std::uint32_t hi_exp) {
+  GF_EXPECTS(lo_exp <= hi_exp && hi_exp < 32);
+  const auto e =
+      static_cast<std::uint32_t>(rng.uniform_int(lo_exp, hi_exp));
+  return std::uint32_t{1} << e;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  GF_EXPECTS(n > 0);
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), s);
+    cdf_[k - 1] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  GF_EXPECTS(!weights.empty());
+  cdf_.resize(weights.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    GF_EXPECTS(weights[i] >= 0.0);
+    acc += weights[i];
+    cdf_[i] = acc;
+  }
+  GF_EXPECTS(acc > 0.0);
+  for (auto& v : cdf_) v /= acc;
+}
+
+std::size_t DiscreteSampler::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return std::min(static_cast<std::size_t>(it - cdf_.begin()),
+                  cdf_.size() - 1);
+}
+
+}  // namespace gridfed::sim

@@ -1,0 +1,68 @@
+#pragma once
+// Sampling distributions used by the synthetic workload generator.  All are
+// implemented from first principles on top of Rng so results are identical
+// across platforms and standard libraries (libstdc++'s <random>
+// distributions are not portable bit-for-bit).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/random.hpp"
+
+namespace gridfed::sim {
+
+/// Exponential with rate lambda (> 0); mean 1/lambda.  Models Poisson
+/// interarrival gaps.
+[[nodiscard]] double sample_exponential(Rng& rng, double lambda);
+
+/// Lognormal: exp(N(mu, sigma^2)).  Job runtimes in parallel traces are
+/// classically lognormal-ish (Feitelson's workload modeling surveys).
+[[nodiscard]] double sample_lognormal(Rng& rng, double mu, double sigma);
+
+/// Standard normal via Box-Muller (single-value form; no cached spare so
+/// the stream is stateless w.r.t. call sites).
+[[nodiscard]] double sample_normal(Rng& rng, double mean, double stddev);
+
+/// Two-phase hyperexponential: with probability p use rate l1, else l2.
+/// Produces bursty arrivals (squared coefficient of variation > 1), used
+/// where the paper's trace shows high rejection at moderate utilization.
+[[nodiscard]] double sample_hyperexponential(Rng& rng, double p, double l1,
+                                             double l2);
+
+/// Bounded Pareto on [lo, hi] with shape alpha > 0; heavy-tailed sizes.
+[[nodiscard]] double sample_bounded_pareto(Rng& rng, double alpha, double lo,
+                                           double hi);
+
+/// Weibull with shape k and scale lambda.
+[[nodiscard]] double sample_weibull(Rng& rng, double shape, double scale);
+
+/// Uniform power-of-two in [2^lo_exp, 2^hi_exp]; the classic model for
+/// requested processor counts in space-shared traces.
+[[nodiscard]] std::uint32_t sample_pow2(Rng& rng, std::uint32_t lo_exp,
+                                        std::uint32_t hi_exp);
+
+/// Zipf(s) over ranks 1..n via inverse-CDF on a precomputed table.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+  /// Rank in [1, n]; rank 1 is the most probable.
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Discrete distribution over arbitrary non-negative weights.
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(std::span<const double> weights);
+  /// Index in [0, weights.size()).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace gridfed::sim

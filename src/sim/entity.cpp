@@ -1,0 +1,5 @@
+#include "sim/entity.hpp"
+
+// Entity is header-only today; this TU anchors the vtable so the class has
+// a single home object file (keeps link-time symbol churn down).
+namespace gridfed::sim {}

@@ -1,0 +1,40 @@
+#pragma once
+// Simulation entities.  An Entity is a named, identified participant in the
+// simulation (cluster LRMS, GFA, user population, directory).  Entities
+// register with a Simulation at construction and use it to schedule their
+// own behaviour.
+
+#include <string>
+#include <string_view>
+
+#include "sim/simulation.hpp"
+#include "sim/types.hpp"
+
+namespace gridfed::sim {
+
+/// Base class for every simulated actor.  Holds the entity's identity and a
+/// non-owning reference to the engine that drives it.  Entities must
+/// outlive any events they schedule (the standard pattern is: build all
+/// entities, run the simulation, then tear everything down).
+class Entity {
+ public:
+  Entity(Simulation& sim, EntityId id, std::string name)
+      : sim_(&sim), id_(id), name_(std::move(name)) {}
+
+  virtual ~Entity() = default;
+  Entity(const Entity&) = delete;
+  Entity& operator=(const Entity&) = delete;
+
+  [[nodiscard]] EntityId id() const noexcept { return id_; }
+  [[nodiscard]] std::string_view name() const noexcept { return name_; }
+  [[nodiscard]] Simulation& simulation() noexcept { return *sim_; }
+  [[nodiscard]] const Simulation& simulation() const noexcept { return *sim_; }
+  [[nodiscard]] SimTime now() const noexcept { return sim_->now(); }
+
+ private:
+  Simulation* sim_;
+  EntityId id_;
+  std::string name_;
+};
+
+}  // namespace gridfed::sim

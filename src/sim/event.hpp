@@ -1,0 +1,38 @@
+#pragma once
+// Discrete events.  gridfed uses a callback-event kernel: an Event owns a
+// type-erased closure executed when the simulation clock reaches its
+// timestamp.  Entities layer typed message delivery on top of this.
+
+#include <functional>
+
+#include "sim/types.hpp"
+
+namespace gridfed::sim {
+
+/// Scheduling priority for events that share a timestamp.  Lower enum value
+/// runs first.  Completions run before arrivals at the same instant so that
+/// freed processors are visible to a job arriving "at the same time" —
+/// matching GridSim's space-shared semantics.
+enum class EventPriority : int {
+  kCompletion = 0,  ///< job finishes, processors released
+  kMessage = 1,     ///< inter-GFA message delivery
+  kArrival = 2,     ///< job arrival / submission
+  kControl = 3,     ///< bookkeeping (metric sampling, horizon stop)
+};
+
+/// A scheduled unit of work.  Events are value types owned by the queue.
+struct Event {
+  SimTime time = 0.0;
+  EventPriority priority = EventPriority::kControl;
+  EventSeq seq = 0;  ///< assigned by the Simulation; stabilises ordering
+  std::function<void()> action;
+
+  /// Strict weak ordering: earlier time first, then priority, then FIFO.
+  [[nodiscard]] friend bool operator<(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.priority != b.priority) return a.priority < b.priority;
+    return a.seq < b.seq;
+  }
+};
+
+}  // namespace gridfed::sim

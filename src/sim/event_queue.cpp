@@ -1,0 +1,28 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace gridfed::sim {
+
+void EventQueue::push(Event ev) {
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), &EventQueue::later);
+}
+
+Event EventQueue::pop() {
+  GF_EXPECTS(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), &EventQueue::later);
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
+}
+
+SimTime EventQueue::next_time() const {
+  GF_EXPECTS(!heap_.empty());
+  return heap_.front().time;
+}
+
+}  // namespace gridfed::sim

@@ -1,0 +1,41 @@
+#pragma once
+// Future-event list: a binary min-heap over Event's strict weak ordering.
+// std::priority_queue is not used because we need (a) move-out of the top
+// element and (b) cheap clear(); both are awkward through its interface.
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/event.hpp"
+
+namespace gridfed::sim {
+
+/// Min-heap of pending events ordered by (time, priority, seq).
+/// Deterministic: equal-time events pop in insertion order within a
+/// priority class.
+class EventQueue {
+ public:
+  /// Inserts an event.  O(log n).
+  void push(Event ev);
+
+  /// Removes and returns the earliest event.  Precondition: !empty().
+  [[nodiscard]] Event pop();
+
+  /// Timestamp of the earliest event.  Precondition: !empty().
+  [[nodiscard]] SimTime next_time() const;
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Drops all pending events.
+  void clear() noexcept { heap_.clear(); }
+
+ private:
+  // `a` sorts after `b` in heap order (we keep a min-heap, std::push_heap
+  // builds max-heaps, so the comparator is reversed).
+  static bool later(const Event& a, const Event& b) { return b < a; }
+
+  std::vector<Event> heap_;
+};
+
+}  // namespace gridfed::sim

@@ -1,0 +1,60 @@
+#pragma once
+// Deterministic random number generation.  gridfed uses xoshiro256** with
+// SplitMix64 seeding; every workload stream gets its own generator derived
+// from (master seed, stream label) so adding a resource or reordering
+// construction never perturbs the other streams — a requirement for the
+// replicated-resource scaling study (Experiment 5).
+
+#include <cstdint>
+#include <string_view>
+
+namespace gridfed::sim {
+
+/// SplitMix64 step: used for seeding and for hashing stream labels.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// FNV-1a 64-bit hash of a label; combined with the master seed to derive
+/// independent stream seeds.
+[[nodiscard]] std::uint64_t hash_label(std::string_view label) noexcept;
+
+/// xoshiro256** 1.0 (Blackman & Vigna).  Satisfies
+/// std::uniform_random_bit_generator, so it plugs into <random> if needed,
+/// though gridfed ships its own distributions for reproducibility across
+/// standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds via SplitMix64 so that nearby seeds give unrelated streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Derives an independent generator for (seed, label).  Deterministic.
+  [[nodiscard]] static Rng stream(std::uint64_t master_seed,
+                                  std::string_view label) noexcept;
+
+  [[nodiscard]] static constexpr result_type min() noexcept { return 0; }
+  [[nodiscard]] static constexpr result_type max() noexcept {
+    return ~static_cast<result_type>(0);
+  }
+
+  /// Next 64 random bits.
+  result_type operator()() noexcept;
+
+  /// Uniform double in [0, 1).  53-bit resolution.
+  [[nodiscard]] double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive), unbiased (Lemire rejection).
+  [[nodiscard]] std::uint64_t uniform_int(std::uint64_t lo,
+                                          std::uint64_t hi) noexcept;
+
+  /// Bernoulli trial with success probability p in [0,1].
+  [[nodiscard]] bool bernoulli(double p) noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace gridfed::sim

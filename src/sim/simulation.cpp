@@ -1,0 +1,45 @@
+#include "sim/simulation.hpp"
+
+#include "sim/check.hpp"
+
+namespace gridfed::sim {
+
+void Simulation::schedule_at(SimTime t, EventPriority prio,
+                             std::function<void()> action) {
+  GF_EXPECTS(t >= now_);
+  GF_EXPECTS(static_cast<bool>(action));
+  queue_.push(Event{t, prio, next_seq_++, std::move(action)});
+}
+
+void Simulation::schedule_in(SimTime delay, EventPriority prio,
+                             std::function<void()> action) {
+  GF_EXPECTS(delay >= 0.0);
+  schedule_at(now_ + delay, prio, std::move(action));
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  Event ev = queue_.pop();
+  GF_ENSURES(ev.time >= now_);
+  now_ = ev.time;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+SimTime Simulation::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+SimTime Simulation::run_until(SimTime horizon) {
+  GF_EXPECTS(horizon >= now_);
+  while (!queue_.empty() && queue_.next_time() <= horizon) {
+    step();
+  }
+  if (now_ < horizon) now_ = horizon;
+  return now_;
+}
+
+}  // namespace gridfed::sim

@@ -1,0 +1,49 @@
+#pragma once
+// Streaming statistical accumulators.  Welford's algorithm for numerically
+// stable running mean/variance; O(1) memory, suitable for millions of
+// samples.
+
+#include <cstdint>
+#include <limits>
+
+namespace gridfed::stats {
+
+/// Running count/mean/variance/min/max over a stream of doubles.
+class Accumulator {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Merges another accumulator (parallel-combine, Chan et al.).
+  void merge(const Accumulator& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] bool empty() const noexcept { return n_ == 0; }
+
+  /// Mean of the observations; 0 if empty.
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+
+  /// Sum of the observations.
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+
+  /// Sample standard deviation.
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Smallest observation; +inf if empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+
+  /// Largest observation; -inf if empty.
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace gridfed::stats

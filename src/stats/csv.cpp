@@ -1,0 +1,39 @@
+#include "stats/csv.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace gridfed::stats {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path) {
+  std::ofstream probe(path_, std::ios::trunc);
+  if (!probe) throw std::runtime_error("CsvWriter: cannot open " + path_);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) buffer_ += ',';
+    buffer_ += escape(cells[i]);
+  }
+  buffer_ += '\n';
+}
+
+CsvWriter::~CsvWriter() {
+  std::ofstream out(path_, std::ios::trunc);
+  out << buffer_;
+}
+
+}  // namespace gridfed::stats

@@ -1,0 +1,33 @@
+#pragma once
+// CSV emission.  Each bench binary can mirror its table into a CSV file so
+// figure series can be re-plotted (gnuplot/matplotlib) without re-running
+// the simulation.
+
+#include <string>
+#include <vector>
+
+namespace gridfed::stats {
+
+/// Minimal CSV writer with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes one row; quoting is applied where needed.
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Escapes a single cell per RFC 4180 (exposed for tests).
+  [[nodiscard]] static std::string escape(const std::string& cell);
+
+ private:
+  std::string path_;
+  std::string buffer_;
+
+ public:
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+};
+
+}  // namespace gridfed::stats

@@ -1,0 +1,63 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "sim/check.hpp"
+
+namespace gridfed::stats {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  GF_EXPECTS(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  GF_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::sci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*e", precision, v);
+  return buf;
+}
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "");
+      os << row[c] << std::string(width[c] - row[c].size(), ' ');
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c) {
+    total += width[c] + (c ? 2 : 0);
+  }
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.str();
+}
+
+}  // namespace gridfed::stats

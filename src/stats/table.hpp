@@ -1,0 +1,45 @@
+#pragma once
+// ASCII table rendering.  Every bench binary prints its table/figure series
+// through this formatter so output is uniform and diffable against
+// EXPERIMENTS.md.
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gridfed::stats {
+
+/// Column-aligned ASCII table builder.
+///
+/// ```
+/// Table t({"Resource", "Util %"});
+/// t.add_row({"CTC SP2", "53.49"});
+/// std::cout << t.str();
+/// ```
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with fixed precision.
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+
+  /// Scientific notation (paper style, e.g. 2.30e9 Grid Dollars).
+  [[nodiscard]] static std::string sci(double v, int precision = 3);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table with a separator under the header.
+  [[nodiscard]] std::string str() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace gridfed::stats

@@ -1,0 +1,57 @@
+#pragma once
+// Per-resource synthetic-trace calibration.  The Parallel Workloads Archive
+// slices the paper used are not redistributable, so gridfed regenerates
+// statistically equivalent two-day workloads.  For each Table 1 resource we
+// pin the *observables the paper's conclusions rest on*:
+//
+//   * the exact two-day job count of Table 2;
+//   * the offered load (fraction of cluster capacity requested), chosen so
+//     that the independent-resource experiment reproduces Table 2's
+//     utilization/acceptance split — under-loaded CTC/KTH/LANL/Par96,
+//     saturated SDSC Blue/SP2;
+//   * runtime dispersion (lognormal sigma) and arrival burstiness
+//     (hyperexponential CV^2), which control how much queueing delay — and
+//     therefore deadline-driven rejection — a given load produces (LANL
+//     CM5 rejects 16% at only 47% utilization because its trace is bursty).
+//
+// Derivations and the paper-vs-measured comparison live in DESIGN.md §3
+// and EXPERIMENTS.md.
+
+#include <cstdint>
+
+#include "cluster/resource.hpp"
+#include "sim/types.hpp"
+
+namespace gridfed::workload {
+
+/// Tunable shape parameters for one resource's synthetic trace.
+struct TraceCalibration {
+  std::uint32_t jobs = 0;       ///< jobs in the window (Table 2 count)
+  double offered_load = 0.5;    ///< sum(p*t) / (P * window)
+  double runtime_sigma = 1.2;   ///< lognormal sigma (log space)
+  double burstiness = 1.0;      ///< interarrival CV^2; 1 = Poisson
+  std::uint32_t min_proc_exp = 0;  ///< smallest request = 2^min_proc_exp
+  std::uint32_t max_proc_exp = 6;  ///< largest request  = 2^max_proc_exp
+  std::uint32_t users = 32;     ///< local user population size
+  double user_zipf_s = 1.1;     ///< job-to-user Zipf skew
+};
+
+/// Two simulated days — the window of every experiment in the paper.
+inline constexpr sim::SimTime kTwoDays = 2.0 * 24.0 * 3600.0;
+
+/// Calibration for Table 1 resource `catalog_idx` (0..7), tuned so the
+/// Experiment 1 harness lands on Table 2's utilization/acceptance shape.
+[[nodiscard]] TraceCalibration default_calibration(
+    cluster::ResourceIndex catalog_idx);
+
+/// Mean processors per job for uniform power-of-two requests in
+/// [2^min_exp, 2^max_exp]: (2^{max+1} - 2^{min}) / (max - min + 1).
+[[nodiscard]] double mean_pow2(std::uint32_t min_exp, std::uint32_t max_exp);
+
+/// Mean runtime (s) that makes `cal` hit its offered load on `spec` over a
+/// `window`-second trace: E[t] = load * P * window / (jobs * E[p]).
+[[nodiscard]] double target_mean_runtime(const TraceCalibration& cal,
+                                         const cluster::ResourceSpec& spec,
+                                         sim::SimTime window);
+
+}  // namespace gridfed::workload

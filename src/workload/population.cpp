@@ -1,0 +1,35 @@
+#include "workload/population.hpp"
+
+#include "sim/random.hpp"
+
+namespace gridfed::workload {
+
+cluster::Optimization PopulationProfile::preference(
+    cluster::ResourceIndex resource, std::uint32_t user,
+    std::uint64_t seed) const {
+  // Deterministic point in [0, 100) for this user; stable across profiles.
+  std::uint64_t state = seed ^ (static_cast<std::uint64_t>(resource) << 32) ^
+                        (static_cast<std::uint64_t>(user) + 0x51ed2701ULL);
+  const std::uint64_t draw = sim::splitmix64(state) % 10000;
+  return draw < static_cast<std::uint64_t>(oft_percent) * 100
+             ? cluster::Optimization::kTime
+             : cluster::Optimization::kCost;
+}
+
+std::vector<PopulationProfile> standard_profiles() {
+  std::vector<PopulationProfile> profiles;
+  profiles.reserve(11);
+  for (std::uint32_t oft = 0; oft <= 100; oft += 10) {
+    profiles.push_back(PopulationProfile{oft});
+  }
+  return profiles;
+}
+
+void apply_profile(const PopulationProfile& profile, std::uint64_t seed,
+                   std::vector<cluster::Job>& jobs) {
+  for (auto& job : jobs) {
+    job.opt = profile.preference(job.origin, job.user, seed);
+  }
+}
+
+}  // namespace gridfed::workload

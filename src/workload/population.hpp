@@ -1,0 +1,38 @@
+#pragma once
+// User population profiles (Experiment 3).  The paper sweeps eleven
+// populations: OFT = i%, OFC = (100-i)% for i = 0, 10, ..., 100.  gridfed
+// assigns each *user* a stable optimization preference: user (k, j) draws a
+// deterministic point h in [0, 100) from (seed, k, j); the user seeks OFT
+// iff h < oft_percent.  The assignment is monotone in oft_percent — as the
+// profile slides toward OFT, users flip from OFC to OFT one by one and
+// never flip back — which keeps the sweep's series comparable point to
+// point.
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/job.hpp"
+#include "cluster/resource.hpp"
+
+namespace gridfed::workload {
+
+/// One point of the population sweep.
+struct PopulationProfile {
+  /// Percentage of users seeking optimize-for-time, in [0, 100].
+  std::uint32_t oft_percent = 0;
+
+  /// Stable preference of user `user` at home cluster `resource`.
+  [[nodiscard]] cluster::Optimization preference(
+      cluster::ResourceIndex resource, std::uint32_t user,
+      std::uint64_t seed) const;
+};
+
+/// The paper's eleven profiles: OFT = 0, 10, ..., 100.
+[[nodiscard]] std::vector<PopulationProfile> standard_profiles();
+
+/// Applies a profile to a batch of jobs in place (sets Job::opt from the
+/// owning user's preference).
+void apply_profile(const PopulationProfile& profile, std::uint64_t seed,
+                   std::vector<cluster::Job>& jobs);
+
+}  // namespace gridfed::workload

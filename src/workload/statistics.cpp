@@ -1,0 +1,60 @@
+#include "workload/statistics.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+#include "sim/check.hpp"
+
+namespace gridfed::workload {
+
+TraceStatistics analyze_trace(const ResourceTrace& trace,
+                              const cluster::ResourceSpec& spec,
+                              sim::SimTime window) {
+  TraceStatistics out;
+  out.jobs = trace.jobs.size();
+  if (trace.jobs.empty()) return out;
+
+  std::set<std::uint32_t> users;
+  stats::Accumulator gaps;
+  double area = 0.0;
+  sim::SimTime prev = trace.jobs.front().submit;
+  for (const auto& j : trace.jobs) {
+    out.runtime.add(j.runtime);
+    out.processors.add(static_cast<double>(j.processors));
+    out.max_processors = std::max(out.max_processors, j.processors);
+    users.insert(j.user);
+    area += static_cast<double>(j.processors) * j.runtime;
+    if (&j != &trace.jobs.front()) gaps.add(j.submit - prev);
+    prev = j.submit;
+  }
+  out.users = static_cast<std::uint32_t>(users.size());
+  out.span = trace.jobs.back().submit - trace.jobs.front().submit;
+
+  const sim::SimTime horizon = window > 0.0 ? window : out.span;
+  if (horizon > 0.0 && spec.processors > 0) {
+    out.offered_load =
+        area / (static_cast<double>(spec.processors) * horizon);
+  }
+  if (gaps.count() > 1 && gaps.mean() > 0.0) {
+    out.interarrival_cv2 =
+        gaps.variance() / (gaps.mean() * gaps.mean());
+  }
+  return out;
+}
+
+void print_statistics(std::ostream& out, const TraceStatistics& stats,
+                      const cluster::ResourceSpec& spec) {
+  out << spec.name << ": " << stats.jobs << " jobs over " << stats.span
+      << " s\n"
+      << "  offered load " << 100.0 * stats.offered_load << "% of "
+      << spec.processors << " processors\n"
+      << "  runtime mean " << stats.runtime.mean() << " s (min "
+      << stats.runtime.min() << ", max " << stats.runtime.max() << ")\n"
+      << "  processors mean " << stats.processors.mean() << " (max "
+      << stats.max_processors << ")\n"
+      << "  interarrival cv^2 " << stats.interarrival_cv2 << ", "
+      << stats.users << " users\n";
+}
+
+}  // namespace gridfed::workload

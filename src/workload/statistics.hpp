@@ -1,0 +1,37 @@
+#pragma once
+// Trace statistics.  Summarizes the observable properties of a workload
+// trace — the quantities the synthetic calibration pins and the numbers a
+// user should inspect before trusting a replay (job count, offered load,
+// runtime dispersion, interarrival burstiness, processor-size profile).
+
+#include <iosfwd>
+
+#include "cluster/resource.hpp"
+#include "stats/accumulator.hpp"
+#include "workload/trace.hpp"
+
+namespace gridfed::workload {
+
+/// Summary of one resource trace.
+struct TraceStatistics {
+  std::size_t jobs = 0;
+  sim::SimTime span = 0.0;          ///< last submit - first submit
+  double offered_load = 0.0;        ///< sum(p*t) / (P * window)
+  double interarrival_cv2 = 0.0;    ///< burstiness (1 = Poisson-like)
+  stats::Accumulator runtime;       ///< seconds
+  stats::Accumulator processors;    ///< requested processors
+  std::uint32_t max_processors = 0;
+  std::uint32_t users = 0;          ///< distinct submitting users
+};
+
+/// Computes the summary; `window` is the load-normalization horizon (use
+/// the experiment window; <= 0 uses the trace span).
+[[nodiscard]] TraceStatistics analyze_trace(const ResourceTrace& trace,
+                                            const cluster::ResourceSpec& spec,
+                                            sim::SimTime window = 0.0);
+
+/// Pretty one-block rendering (examples/diagnostics).
+void print_statistics(std::ostream& out, const TraceStatistics& stats,
+                      const cluster::ResourceSpec& spec);
+
+}  // namespace gridfed::workload

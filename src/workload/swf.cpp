@@ -1,0 +1,110 @@
+#include "workload/swf.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace gridfed::workload {
+
+namespace {
+
+// SWF field positions (1-based in the spec; 0-based here).
+constexpr int kFieldSubmit = 1;
+constexpr int kFieldRuntime = 3;
+constexpr int kFieldAllocProcs = 4;
+constexpr int kFieldReqProcs = 7;
+constexpr int kFieldUser = 11;
+constexpr int kFieldCount = 18;
+
+}  // namespace
+
+ResourceTrace parse_swf(std::istream& in, cluster::ResourceIndex resource,
+                        const SwfOptions& opts) {
+  ResourceTrace trace;
+  trace.resource = resource;
+
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Comment / header lines.
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == ';') continue;
+
+    std::istringstream fields(line);
+    double value[kFieldCount];
+    int parsed = 0;
+    while (parsed < kFieldCount && (fields >> value[parsed])) ++parsed;
+    if (parsed < kFieldUser + 1) {
+      throw SwfError("swf: line " + std::to_string(line_no) + ": expected >= " +
+                     std::to_string(kFieldUser + 1) + " fields, got " +
+                     std::to_string(parsed));
+    }
+
+    TraceJob job;
+    job.submit = value[kFieldSubmit];
+    job.runtime = value[kFieldRuntime];
+    // Allocated processors; fall back to the request when unknown (-1).
+    double procs = value[kFieldAllocProcs];
+    if (procs <= 0 && parsed > kFieldReqProcs) procs = value[kFieldReqProcs];
+    const double user = value[kFieldUser];
+
+    if (job.runtime <= 0.0 || procs <= 0.0) continue;  // cancelled / bogus
+    job.processors = static_cast<std::uint32_t>(procs);
+    if (opts.max_processors > 0) {
+      job.processors = std::min(job.processors, opts.max_processors);
+    }
+    job.user = user >= 0 ? static_cast<std::uint32_t>(user) : 0;
+    trace.jobs.push_back(job);
+  }
+
+  // Window the slice the experiment wants.
+  if (opts.window_length > 0.0) {
+    const double lo = opts.window_start;
+    const double hi = opts.window_start + opts.window_length;
+    std::erase_if(trace.jobs, [&](const TraceJob& j) {
+      return j.submit < lo || j.submit >= hi;
+    });
+  }
+  std::sort(trace.jobs.begin(), trace.jobs.end(),
+            [](const TraceJob& a, const TraceJob& b) {
+              return a.submit < b.submit;
+            });
+  if (opts.rebase_to_zero && !trace.jobs.empty()) {
+    const double base = trace.jobs.front().submit;
+    for (auto& j : trace.jobs) j.submit -= base;
+  }
+  return trace;
+}
+
+ResourceTrace load_swf(const std::string& path,
+                       cluster::ResourceIndex resource,
+                       const SwfOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw SwfError("swf: cannot open " + path);
+  return parse_swf(in, resource, opts);
+}
+
+void write_swf(std::ostream& out, const ResourceTrace& trace,
+               const std::string& computer) {
+  out << "; Version: 2\n";
+  out << ";   Computer: " << computer << "\n";
+  out << ";   Note: written by gridfed (fields 1-5 and 12 populated)\n";
+  std::size_t job_number = 1;
+  for (const auto& j : trace.jobs) {
+    // job submit wait runtime procs cpu mem reqprocs reqtime reqmem
+    // status user group exe queue partition prev think
+    out << job_number++ << ' ' << j.submit << ' ' << 0 << ' ' << j.runtime
+        << ' ' << j.processors << " -1 -1 " << j.processors
+        << " -1 -1 1 " << j.user << " -1 -1 -1 -1 -1 -1\n";
+  }
+}
+
+void save_swf(const std::string& path, const ResourceTrace& trace,
+              const std::string& computer) {
+  std::ofstream out(path);
+  if (!out) throw SwfError("swf: cannot open " + path + " for writing");
+  write_swf(out, trace, computer);
+}
+
+}  // namespace gridfed::workload

@@ -1,0 +1,99 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/check.hpp"
+#include "sim/distributions.hpp"
+#include "sim/random.hpp"
+
+namespace gridfed::workload {
+
+namespace {
+
+// Balanced-means two-phase hyperexponential with mean `m` and squared
+// coefficient of variation `cv2` (>= 1).  cv2 == 1 degenerates to the
+// exponential.
+double sample_interarrival(sim::Rng& rng, double m, double cv2) {
+  if (cv2 <= 1.0) return sim::sample_exponential(rng, 1.0 / m);
+  const double p = 0.5 * (1.0 + std::sqrt((cv2 - 1.0) / (cv2 + 1.0)));
+  const double l1 = 2.0 * p / m;
+  const double l2 = 2.0 * (1.0 - p) / m;
+  return sim::sample_hyperexponential(rng, p, l1, l2);
+}
+
+}  // namespace
+
+ResourceTrace generate_trace(const cluster::ResourceSpec& spec,
+                             cluster::ResourceIndex resource,
+                             const TraceCalibration& cal, sim::SimTime window,
+                             std::uint64_t master_seed) {
+  GF_EXPECTS(spec.valid());
+  GF_EXPECTS(cal.jobs > 0 && window > 0.0);
+  GF_EXPECTS(cal.users > 0);
+
+  sim::Rng rng = sim::Rng::stream(master_seed, spec.name);
+  const sim::ZipfSampler user_sampler(cal.users, cal.user_zipf_s);
+
+  ResourceTrace trace;
+  trace.resource = resource;
+  trace.jobs.resize(cal.jobs);
+
+  // Arrival instants: gaps with the calibrated burstiness, rescaled so the
+  // last arrival lands just inside the window.
+  const double mean_gap = window / static_cast<double>(cal.jobs);
+  double t = 0.0;
+  for (auto& job : trace.jobs) {
+    t += sample_interarrival(rng, mean_gap, cal.burstiness);
+    job.submit = t;
+  }
+  const double span = trace.jobs.back().submit;
+  GF_ENSURES(span > 0.0);
+  const double time_scale =
+      window * (static_cast<double>(cal.jobs) /
+                static_cast<double>(cal.jobs + 1)) /
+      span;
+  for (auto& job : trace.jobs) job.submit *= time_scale;
+
+  // Processor requests and raw runtimes.
+  const double mean_runtime = target_mean_runtime(cal, spec, window);
+  const double sigma = cal.runtime_sigma;
+  const double mu_log = std::log(mean_runtime) - 0.5 * sigma * sigma;
+  double area = 0.0;
+  for (auto& job : trace.jobs) {
+    job.processors =
+        std::min(sim::sample_pow2(rng, cal.min_proc_exp, cal.max_proc_exp),
+                 spec.processors);
+    job.runtime = sim::sample_lognormal(rng, mu_log, sigma);
+    job.user = static_cast<std::uint32_t>(user_sampler.sample(rng) - 1);
+    area += static_cast<double>(job.processors) * job.runtime;
+  }
+
+  // Rescale runtimes so the offered area is exact (removes sampling noise
+  // from the load calibration; relative job sizes are preserved).
+  const double target_area = cal.offered_load *
+                             static_cast<double>(spec.processors) * window;
+  GF_ENSURES(area > 0.0);
+  const double load_scale = target_area / area;
+  for (auto& job : trace.jobs) job.runtime *= load_scale;
+
+  GF_ENSURES(validate_trace(trace, spec));
+  return trace;
+}
+
+std::vector<ResourceTrace> generate_federation_workload(
+    std::span<const cluster::ResourceSpec> specs, sim::SimTime window,
+    std::uint64_t master_seed) {
+  std::vector<ResourceTrace> traces;
+  traces.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto cal = default_calibration(
+        static_cast<cluster::ResourceIndex>(i % 8));
+    traces.push_back(generate_trace(specs[i],
+                                    static_cast<cluster::ResourceIndex>(i),
+                                    cal, window, master_seed));
+  }
+  return traces;
+}
+
+}  // namespace gridfed::workload

@@ -1,0 +1,43 @@
+#pragma once
+// Calibrated synthetic trace generation (the stand-in for the Parallel
+// Workloads Archive slices — see workload/calibration.hpp for what is
+// pinned and why).  Generation is deterministic in (master seed, resource
+// name), so replicating resources for the Experiment 5 scaling study gives
+// each replica an independent but reproducible workload.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cluster/resource.hpp"
+#include "workload/calibration.hpp"
+#include "workload/trace.hpp"
+
+namespace gridfed::workload {
+
+/// Generates one resource's two-day (or `window`-second) synthetic trace.
+///
+/// Construction:
+///  * exactly `cal.jobs` arrivals; interarrival gaps are hyperexponential
+///    with CV^2 = cal.burstiness, rescaled to span the window exactly;
+///  * processor requests are uniform powers of two in
+///    [2^min_proc_exp, 2^max_proc_exp], clamped to the cluster size;
+///  * runtimes are lognormal(sigma = cal.runtime_sigma) and then scaled so
+///    the total requested area sum(p*t) equals offered_load * P * window
+///    exactly (removes sampling noise from the load calibration);
+///  * each job is attributed to one of `cal.users` local users via a
+///    Zipf(cal.user_zipf_s) draw.
+[[nodiscard]] ResourceTrace generate_trace(const cluster::ResourceSpec& spec,
+                                           cluster::ResourceIndex resource,
+                                           const TraceCalibration& cal,
+                                           sim::SimTime window,
+                                           std::uint64_t master_seed);
+
+/// Generates the whole federation's workload: one trace per spec, using
+/// default_calibration(i % 8) — i.e. replicas of a Table 1 resource get
+/// that resource's calibration with an independent random stream.
+[[nodiscard]] std::vector<ResourceTrace> generate_federation_workload(
+    std::span<const cluster::ResourceSpec> specs, sim::SimTime window,
+    std::uint64_t master_seed);
+
+}  // namespace gridfed::workload

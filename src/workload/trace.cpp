@@ -1,0 +1,42 @@
+#include "workload/trace.hpp"
+
+#include "sim/check.hpp"
+
+namespace gridfed::workload {
+
+cluster::Job to_job(const TraceJob& raw, cluster::JobId id,
+                    cluster::ResourceIndex origin,
+                    const cluster::ResourceSpec& origin_spec,
+                    double comm_fraction) {
+  GF_EXPECTS(comm_fraction >= 0.0 && comm_fraction < 1.0);
+  GF_EXPECTS(raw.runtime >= 0.0);
+  GF_EXPECTS(raw.processors > 0);
+
+  cluster::Job job;
+  job.id = id;
+  job.origin = origin;
+  job.user = raw.user;
+  job.processors = raw.processors;
+  job.submit = raw.submit;
+  // Split measured wall time: (1-f) compute, f communication.  Compute MI
+  // follows from Eq. 2: compute_time = l / (mu_k * p).
+  const double compute_time = (1.0 - comm_fraction) * raw.runtime;
+  job.length_mi = compute_time * origin_spec.mips *
+                  static_cast<double>(raw.processors);
+  job.comm_overhead = comm_fraction * raw.runtime;
+  return job;
+}
+
+bool validate_trace(const ResourceTrace& trace,
+                    const cluster::ResourceSpec& spec) {
+  sim::SimTime last = -1.0;
+  for (const auto& j : trace.jobs) {
+    if (j.submit < last) return false;
+    if (j.runtime <= 0.0) return false;
+    if (j.processors == 0 || j.processors > spec.processors) return false;
+    last = j.submit;
+  }
+  return true;
+}
+
+}  // namespace gridfed::workload

@@ -1,0 +1,52 @@
+#pragma once
+// Workload traces.  A trace is the per-resource stream of parallel jobs the
+// paper replays: each job has an arrival instant, a processor requirement,
+// the measured runtime on its home cluster, and a submitting user.  Traces
+// come either from real Standard-Workload-Format files (workload/swf) or
+// from the calibrated synthetic generator (workload/synthetic).
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/job.hpp"
+#include "cluster/resource.hpp"
+#include "sim/types.hpp"
+
+namespace gridfed::workload {
+
+/// One raw trace record: what the archive logs before any federation
+/// semantics are attached.
+struct TraceJob {
+  sim::SimTime submit = 0.0;    ///< arrival instant (s from trace start)
+  sim::SimTime runtime = 0.0;   ///< measured wall-clock runtime on origin (s)
+  std::uint32_t processors = 1; ///< processors allocated
+  std::uint32_t user = 0;       ///< submitting user id
+};
+
+/// The jobs of one resource, sorted by submit time.
+struct ResourceTrace {
+  cluster::ResourceIndex resource = 0;
+  std::vector<TraceJob> jobs;
+};
+
+/// Fraction of a job's measured runtime attributed to network communication
+/// (paper §3.1: "we artificially introduced the communication overhead
+/// element as 10% of the total parallel job execution time").
+inline constexpr double kDefaultCommFraction = 0.10;
+
+/// Converts a raw trace record into a federation Job on `origin` cluster k:
+/// runtime splits (1-comm_fraction) compute / comm_fraction network, giving
+/// l = (1-f) * t * mu_k * p and alpha = f * t.  Budget/deadline are NOT set
+/// here (see economy::fabricate_qos — Eqs. 7/8) so that the no-economy
+/// experiments can use the same conversion.
+[[nodiscard]] cluster::Job to_job(const TraceJob& raw, cluster::JobId id,
+                                  cluster::ResourceIndex origin,
+                                  const cluster::ResourceSpec& origin_spec,
+                                  double comm_fraction = kDefaultCommFraction);
+
+/// Checks a trace is well-formed: sorted by submit, positive runtimes,
+/// processor counts within the cluster size.
+[[nodiscard]] bool validate_trace(const ResourceTrace& trace,
+                                  const cluster::ResourceSpec& spec);
+
+}  // namespace gridfed::workload

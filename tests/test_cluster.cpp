@@ -1,0 +1,160 @@
+// Unit tests for the cluster substrate: resource specs, the Table 1
+// catalog, and the paper's job timing/cost equations (Eqs. 1-4).
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "cluster/job.hpp"
+#include "cluster/resource.hpp"
+
+namespace gridfed::cluster {
+namespace {
+
+ResourceSpec spec(double mips, double bw, std::uint32_t procs = 64,
+                  double quote = 1.0) {
+  return ResourceSpec{"test", procs, mips, bw, quote};
+}
+
+Job make_job(std::uint32_t procs, double length_mi, double alpha) {
+  Job j;
+  j.id = 1;
+  j.processors = procs;
+  j.length_mi = length_mi;
+  j.comm_overhead = alpha;
+  return j;
+}
+
+TEST(ResourceSpec, ValidityChecks) {
+  EXPECT_TRUE(spec(100.0, 1.0).valid());
+  const ResourceSpec no_procs{"x", 0, 100.0, 1.0, 1.0};
+  const ResourceSpec no_mips{"x", 4, 0.0, 1.0, 1.0};
+  const ResourceSpec no_bw{"x", 4, 100.0, 0.0, 1.0};
+  EXPECT_FALSE(no_procs.valid());
+  EXPECT_FALSE(no_mips.valid());
+  EXPECT_FALSE(no_bw.valid());
+}
+
+TEST(ResourceSpec, TotalMips) {
+  EXPECT_DOUBLE_EQ(spec(850.0, 2.0, 512).total_mips(), 512 * 850.0);
+}
+
+TEST(JobTiming, ComputeTimeFollowsEq2) {
+  // Eq. 2 first term: l / (mu_m * p).
+  const auto r = spec(100.0, 1.0);
+  const auto j = make_job(4, 8000.0, 0.0);
+  EXPECT_DOUBLE_EQ(compute_time(j, r), 8000.0 / (100.0 * 4));
+}
+
+TEST(JobTiming, CommTimeScalesWithBandwidthRatio) {
+  // Eq. 3 second term: alpha * gamma_k / gamma_m.
+  const auto origin = spec(100.0, 2.0);
+  const auto fast_net = spec(100.0, 4.0);
+  const auto slow_net = spec(100.0, 1.0);
+  const auto j = make_job(1, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(comm_time(j, origin, origin), 10.0);
+  EXPECT_DOUBLE_EQ(comm_time(j, origin, fast_net), 5.0);
+  EXPECT_DOUBLE_EQ(comm_time(j, origin, slow_net), 20.0);
+}
+
+TEST(JobTiming, DataTransferredFollowsEq1) {
+  // Eq. 1: Gamma = alpha * gamma_k.
+  const auto origin = spec(100.0, 2.0);
+  const auto j = make_job(1, 0.0, 10.0);
+  EXPECT_DOUBLE_EQ(data_transferred(j, origin), 20.0);
+}
+
+TEST(JobTiming, ExecutionTimeOnOriginEqualsComputePlusAlpha) {
+  const auto origin = spec(200.0, 2.0);
+  const auto j = make_job(2, 4000.0, 3.0);
+  EXPECT_DOUBLE_EQ(execution_time(j, origin, origin),
+                   4000.0 / (200.0 * 2) + 3.0);
+}
+
+TEST(JobTiming, FasterClusterShortensCompute) {
+  const auto origin = spec(100.0, 1.0);
+  const auto fast = spec(400.0, 1.0);
+  const auto j = make_job(2, 8000.0, 0.0);
+  EXPECT_LT(execution_time(j, origin, fast), execution_time(j, origin, origin));
+}
+
+TEST(JobCost, ComputeOnlyCostFollowsEq4) {
+  // Eq. 4: B = c_m * l / (mu_m * p).
+  const auto r = spec(100.0, 1.0, 64, 2.5);
+  const auto j = make_job(4, 8000.0, 5.0);
+  EXPECT_DOUBLE_EQ(compute_only_cost(j, r), 2.5 * 8000.0 / (100.0 * 4));
+}
+
+TEST(JobCost, WallTimeCostIncludesCommTerm) {
+  const auto origin = spec(100.0, 2.0, 64, 2.5);
+  const auto j = make_job(4, 8000.0, 5.0);
+  EXPECT_DOUBLE_EQ(wall_time_cost(j, origin, origin),
+                   2.5 * (8000.0 / (100.0 * 4) + 5.0));
+  EXPECT_GT(wall_time_cost(j, origin, origin), compute_only_cost(j, origin));
+}
+
+TEST(Job, AbsoluteDeadline) {
+  Job j;
+  j.submit = 100.0;
+  j.deadline = 50.0;
+  EXPECT_DOUBLE_EQ(j.absolute_deadline(), 150.0);
+}
+
+// ---- Table 1 catalog --------------------------------------------------------
+
+TEST(Catalog, HasEightResourcesInPaperOrder) {
+  const auto& entries = table1();
+  ASSERT_EQ(entries.size(), 8u);
+  EXPECT_EQ(entries[0].spec.name, "CTC SP2");
+  EXPECT_EQ(entries[4].spec.name, "NASA iPSC");
+  EXPECT_EQ(entries[7].spec.name, "SDSC SP2");
+}
+
+TEST(Catalog, Table1ValuesMatchPaper) {
+  const auto& entries = table1();
+  EXPECT_EQ(entries[3].spec.processors, 2048u);  // LANL Origin
+  EXPECT_DOUBLE_EQ(entries[3].spec.mips, 630.0);
+  EXPECT_DOUBLE_EQ(entries[3].spec.quote, 3.59);
+  EXPECT_DOUBLE_EQ(entries[3].spec.bandwidth, 1.6);
+  EXPECT_EQ(entries[4].spec.processors, 128u);  // NASA iPSC
+  EXPECT_DOUBLE_EQ(entries[4].spec.mips, 930.0);
+  EXPECT_DOUBLE_EQ(entries[4].spec.quote, 5.3);
+}
+
+TEST(Catalog, TwoDayJobCountsMatchTable2) {
+  const auto& entries = table1();
+  std::uint32_t expected[] = {417, 163, 215, 817, 535, 189, 215, 111};
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(entries[i].two_day_jobs, expected[i]) << entries[i].spec.name;
+  }
+}
+
+TEST(Catalog, AllSpecsValid) {
+  for (const auto& entry : table1()) {
+    EXPECT_TRUE(entry.spec.valid()) << entry.spec.name;
+  }
+}
+
+TEST(Catalog, ReplicationRoundRobinWithSuffixes) {
+  const auto specs = replicated_specs(10);
+  ASSERT_EQ(specs.size(), 10u);
+  EXPECT_EQ(specs[0].name, "CTC SP2");
+  EXPECT_EQ(specs[8].name, "CTC SP2 #2");
+  EXPECT_EQ(specs[9].name, "KTH SP2 #2");
+  EXPECT_EQ(specs[8].processors, specs[0].processors);
+  EXPECT_DOUBLE_EQ(specs[9].quote, specs[1].quote);
+}
+
+TEST(Catalog, ReplicationExactMultiple) {
+  const auto specs = replicated_specs(16);
+  ASSERT_EQ(specs.size(), 16u);
+  EXPECT_EQ(specs[15].name, "SDSC SP2 #2");
+}
+
+TEST(Catalog, IndexLookup) {
+  EXPECT_EQ(catalog_index("LANL Origin"), 3u);
+  EXPECT_EQ(catalog_index("SDSC Blue"), 6u);
+  EXPECT_THROW((void)catalog_index("no such"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace gridfed::cluster

@@ -1,0 +1,157 @@
+// Determinism and reproducibility: identical seeds must produce bitwise
+// identical results across the whole stack (the property the scaling
+// study and all regression comparisons rest on), and different seeds must
+// actually vary.  Also covers SWF round-tripping of synthetic traces and
+// the GridBank transaction log.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/catalog.hpp"
+#include "core/experiment.hpp"
+#include "economy/grid_bank.hpp"
+#include "workload/swf.hpp"
+#include "workload/synthetic.hpp"
+
+namespace gridfed {
+namespace {
+
+void expect_identical(const core::FederationResult& a,
+                      const core::FederationResult& b) {
+  ASSERT_EQ(a.resources.size(), b.resources.size());
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.total_accepted, b.total_accepted);
+  EXPECT_EQ(a.total_rejected, b.total_rejected);
+  EXPECT_DOUBLE_EQ(a.total_incentive, b.total_incentive);
+  EXPECT_DOUBLE_EQ(a.fed_response_excl.mean(), b.fed_response_excl.mean());
+  for (std::size_t i = 0; i < a.resources.size(); ++i) {
+    EXPECT_EQ(a.resources[i].accepted, b.resources[i].accepted) << i;
+    EXPECT_EQ(a.resources[i].migrated, b.resources[i].migrated) << i;
+    EXPECT_DOUBLE_EQ(a.resources[i].utilization, b.resources[i].utilization)
+        << i;
+    EXPECT_DOUBLE_EQ(a.resources[i].incentive, b.resources[i].incentive)
+        << i;
+    EXPECT_EQ(a.resources[i].local_messages, b.resources[i].local_messages)
+        << i;
+  }
+}
+
+TEST(Determinism, SameSeedSameEverything) {
+  const auto cfg = core::make_config(core::SchedulingMode::kEconomy, 777);
+  expect_identical(core::run_experiment(cfg, 8, 30),
+                   core::run_experiment(cfg, 8, 30));
+}
+
+TEST(Determinism, HoldsUnderFailureInjection) {
+  auto cfg = core::make_config(core::SchedulingMode::kEconomy, 777);
+  cfg.message_drop_rate = 0.25;
+  cfg.negotiate_timeout = 30.0;
+  cfg.network_latency = 1.0;
+  expect_identical(core::run_experiment(cfg, 8, 50),
+                   core::run_experiment(cfg, 8, 50));
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  const auto a = core::run_experiment(
+      core::make_config(core::SchedulingMode::kEconomy, 1), 8, 30);
+  const auto b = core::run_experiment(
+      core::make_config(core::SchedulingMode::kEconomy, 2), 8, 30);
+  EXPECT_NE(a.total_messages, b.total_messages);
+  EXPECT_NE(a.total_incentive, b.total_incentive);
+}
+
+TEST(Determinism, ResultsIndependentOfOtherRuns) {
+  // A run sandwiched between two others must not perturb them (no global
+  // state anywhere in the stack).
+  const auto cfg = core::make_config(core::SchedulingMode::kEconomy, 99);
+  const auto first = core::run_experiment(cfg, 8, 50);
+  (void)core::run_experiment(
+      core::make_config(core::SchedulingMode::kFederationNoEconomy, 5), 8, 0);
+  expect_identical(first, core::run_experiment(cfg, 8, 50));
+}
+
+// ---- SWF round trip ---------------------------------------------------------
+
+TEST(SwfRoundTrip, SyntheticTraceSurvivesWriteParse) {
+  const auto spec = cluster::table1_specs()[0];
+  const auto cal = workload::default_calibration(0);
+  const auto original =
+      workload::generate_trace(spec, 0, cal, workload::kTwoDays, 42);
+
+  std::stringstream buffer;
+  workload::write_swf(buffer, original, "CTC SP2 synthetic");
+  workload::SwfOptions opts;
+  opts.rebase_to_zero = false;
+  const auto parsed = workload::parse_swf(buffer, 0, opts);
+
+  ASSERT_EQ(parsed.jobs.size(), original.jobs.size());
+  for (std::size_t i = 0; i < original.jobs.size(); ++i) {
+    EXPECT_EQ(parsed.jobs[i].processors, original.jobs[i].processors) << i;
+    EXPECT_EQ(parsed.jobs[i].user, original.jobs[i].user) << i;
+    // Text round trip: values match to printed precision.
+    EXPECT_NEAR(parsed.jobs[i].submit, original.jobs[i].submit,
+                1e-4 * std::max(1.0, original.jobs[i].submit))
+        << i;
+    EXPECT_NEAR(parsed.jobs[i].runtime, original.jobs[i].runtime,
+                1e-4 * std::max(1.0, original.jobs[i].runtime))
+        << i;
+  }
+}
+
+TEST(SwfRoundTrip, WriterEmitsHeaderComments) {
+  workload::ResourceTrace trace;
+  trace.jobs.push_back(workload::TraceJob{1.0, 2.0, 3, 4});
+  std::stringstream buffer;
+  workload::write_swf(buffer, trace, "My Cluster");
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("; Version: 2"), std::string::npos);
+  EXPECT_NE(text.find("My Cluster"), std::string::npos);
+}
+
+// ---- GridBank statements ----------------------------------------------------
+
+TEST(GridBankLog, TracksPerUserSpending) {
+  economy::GridBank bank(4);
+  bank.settle({1, 0, 2, 100.0, 7});
+  bank.settle({2, 0, 3, 50.0, 7});
+  bank.settle({3, 0, 2, 25.0, 8});
+  EXPECT_DOUBLE_EQ(bank.spent_by_user(0, 7), 150.0);
+  EXPECT_DOUBLE_EQ(bank.spent_by_user(0, 8), 25.0);
+  EXPECT_DOUBLE_EQ(bank.spent_by_user(1, 7), 0.0);
+}
+
+TEST(GridBankLog, StatementFiltersByProvider) {
+  economy::GridBank bank(4);
+  bank.settle({1, 0, 2, 100.0, 0});
+  bank.settle({2, 1, 3, 50.0, 0});
+  bank.settle({3, 0, 2, 25.0, 1});
+  const auto stmt = bank.statement(2);
+  ASSERT_EQ(stmt.size(), 2u);
+  EXPECT_EQ(stmt[0].job, 1u);
+  EXPECT_EQ(stmt[1].job, 3u);
+  EXPECT_EQ(bank.log().size(), 3u);
+}
+
+TEST(GridBankLog, FederationUserSpendingSumsToHomeTotals) {
+  const auto cfg = core::make_config(core::SchedulingMode::kEconomy);
+  auto specs = cluster::table1_specs();
+  core::Federation fed(cfg, specs);
+  fed.load_workload(
+      workload::generate_federation_workload(specs, cfg.window, cfg.seed),
+      workload::PopulationProfile{30});
+  (void)fed.run();
+  for (cluster::ResourceIndex home = 0; home < 8; ++home) {
+    double sum = 0.0;
+    const auto users = workload::default_calibration(home).users;
+    for (std::uint32_t u = 0; u < users; ++u) {
+      sum += fed.bank().spent_by_user(home, u);
+    }
+    EXPECT_NEAR(sum, fed.bank().spent_by_home(home),
+                1e-9 * std::max(1.0, sum))
+        << home;
+  }
+}
+
+}  // namespace
+}  // namespace gridfed

@@ -1,0 +1,149 @@
+// Unit tests for the shared federation directory: subscribe/quote/query
+// primitives, ranked queries, load-hint filtering and message-cost
+// accounting.
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "directory/federation_directory.hpp"
+#include "directory/query_cost.hpp"
+
+namespace gridfed::directory {
+namespace {
+
+FederationDirectory table1_directory() {
+  FederationDirectory dir;
+  const auto specs = cluster::table1_specs();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    dir.subscribe(Quote::from_spec(static_cast<cluster::ResourceIndex>(i),
+                                   specs[i]));
+  }
+  return dir;
+}
+
+TEST(QueryCost, LogarithmicModel) {
+  EXPECT_EQ(query_message_cost(1), 1u);
+  EXPECT_EQ(query_message_cost(2), 1u);
+  EXPECT_EQ(query_message_cost(8), 3u);
+  EXPECT_EQ(query_message_cost(9), 4u);
+  EXPECT_EQ(query_message_cost(50), 6u);
+}
+
+TEST(Directory, SubscribeAndSize) {
+  auto dir = table1_directory();
+  EXPECT_EQ(dir.size(), 8u);
+}
+
+TEST(Directory, CheapestRankingMatchesTable1) {
+  auto dir = table1_directory();
+  // Quotes ascending: LANL Origin 3.59, LANL CM5 3.98, SDSC Par96 4.04,
+  // SDSC Blue 4.16, CTC 4.84, KTH 5.12, SDSC SP2 5.24, NASA 5.3.
+  const cluster::ResourceIndex expected[] = {3, 2, 5, 6, 0, 1, 7, 4};
+  for (std::uint32_t r = 1; r <= 8; ++r) {
+    const auto q = dir.query(OrderBy::kCheapest, r);
+    ASSERT_TRUE(q.has_value()) << r;
+    EXPECT_EQ(q->resource, expected[r - 1]) << "rank " << r;
+  }
+}
+
+TEST(Directory, FastestRankingMatchesTable1) {
+  auto dir = table1_directory();
+  // MIPS descending: NASA 930, SDSC SP2 920, KTH 900, CTC 850, SDSC Blue
+  // 730, SDSC Par96 710, LANL CM5 700, LANL Origin 630.
+  const cluster::ResourceIndex expected[] = {4, 7, 1, 0, 6, 5, 2, 3};
+  for (std::uint32_t r = 1; r <= 8; ++r) {
+    const auto q = dir.query(OrderBy::kFastest, r);
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(q->resource, expected[r - 1]) << "rank " << r;
+  }
+}
+
+TEST(Directory, RankBeyondSizeIsEmpty) {
+  auto dir = table1_directory();
+  EXPECT_FALSE(dir.query(OrderBy::kCheapest, 9).has_value());
+}
+
+TEST(Directory, TieBreaksByResourceIndex) {
+  FederationDirectory dir;
+  cluster::ResourceSpec a{"a", 10, 500.0, 1.0, 2.0};
+  cluster::ResourceSpec b{"b", 10, 500.0, 1.0, 2.0};
+  dir.subscribe(Quote::from_spec(5, a));
+  dir.subscribe(Quote::from_spec(2, b));
+  EXPECT_EQ(dir.query(OrderBy::kCheapest, 1)->resource, 2u);
+  EXPECT_EQ(dir.query(OrderBy::kFastest, 1)->resource, 2u);
+}
+
+TEST(Directory, UnsubscribeRemoves) {
+  auto dir = table1_directory();
+  dir.unsubscribe(3);  // LANL Origin, the cheapest
+  EXPECT_EQ(dir.size(), 7u);
+  EXPECT_EQ(dir.query(OrderBy::kCheapest, 1)->resource, 2u);  // LANL CM5
+}
+
+TEST(Directory, ResubscribeRefreshesQuote) {
+  auto dir = table1_directory();
+  auto q = *dir.peek(0);
+  q.price = 0.01;
+  dir.subscribe(q);
+  EXPECT_EQ(dir.size(), 8u);
+  EXPECT_EQ(dir.query(OrderBy::kCheapest, 1)->resource, 0u);
+}
+
+TEST(Directory, UpdatePriceReranks) {
+  auto dir = table1_directory();
+  dir.update_price(4, 0.5);  // NASA becomes cheapest
+  EXPECT_EQ(dir.query(OrderBy::kCheapest, 1)->resource, 4u);
+  // Speed ranking unaffected.
+  EXPECT_EQ(dir.query(OrderBy::kFastest, 1)->resource, 4u);
+}
+
+TEST(Directory, PeekDoesNotCostMessages) {
+  auto dir = table1_directory();
+  const auto before = dir.traffic().query_messages;
+  (void)dir.peek(0);
+  EXPECT_EQ(dir.traffic().query_messages, before);
+}
+
+TEST(Directory, QueryMetersLogNMessages) {
+  auto dir = table1_directory();
+  dir.reset_traffic();
+  (void)dir.query(OrderBy::kCheapest, 1);
+  EXPECT_EQ(dir.traffic().queries, 1u);
+  EXPECT_EQ(dir.traffic().query_messages, query_message_cost(8));
+}
+
+TEST(Directory, LoadHintFilteringSkipsSaturated) {
+  auto dir = table1_directory();
+  dir.update_load_hint(3, 0.99, 10.0);  // LANL Origin saturated
+  const auto q = dir.query_filtered(OrderBy::kCheapest, 1, 0.95);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->resource, 2u);  // LANL CM5 now rank 1
+  // Unfiltered query still sees LANL Origin.
+  EXPECT_EQ(dir.query(OrderBy::kCheapest, 1)->resource, 3u);
+}
+
+TEST(Directory, MissingHintNeverFiltered) {
+  auto dir = table1_directory();
+  const auto q = dir.query_filtered(OrderBy::kCheapest, 1, 0.0);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->resource, 3u);
+}
+
+TEST(Directory, FilteredRanksCountAfterFiltering) {
+  auto dir = table1_directory();
+  dir.update_load_hint(3, 1.0, 0.0);
+  dir.update_load_hint(2, 1.0, 0.0);
+  const auto q = dir.query_filtered(OrderBy::kCheapest, 2, 0.95);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->resource, 6u);  // Par96 (rank1), Blue (rank2)
+}
+
+TEST(Directory, HintRefreshCountsAsPublish) {
+  auto dir = table1_directory();
+  const auto before = dir.traffic().publishes;
+  dir.update_load_hint(0, 0.5, 1.0);
+  EXPECT_EQ(dir.traffic().publishes, before + 1);
+}
+
+}  // namespace
+}  // namespace gridfed::directory

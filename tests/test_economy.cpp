@@ -1,0 +1,249 @@
+// Unit tests for the economy: Eq. 5/6 pricing (must reproduce Table 1's
+// quotes), cost models, Eq. 7/8 QoS fabrication, the GridBank ledger and
+// the dynamic-pricing controller.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/catalog.hpp"
+#include "economy/cost_model.hpp"
+#include "economy/dynamic_pricing.hpp"
+#include "economy/grid_bank.hpp"
+#include "economy/pricing.hpp"
+
+namespace gridfed::economy {
+namespace {
+
+TEST(Pricing, Eq6ReproducesTable1Quotes) {
+  // c_i = (c / mu_max) * mu_i with c = 5.3, mu_max = 930 must match every
+  // printed quote of Table 1.  The paper truncates (not rounds) to two
+  // decimals: 5.129 -> 5.12, 3.989 -> 3.98.
+  for (const auto& entry : cluster::table1()) {
+    const double computed = quote_for(entry.spec.mips);
+    const double truncated = std::floor(computed * 100.0) / 100.0;
+    EXPECT_NEAR(truncated, entry.spec.quote, 1e-9) << entry.spec.name;
+  }
+}
+
+TEST(Pricing, FastestResourceGetsAccessPrice) {
+  EXPECT_DOUBLE_EQ(quote_for(930.0), 5.3);
+}
+
+TEST(Pricing, ApplyCommodityPricingUsesFederationMax) {
+  std::vector<cluster::ResourceSpec> specs = {
+      {"slow", 4, 100.0, 1.0, 0.0},
+      {"fast", 4, 400.0, 1.0, 0.0},
+  };
+  apply_commodity_pricing(specs, 8.0);
+  EXPECT_DOUBLE_EQ(specs[1].quote, 8.0);
+  EXPECT_DOUBLE_EQ(specs[0].quote, 2.0);
+}
+
+TEST(CostModel, ComputeOnlyIsDegenerateUnderEq6) {
+  // The documented degeneracy: with Eq. 6 pricing, Eq. 4's cost is the
+  // same Grid-Dollar amount on every cluster.
+  auto specs = cluster::table1_specs();
+  cluster::Job job;
+  job.processors = 8;
+  job.length_mi = 1e6;
+  job.comm_overhead = 50.0;
+  job.origin = 0;
+  const double reference = job_cost(job, specs[0], specs[0],
+                                    CostModel::kComputeOnly);
+  for (const auto& spec : specs) {
+    // Quotes are printed-rounded, so allow 0.2% slack.
+    EXPECT_NEAR(job_cost(job, specs[0], spec, CostModel::kComputeOnly),
+                reference, reference * 0.002)
+        << spec.name;
+  }
+}
+
+TEST(CostModel, WallTimeDiscriminatesBetweenClusters) {
+  auto specs = cluster::table1_specs();
+  cluster::Job job;
+  job.processors = 8;
+  job.length_mi = 1e6;
+  job.comm_overhead = 50.0;
+  job.origin = 3;  // LANL Origin
+  const double at_origin =
+      job_cost(job, specs[3], specs[3], CostModel::kWallTime);
+  const double at_cm5 = job_cost(job, specs[3], specs[2], CostModel::kWallTime);
+  EXPECT_NE(at_origin, at_cm5);
+}
+
+TEST(CostModel, PerMiChargesQuoteTimesLength) {
+  auto specs = cluster::table1_specs();
+  cluster::Job job;
+  job.processors = 8;
+  job.length_mi = 2e6;
+  job.comm_overhead = 50.0;
+  job.origin = 0;
+  // B = c_m * l / 1000, independent of processors and bandwidth.
+  EXPECT_DOUBLE_EQ(job_cost(job, specs[0], specs[3], CostModel::kPerMi),
+                   3.59 * 2e6 / 1000.0);
+  EXPECT_DOUBLE_EQ(job_cost(job, specs[0], specs[4], CostModel::kPerMi),
+                   5.3 * 2e6 / 1000.0);
+}
+
+TEST(CostModel, PerMiMakesCheapestClusterCheapest) {
+  // The OFC ranking (ascending quote) is exactly the per-job cost ranking
+  // under per-MI charging — this is what makes OFC meaningful.
+  auto specs = cluster::table1_specs();
+  cluster::Job job;
+  job.processors = 4;
+  job.length_mi = 1e6;
+  job.origin = 0;
+  double cheapest = 1e300;
+  std::size_t argmin = 99;
+  for (std::size_t m = 0; m < specs.size(); ++m) {
+    const double c = job_cost(job, specs[0], specs[m], CostModel::kPerMi);
+    if (c < cheapest) {
+      cheapest = c;
+      argmin = m;
+    }
+  }
+  EXPECT_EQ(argmin, 3u);  // LANL Origin, quote 3.59
+}
+
+TEST(CostModel, PerMiBudgetNeverBindsWithinTwoXPriceSpread) {
+  // b = 2 c_k l / 1000; migrating to m is affordable iff c_m <= 2 c_k.
+  // Table 1's spread is 3.59..5.3 (< 2x), so budgets never bind there.
+  auto specs = cluster::table1_specs();
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    cluster::Job job;
+    job.processors = 2;
+    job.length_mi = 1e5;
+    job.origin = static_cast<cluster::ResourceIndex>(k);
+    fabricate_qos(job, specs[k], CostModel::kPerMi);
+    for (std::size_t m = 0; m < specs.size(); ++m) {
+      EXPECT_LE(job_cost(job, specs[k], specs[m], CostModel::kPerMi),
+                job.budget)
+          << specs[k].name << " -> " << specs[m].name;
+    }
+  }
+}
+
+TEST(CostModel, Names) {
+  EXPECT_STREQ(to_string(CostModel::kPerMi), "per-MI");
+  EXPECT_STREQ(to_string(CostModel::kWallTime), "wall-time");
+  EXPECT_STREQ(to_string(CostModel::kComputeOnly), "compute-only");
+}
+
+TEST(CostModel, FabricateQosDoublesOriginCostAndTime) {
+  auto specs = cluster::table1_specs();
+  cluster::Job job;
+  job.processors = 16;
+  job.length_mi = 2e6;
+  job.comm_overhead = 100.0;
+  job.origin = 0;
+  fabricate_qos(job, specs[0], CostModel::kWallTime);
+  EXPECT_DOUBLE_EQ(job.budget,
+                   2.0 * job_cost(job, specs[0], specs[0],
+                                  CostModel::kWallTime));
+  EXPECT_DOUBLE_EQ(job.deadline,
+                   2.0 * cluster::execution_time(job, specs[0], specs[0]));
+}
+
+TEST(CostModel, FabricateQosHonoursCustomFactors) {
+  auto specs = cluster::table1_specs();
+  cluster::Job job;
+  job.processors = 1;
+  job.length_mi = 1000.0;
+  job.origin = 1;
+  fabricate_qos(job, specs[1], CostModel::kWallTime, QosFactors{3.0, 1.5});
+  EXPECT_DOUBLE_EQ(job.deadline,
+                   1.5 * cluster::execution_time(job, specs[1], specs[1]));
+  EXPECT_DOUBLE_EQ(job.budget, 3.0 * job_cost(job, specs[1], specs[1],
+                                              CostModel::kWallTime));
+}
+
+TEST(CostModel, BudgetAlwaysCoversOriginExecution) {
+  // Eq. 7's b = 2B(J, R_k) implies the origin is always budget-feasible.
+  auto specs = cluster::table1_specs();
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    cluster::Job job;
+    job.processors = 4;
+    job.length_mi = 5e5;
+    job.comm_overhead = 10.0;
+    job.origin = static_cast<cluster::ResourceIndex>(k);
+    fabricate_qos(job, specs[k], CostModel::kWallTime);
+    EXPECT_LE(job_cost(job, specs[k], specs[k], CostModel::kWallTime),
+              job.budget);
+  }
+}
+
+// ---- GridBank ---------------------------------------------------------------
+
+TEST(GridBank, SettlementsAccumulate) {
+  GridBank bank(4);
+  bank.settle({1, 0, 3, 100.0});
+  bank.settle({2, 0, 3, 50.0});
+  bank.settle({3, 1, 0, 25.0});
+  EXPECT_DOUBLE_EQ(bank.incentive(3), 150.0);
+  EXPECT_DOUBLE_EQ(bank.incentive(0), 25.0);
+  EXPECT_DOUBLE_EQ(bank.spent_by_home(0), 150.0);
+  EXPECT_DOUBLE_EQ(bank.spent_by_home(1), 25.0);
+  EXPECT_DOUBLE_EQ(bank.total(), 175.0);
+  EXPECT_EQ(bank.transactions(), 3u);
+}
+
+TEST(GridBank, AlwaysBalanced) {
+  GridBank bank(8);
+  for (int i = 0; i < 100; ++i) {
+    bank.settle({static_cast<cluster::JobId>(i),
+                 static_cast<cluster::ResourceIndex>(i % 8),
+                 static_cast<cluster::ResourceIndex>((i * 3) % 8),
+                 static_cast<double>(i) * 1.25});
+  }
+  EXPECT_TRUE(bank.balanced());
+}
+
+TEST(GridBank, NegativeAmountRejected) {
+  GridBank bank(2);
+  EXPECT_ANY_THROW(bank.settle({1, 0, 1, -5.0}));
+}
+
+TEST(GridBank, OutOfRangeResourceRejected) {
+  GridBank bank(2);
+  EXPECT_ANY_THROW(bank.settle({1, 0, 2, 5.0}));
+  EXPECT_ANY_THROW((void)bank.incentive(2));
+}
+
+// ---- Dynamic pricing ---------------------------------------------------------
+
+TEST(DynamicPricing, RaisesPriceWhenOverloaded) {
+  DynamicPricer pricer(4.0, {});
+  const double p1 = pricer.reprice(1.0);  // way above 0.7 target
+  EXPECT_GT(p1, 4.0);
+}
+
+TEST(DynamicPricing, LowersPriceWhenIdle) {
+  DynamicPricer pricer(4.0, {});
+  const double p1 = pricer.reprice(0.0);
+  EXPECT_LT(p1, 4.0);
+}
+
+TEST(DynamicPricing, AtTargetHoldsSteady) {
+  DynamicPricingConfig cfg;
+  DynamicPricer pricer(4.0, cfg);
+  EXPECT_DOUBLE_EQ(pricer.reprice(cfg.target_load), 4.0);
+}
+
+TEST(DynamicPricing, RespectsFloorAndCeiling) {
+  DynamicPricingConfig cfg;
+  cfg.eta = 10.0;  // aggressive
+  DynamicPricer pricer(4.0, cfg);
+  for (int i = 0; i < 50; ++i) pricer.reprice(1.0);
+  EXPECT_LE(pricer.quote(), 4.0 * cfg.ceiling_factor + 1e-12);
+  for (int i = 0; i < 100; ++i) pricer.reprice(0.0);
+  EXPECT_GE(pricer.quote(), 4.0 * cfg.floor_factor - 1e-12);
+}
+
+TEST(DynamicPricing, InvalidLoadRejected) {
+  DynamicPricer pricer(4.0, {});
+  EXPECT_ANY_THROW((void)pricer.reprice(1.5));
+}
+
+}  // namespace
+}  // namespace gridfed::economy

@@ -1,0 +1,215 @@
+// Integration tests for the experiment drivers: the paper-shape assertions
+// that hold for the calibrated synthetic workload (who wins, orderings,
+// directions — not absolute values).
+
+#include <gtest/gtest.h>
+
+#include "cluster/catalog.hpp"
+#include "core/experiment.hpp"
+
+namespace gridfed::core {
+namespace {
+
+// The full two-day experiments run in well under a second each; results
+// are cached across assertions within a test via static locals where it
+// matters for test runtime.
+
+const FederationResult& independent_result() {
+  static const FederationResult r =
+      run_experiment(make_config(SchedulingMode::kIndependent));
+  return r;
+}
+
+const FederationResult& federation_result() {
+  static const FederationResult r =
+      run_experiment(make_config(SchedulingMode::kFederationNoEconomy));
+  return r;
+}
+
+TEST(Experiment1, JobCountsMatchTable2) {
+  const auto& r = independent_result();
+  ASSERT_EQ(r.resources.size(), 8u);
+  const std::uint32_t expected[] = {417, 163, 215, 817, 535, 189, 215, 111};
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(r.resources[i].total_jobs, expected[i]) << r.resources[i].name;
+  }
+}
+
+TEST(Experiment1, NoMessagesWithoutFederation) {
+  EXPECT_EQ(independent_result().total_messages, 0u);
+}
+
+TEST(Experiment1, SaturatedResourcesRejectHeavily) {
+  const auto& r = independent_result();
+  // SDSC Blue (idx 6) and SDSC SP2 (idx 7) are overloaded in Table 2
+  // (42.3% / 49.5% rejection) — far above everyone else.
+  for (std::size_t i : {6u, 7u}) {
+    EXPECT_GT(r.resources[i].rejection_pct(), 25.0) << r.resources[i].name;
+  }
+  for (std::size_t i : {0u, 4u, 5u}) {  // CTC, NASA, Par96: light rejection
+    EXPECT_LT(r.resources[i].rejection_pct(), 10.0) << r.resources[i].name;
+  }
+}
+
+TEST(Experiment1, UnderutilizedMajority) {
+  // Paper: "5 out of 8 resources remained underutilized (less than 60%)".
+  const auto& r = independent_result();
+  int under_60 = 0;
+  for (const auto& row : r.resources) under_60 += (row.utilization < 0.60);
+  EXPECT_GE(under_60, 4);
+}
+
+TEST(Experiment2, FederationLiftsAcceptance) {
+  // Paper: average acceptance 90.3% -> 98.6%.
+  const double indep = independent_result().acceptance_pct();
+  const double fed = federation_result().acceptance_pct();
+  EXPECT_GT(fed, indep);
+  EXPECT_GT(fed, 95.0);
+}
+
+TEST(Experiment2, SaturatedResourcesRecoverMost) {
+  // SDSC Blue's rejection drops from 42% to ~1% in Table 3.
+  const auto& indep = independent_result();
+  const auto& fed = federation_result();
+  EXPECT_LT(fed.resources[6].rejection_pct(),
+            indep.resources[6].rejection_pct() / 3.0);
+  EXPECT_LT(fed.resources[7].rejection_pct(),
+            indep.resources[7].rejection_pct() / 3.0);
+}
+
+TEST(Experiment2, LoadSharingMovesJobsBothWays) {
+  const auto& fed = federation_result();
+  std::uint64_t migrated = 0, remote = 0;
+  for (const auto& row : fed.resources) {
+    migrated += row.migrated;
+    remote += row.remote_processed;
+  }
+  EXPECT_GT(migrated, 0u);
+  EXPECT_EQ(migrated, remote);  // conservation of migrated jobs
+}
+
+TEST(Experiment2, AccountingConserved) {
+  const auto& fed = federation_result();
+  for (const auto& row : fed.resources) {
+    EXPECT_EQ(row.processed_locally + row.migrated + row.rejected,
+              row.total_jobs)
+        << row.name;
+  }
+}
+
+TEST(Experiment3, Oft100StarvesCheapFeedsFast) {
+  const auto r = run_experiment(make_config(SchedulingMode::kEconomy), 8, 100);
+  const auto r0 = run_experiment(make_config(SchedulingMode::kEconomy), 8, 0);
+  // Under pure OFT the cheapest resource (LANL Origin, idx 3) drops to the
+  // bottom of the remote-traffic ranking while every fast-tier resource
+  // (mu >= 850: CTC 0, KTH 1, NASA 4, SDSC SP2 7) gets hammered.  (The
+  // paper reports NASA as the single argmax; with the synthetic trace the
+  // eventual overflow absorber can edge ahead — see EXPERIMENTS.md — but
+  // the fast-vs-cheap contrast is robust.)
+  for (std::size_t i : {0u, 1u, 4u, 7u}) {
+    EXPECT_GT(r.resources[i].remote_messages,
+              2 * r.resources[3].remote_messages)
+        << r.resources[i].name;
+  }
+  // NASA's remote traffic explodes as the population flips from OFC to OFT.
+  EXPECT_GT(r.resources[4].remote_messages,
+            10 * (r0.resources[4].remote_messages + 10));
+}
+
+TEST(Experiment3, Ofc100FloodsCheapest) {
+  const auto r = run_experiment(make_config(SchedulingMode::kEconomy), 8, 0);
+  // The two cheapest resources (LANL Origin idx 3, LANL CM5 idx 2) must
+  // dominate remote traffic under pure OFC (paper Fig 9(a) reports them as
+  // ranks 1 and 2).
+  for (std::size_t i : {2u, 3u}) {
+    for (std::size_t j : {0u, 1u, 4u, 6u, 7u}) {
+      EXPECT_GT(r.resources[i].remote_messages,
+                r.resources[j].remote_messages)
+          << r.resources[i].name << " vs " << r.resources[j].name;
+    }
+  }
+  // The fastest resources are starved of remote work under pure OFC.
+  EXPECT_LT(r.resources[4].remote_messages, 500u);  // NASA iPSC
+  EXPECT_LT(r.resources[7].remote_messages, 500u);  // SDSC SP2
+}
+
+TEST(Experiment3, OftEarnsMoreTotalIncentiveThanOfc) {
+  // Paper §3.7.2: owners across all resources earn more when users seek
+  // OFT (2.30e9 Grid Dollars) than OFC (2.12e9) — under per-MI charging,
+  // OFT places work at the high-quote fast resources.
+  const auto ofc = run_experiment(make_config(SchedulingMode::kEconomy), 8, 0);
+  const auto oft =
+      run_experiment(make_config(SchedulingMode::kEconomy), 8, 100);
+  EXPECT_GT(oft.total_incentive, ofc.total_incentive);
+  // And the fast owners specifically go from starved to fed (the paper:
+  // "the faster resources ... did not get significant incentives" under
+  // OFC).
+  const auto nasa = cluster::catalog_index("NASA iPSC");
+  const auto sp2 = cluster::catalog_index("SDSC SP2");
+  EXPECT_GT(oft.resources[nasa].incentive,
+            3.0 * ofc.resources[nasa].incentive);
+  EXPECT_GT(oft.resources[sp2].incentive, 3.0 * ofc.resources[sp2].incentive);
+}
+
+TEST(Experiment3, EveryOwnerEarnsUnderMixedPopulation) {
+  // Paper: with a 70/30 OFC/OFT mix every owner earns significant
+  // incentive.
+  const auto r = run_experiment(make_config(SchedulingMode::kEconomy), 8, 30);
+  for (const auto& row : r.resources) {
+    EXPECT_GT(row.incentive, 0.0) << row.name;
+  }
+}
+
+TEST(Experiment4, TotalMessagesGrowWithOftShare)
+{
+  // Paper Fig 9(c): total message count increases with %OFT (1.02e4 at
+  // OFC-only vs 1.95e4 at OFT-only).
+  const auto cfg = make_config(SchedulingMode::kEconomy);
+  const auto ofc = run_experiment(cfg, 8, 0);
+  const auto oft = run_experiment(cfg, 8, 100);
+  EXPECT_GT(oft.total_messages, ofc.total_messages);
+}
+
+TEST(Experiment4, LedgerConsistency) {
+  const auto r = run_experiment(make_config(SchedulingMode::kEconomy), 8, 50);
+  std::uint64_t local = 0, remote = 0;
+  for (const auto& row : r.resources) {
+    local += row.local_messages;
+    remote += row.remote_messages;
+  }
+  EXPECT_EQ(local, r.total_messages);
+  EXPECT_EQ(remote, r.total_messages);
+  // negotiate == reply; submission == completion == migrated jobs.
+  EXPECT_EQ(r.messages_by_type[0], r.messages_by_type[1]);
+  EXPECT_EQ(r.messages_by_type[2], r.messages_by_type[3]);
+}
+
+TEST(Experiment5, MessagesPerJobGrowWithSystemSize) {
+  // Paper Fig 10(b): avg per-job messages rise from 5.5 (OFC@10) /
+  // 10.6 (OFT@10) to 17.4 / 41.4 at size 50.
+  const auto cfg = make_config(SchedulingMode::kEconomy);
+  const auto points = run_scaling_study(cfg, {10, 30}, {0});
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_GT(points[1].msgs_per_job.mean(), points[0].msgs_per_job.mean());
+}
+
+TEST(Experiment5, OftCostsMoreMessagesThanOfc) {
+  const auto cfg = make_config(SchedulingMode::kEconomy);
+  const auto points = run_scaling_study(cfg, {10}, {0, 100});
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_GT(points[1].msgs_per_job.mean(), points[0].msgs_per_job.mean());
+}
+
+TEST(ProfileSweep, ElevenPointsInOrder) {
+  // Use a smaller system so the sweep stays fast in Debug builds.
+  const auto cfg = make_config(SchedulingMode::kEconomy);
+  const auto sweep = run_profile_sweep(cfg, 8);
+  ASSERT_EQ(sweep.size(), 11u);
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    EXPECT_EQ(sweep[i].oft_percent, 10 * i);
+    EXPECT_EQ(sweep[i].total_jobs, sweep[0].total_jobs);
+  }
+}
+
+}  // namespace
+}  // namespace gridfed::core

@@ -1,0 +1,121 @@
+// Tests for the export utilities: outcome CSV and trace statistics.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/catalog.hpp"
+#include "core/experiment.hpp"
+#include "core/trace_export.hpp"
+#include "workload/statistics.hpp"
+#include "workload/synthetic.hpp"
+
+namespace gridfed {
+namespace {
+
+TEST(OutcomeCsv, HeaderAndRowsAligned) {
+  const auto header = core::outcome_csv_header();
+  core::JobOutcome o;
+  o.job.id = 42;
+  o.accepted = true;
+  o.executed_on = 3;
+  o.start = 10.0;
+  o.completion = 20.0;
+  const auto row = core::outcome_csv_row(o);
+  EXPECT_EQ(header.size(), row.size());
+}
+
+TEST(OutcomeCsv, RejectedRowsLeaveExecutionBlank) {
+  core::JobOutcome o;
+  o.job.id = 7;
+  o.accepted = false;
+  const auto row = core::outcome_csv_row(o);
+  // executed_on / start / completion / response / cost columns are empty.
+  EXPECT_EQ(row[10], "");
+  EXPECT_EQ(row[11], "");
+  EXPECT_EQ(row[14], "");
+  EXPECT_EQ(row[9], "0");  // accepted flag
+}
+
+TEST(OutcomeCsv, FullFederationExportParses) {
+  const auto cfg = core::make_config(core::SchedulingMode::kEconomy);
+  auto specs = cluster::table1_specs();
+  core::Federation fed(cfg, specs);
+  fed.load_workload(
+      workload::generate_federation_workload(specs, cfg.window, cfg.seed),
+      workload::PopulationProfile{30});
+  (void)fed.run();
+
+  std::stringstream buffer;
+  core::write_outcomes_csv(buffer, fed.outcomes());
+  // One header line + one line per job; every line has the same number of
+  // commas (no cell contains one in this schema).
+  std::string line;
+  std::size_t lines = 0, commas = std::string::npos;
+  while (std::getline(buffer, line)) {
+    const auto n = static_cast<std::size_t>(
+        std::count(line.begin(), line.end(), ','));
+    if (lines == 0) {
+      commas = n;
+    } else {
+      EXPECT_EQ(n, commas) << "line " << lines;
+    }
+    ++lines;
+  }
+  EXPECT_EQ(lines, fed.outcomes().size() + 1);
+}
+
+TEST(TraceStatistics, SyntheticTraceMatchesCalibration) {
+  const auto spec = cluster::table1_specs()[0];
+  const auto cal = workload::default_calibration(0);
+  const auto trace =
+      workload::generate_trace(spec, 0, cal, workload::kTwoDays, 42);
+  const auto stats =
+      workload::analyze_trace(trace, spec, workload::kTwoDays);
+
+  EXPECT_EQ(stats.jobs, cal.jobs);
+  // Load normalization is exact by construction.
+  EXPECT_NEAR(stats.offered_load, cal.offered_load, 1e-9);
+  EXPECT_LE(stats.max_processors, spec.processors);
+  EXPECT_LE(stats.users, cal.users);
+  EXPECT_GT(stats.users, cal.users / 4);  // Zipf reaches most users
+  // Burstiness lands in the calibrated ballpark (hyperexponential cv^2).
+  EXPECT_GT(stats.interarrival_cv2, 0.5);
+}
+
+TEST(TraceStatistics, BurstyResourceShowsHighCv2) {
+  const auto specs = cluster::table1_specs();
+  const auto smooth = workload::analyze_trace(
+      workload::generate_trace(specs[4], 4, workload::default_calibration(4),
+                               workload::kTwoDays, 42),
+      specs[4], workload::kTwoDays);
+  const auto bursty = workload::analyze_trace(
+      workload::generate_trace(specs[2], 2, workload::default_calibration(2),
+                               workload::kTwoDays, 42),
+      specs[2], workload::kTwoDays);
+  // NASA iPSC is calibrated Poisson-like, LANL CM5 heavily bursty.
+  EXPECT_LT(smooth.interarrival_cv2, 2.0);
+  EXPECT_GT(bursty.interarrival_cv2, 4.0);
+}
+
+TEST(TraceStatistics, EmptyTraceIsZeroes) {
+  workload::ResourceTrace empty;
+  const auto stats = workload::analyze_trace(
+      empty, cluster::table1_specs()[0], workload::kTwoDays);
+  EXPECT_EQ(stats.jobs, 0u);
+  EXPECT_DOUBLE_EQ(stats.offered_load, 0.0);
+}
+
+TEST(TraceStatistics, PrintsReadableSummary) {
+  const auto spec = cluster::table1_specs()[1];
+  const auto trace = workload::generate_trace(
+      spec, 1, workload::default_calibration(1), workload::kTwoDays, 7);
+  std::stringstream out;
+  workload::print_statistics(
+      out, workload::analyze_trace(trace, spec, workload::kTwoDays), spec);
+  EXPECT_NE(out.str().find("KTH SP2"), std::string::npos);
+  EXPECT_NE(out.str().find("offered load"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gridfed

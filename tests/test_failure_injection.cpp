@@ -1,0 +1,161 @@
+// Failure-injection tests: lossy negotiate/reply channels with timeouts.
+// The protocol must stay sound under message loss — every job still
+// terminates (accepted once or rejected), accepted jobs still meet their
+// guaranteed deadlines, phantom reservations get cancelled, and no job is
+// ever executed twice.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/catalog.hpp"
+#include "core/experiment.hpp"
+#include "economy/pricing.hpp"
+#include "workload/synthetic.hpp"
+
+namespace gridfed::core {
+namespace {
+
+FederationConfig lossy_config(double drop_rate, std::uint64_t seed) {
+  auto cfg = make_config(SchedulingMode::kEconomy, seed);
+  cfg.message_drop_rate = drop_rate;
+  cfg.negotiate_timeout = 30.0;
+  cfg.network_latency = 1.0;
+  return cfg;
+}
+
+TEST(FailureInjection, RequiresTimeoutWhenLossy) {
+  auto cfg = make_config(SchedulingMode::kEconomy);
+  cfg.message_drop_rate = 0.2;  // but no timeout configured
+  EXPECT_ANY_THROW(Federation(cfg, cluster::table1_specs()));
+}
+
+TEST(FailureInjection, TimeoutMustExceedRoundTrip) {
+  auto cfg = make_config(SchedulingMode::kEconomy);
+  cfg.negotiate_timeout = 1.0;
+  cfg.network_latency = 0.6;  // round trip 1.2 > timeout
+  EXPECT_ANY_THROW(Federation(cfg, cluster::table1_specs()));
+}
+
+class LossyFederation : public ::testing::TestWithParam<double> {};
+
+TEST_P(LossyFederation, EveryJobTerminatesExactlyOnce) {
+  const auto cfg = lossy_config(GetParam(), 0x9042005ULL);
+  auto specs = cluster::table1_specs();
+  Federation fed(cfg, specs);
+  const auto traces =
+      workload::generate_federation_workload(specs, cfg.window, cfg.seed);
+  std::uint64_t loaded = 0;
+  for (const auto& t : traces) loaded += t.jobs.size();
+  fed.load_workload(traces, workload::PopulationProfile{50});
+  const auto result = fed.run();
+
+  EXPECT_EQ(result.total_jobs, loaded);
+  EXPECT_EQ(result.total_accepted + result.total_rejected, loaded);
+  // No duplicate outcomes.
+  std::set<cluster::JobId> seen;
+  for (const auto& o : fed.outcomes()) {
+    EXPECT_TRUE(seen.insert(o.job.id).second) << "job " << o.job.id;
+  }
+}
+
+TEST_P(LossyFederation, AcceptedJobsStillMeetDeadlines) {
+  const auto cfg = lossy_config(GetParam(), 0xFEEDULL);
+  auto specs = cluster::table1_specs();
+  Federation fed(cfg, specs);
+  const auto traces =
+      workload::generate_federation_workload(specs, cfg.window, cfg.seed);
+  fed.load_workload(traces, workload::PopulationProfile{50});
+  (void)fed.run();
+  for (const auto& o : fed.outcomes()) {
+    if (!o.accepted) continue;
+    EXPECT_LE(o.completion, o.job.absolute_deadline() + 1e-6)
+        << "job " << o.job.id;
+  }
+}
+
+TEST_P(LossyFederation, DropsAreActuallyInjected) {
+  const auto cfg = lossy_config(GetParam(), 0xABCDULL);
+  auto specs = cluster::table1_specs();
+  Federation fed(cfg, specs);
+  const auto traces =
+      workload::generate_federation_workload(specs, cfg.window, cfg.seed);
+  fed.load_workload(traces, workload::PopulationProfile{50});
+  const auto result = fed.run();
+  if (GetParam() > 0.0) {
+    EXPECT_GT(fed.messages_dropped(), 0u);
+    // The ledger records messages when sent (before the drop decision), so
+    // the dropped fraction of the droppable types tracks the configured
+    // rate directly.
+    const double droppable = static_cast<double>(
+        result.messages_by_type[0] + result.messages_by_type[1]);
+    EXPECT_NEAR(static_cast<double>(fed.messages_dropped()) / droppable,
+                GetParam(), 0.05);
+  } else {
+    EXPECT_EQ(fed.messages_dropped(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DropRates, LossyFederation,
+                         ::testing::Values(0.0, 0.05, 0.2, 0.4),
+                         [](const auto& info) {
+                           return "drop" +
+                                  std::to_string(static_cast<int>(
+                                      info.param * 100));
+                         });
+
+TEST(FailureInjection, LossDegradesButDoesNotCollapseAcceptance) {
+  const auto clean = run_experiment(lossy_config(0.0, 7), 8, 50);
+  auto lossy_cfg = lossy_config(0.3, 7);
+  const auto lossy = run_experiment(lossy_cfg, 8, 50);
+  // Losing 30% of enquiries costs some placements (timeouts give up ranks)
+  // but the walk's redundancy keeps the federation functional.
+  EXPECT_GT(lossy.acceptance_pct(), clean.acceptance_pct() - 20.0);
+  EXPECT_LE(lossy.acceptance_pct(), 100.0);
+}
+
+TEST(FailureInjection, PhantomReservationsGetCancelled) {
+  // With heavy loss many negotiate-accepts never see their payload; the
+  // holds must be released rather than rotting in the profile.
+  auto cfg = lossy_config(0.4, 99);
+  auto specs = cluster::table1_specs();
+  Federation fed(cfg, specs);
+  const auto traces =
+      workload::generate_federation_workload(specs, cfg.window, cfg.seed);
+  fed.load_workload(traces, workload::PopulationProfile{50});
+  (void)fed.run();
+  std::uint64_t cancelled = 0;
+  for (cluster::ResourceIndex i = 0; i < 8; ++i) {
+    cancelled += fed.lrms(i).jobs_cancelled();
+  }
+  EXPECT_GT(cancelled, 0u);
+}
+
+TEST(FailureInjection, CleanRunHasNoCancellations) {
+  const auto cfg = make_config(SchedulingMode::kEconomy);
+  auto specs = cluster::table1_specs();
+  Federation fed(cfg, specs);
+  const auto traces =
+      workload::generate_federation_workload(specs, cfg.window, cfg.seed);
+  fed.load_workload(traces, workload::PopulationProfile{50});
+  (void)fed.run();
+  for (cluster::ResourceIndex i = 0; i < 8; ++i) {
+    EXPECT_EQ(fed.lrms(i).jobs_cancelled(), 0u);
+  }
+}
+
+TEST(FailureInjection, TimeoutAloneIsHarmlessWhenLossless) {
+  // Arming timeouts without loss must not change outcomes: replies always
+  // beat the timeout (latency << timeout).
+  auto base = make_config(SchedulingMode::kEconomy);
+  auto timed = base;
+  timed.negotiate_timeout = 60.0;
+  timed.network_latency = 0.5;
+  const auto a = run_experiment(base, 8, 30);
+  const auto b = run_experiment(timed, 8, 30);
+  EXPECT_EQ(a.total_accepted, b.total_accepted);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+}
+
+}  // namespace
+}  // namespace gridfed::core

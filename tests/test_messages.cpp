@@ -1,0 +1,93 @@
+// Unit tests for the message ledger: local/remote classification per the
+// paper's §3.5 definition and per-type counting.
+
+#include <gtest/gtest.h>
+
+#include "core/message.hpp"
+
+namespace gridfed::core {
+namespace {
+
+Message make(MessageType t, cluster::ResourceIndex from,
+             cluster::ResourceIndex to, cluster::ResourceIndex origin) {
+  Message m;
+  m.type = t;
+  m.from = from;
+  m.to = to;
+  m.job.origin = origin;
+  return m;
+}
+
+TEST(MessageLedger, NegotiateIsLocalAtOriginRemoteAtTarget) {
+  MessageLedger ledger(4);
+  ledger.record(make(MessageType::kNegotiate, 1, 2, 1));
+  EXPECT_EQ(ledger.local_at(1), 1u);
+  EXPECT_EQ(ledger.remote_at(2), 1u);
+  EXPECT_EQ(ledger.remote_at(1), 0u);
+  EXPECT_EQ(ledger.local_at(2), 0u);
+}
+
+TEST(MessageLedger, ReplyIsRemoteAtSenderLocalAtOrigin) {
+  MessageLedger ledger(4);
+  ledger.record(make(MessageType::kReply, 2, 1, 1));  // B replies to A
+  EXPECT_EQ(ledger.local_at(1), 1u);
+  EXPECT_EQ(ledger.remote_at(2), 1u);
+}
+
+TEST(MessageLedger, FullExchangeCountsFour) {
+  MessageLedger ledger(4);
+  ledger.record(make(MessageType::kNegotiate, 0, 3, 0));
+  ledger.record(make(MessageType::kReply, 3, 0, 0));
+  ledger.record(make(MessageType::kJobSubmission, 0, 3, 0));
+  ledger.record(make(MessageType::kJobCompletion, 3, 0, 0));
+  EXPECT_EQ(ledger.total(), 4u);
+  EXPECT_EQ(ledger.local_at(0), 4u);
+  EXPECT_EQ(ledger.remote_at(3), 4u);
+  EXPECT_EQ(ledger.total_at(0), 4u);
+  EXPECT_EQ(ledger.total_at(3), 4u);
+}
+
+TEST(MessageLedger, SumLocalEqualsSumRemoteEqualsTotal) {
+  MessageLedger ledger(8);
+  for (int i = 0; i < 100; ++i) {
+    const auto from = static_cast<cluster::ResourceIndex>(i % 8);
+    const auto to = static_cast<cluster::ResourceIndex>((i + 3) % 8);
+    ledger.record(make(static_cast<MessageType>(i % 4), from, to, from));
+  }
+  std::uint64_t local = 0, remote = 0;
+  for (cluster::ResourceIndex g = 0; g < 8; ++g) {
+    local += ledger.local_at(g);
+    remote += ledger.remote_at(g);
+  }
+  EXPECT_EQ(local, ledger.total());
+  EXPECT_EQ(remote, ledger.total());
+}
+
+TEST(MessageLedger, PerTypeCounts) {
+  MessageLedger ledger(2);
+  ledger.record(make(MessageType::kNegotiate, 0, 1, 0));
+  ledger.record(make(MessageType::kNegotiate, 0, 1, 0));
+  ledger.record(make(MessageType::kReply, 1, 0, 0));
+  EXPECT_EQ(ledger.count_of(MessageType::kNegotiate), 2u);
+  EXPECT_EQ(ledger.count_of(MessageType::kReply), 1u);
+  EXPECT_EQ(ledger.count_of(MessageType::kJobSubmission), 0u);
+}
+
+TEST(MessageLedger, SelfMessageRejected) {
+  MessageLedger ledger(2);
+  EXPECT_ANY_THROW(ledger.record(make(MessageType::kNegotiate, 1, 1, 1)));
+}
+
+TEST(MessageLedger, MessageNotInvolvingOriginRejected) {
+  MessageLedger ledger(4);
+  // Neither endpoint is the job's origin — protocol violation.
+  EXPECT_ANY_THROW(ledger.record(make(MessageType::kNegotiate, 1, 2, 3)));
+}
+
+TEST(MessageType, Names) {
+  EXPECT_STREQ(to_string(MessageType::kNegotiate), "negotiate");
+  EXPECT_STREQ(to_string(MessageType::kJobCompletion), "job-completion");
+}
+
+}  // namespace
+}  // namespace gridfed::core

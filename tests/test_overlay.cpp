@@ -1,0 +1,283 @@
+// Unit + property tests for the P2P overlay substrate: ring arithmetic,
+// Chord routing (correctness and the O(log n) hop bound), the MAAN
+// attribute index, and the overlay-backed directory facade.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cluster/catalog.hpp"
+#include "overlay/attribute_index.hpp"
+#include "overlay/chord_ring.hpp"
+#include "overlay/node_id.hpp"
+#include "overlay/overlay_directory.hpp"
+#include "sim/random.hpp"
+
+namespace gridfed::overlay {
+namespace {
+
+TEST(RingMath, ClockwiseDistanceWraps) {
+  EXPECT_EQ(clockwise_distance(10, 15), 5u);
+  EXPECT_EQ(clockwise_distance(15, 10), static_cast<RingKey>(-5));
+  EXPECT_EQ(clockwise_distance(7, 7), 0u);
+}
+
+TEST(RingMath, IntervalMembershipHalfOpen) {
+  EXPECT_TRUE(in_interval_oc(5, 1, 10));
+  EXPECT_TRUE(in_interval_oc(10, 1, 10));   // closed at `to`
+  EXPECT_FALSE(in_interval_oc(1, 1, 10));   // open at `from`
+  // Wrapping interval (200, 50].
+  EXPECT_TRUE(in_interval_oc(10, 200, 50));
+  EXPECT_FALSE(in_interval_oc(100, 200, 50));
+}
+
+TEST(RingMath, LocalityHashPreservesOrder) {
+  const double lo = 3.0, hi = 6.0;
+  RingKey last = 0;
+  for (double v = lo; v <= hi; v += 0.1) {
+    const RingKey k = locality_hash(v, lo, hi);
+    EXPECT_GE(k, last);
+    last = k;
+  }
+  EXPECT_EQ(locality_hash(lo, lo, hi), 0u);
+}
+
+TEST(RingMath, LocalityHashClampsOutOfDomain) {
+  EXPECT_EQ(locality_hash(-5.0, 0.0, 1.0), locality_hash(0.0, 0.0, 1.0));
+  EXPECT_EQ(locality_hash(7.0, 0.0, 1.0), locality_hash(1.0, 0.0, 1.0));
+}
+
+TEST(RingMath, HashAvalanchesSimilarNames) {
+  const RingKey a = ring_hash("CTC SP2");
+  const RingKey b = ring_hash("CTC SP2 #2");
+  // Far apart in either direction (at least 2^48 away).
+  EXPECT_GT(std::min(clockwise_distance(a, b), clockwise_distance(b, a)),
+            RingKey{1} << 48);
+}
+
+ChordRing make_ring(std::size_t n) {
+  ChordRing ring;
+  for (std::size_t i = 0; i < n; ++i) {
+    ring.join(static_cast<std::uint32_t>(i), "peer-" + std::to_string(i));
+  }
+  return ring;
+}
+
+TEST(ChordRing, SuccessorOwnsKey) {
+  ChordRing ring;
+  ring.join_with_id(0, "a", 100);
+  ring.join_with_id(1, "b", 200);
+  ring.join_with_id(2, "c", 300);
+  EXPECT_EQ(ring.successor(150).owner, 1u);
+  EXPECT_EQ(ring.successor(200).owner, 1u);  // exact hit
+  EXPECT_EQ(ring.successor(250).owner, 2u);
+  EXPECT_EQ(ring.successor(350).owner, 0u);  // wraps to smallest id
+}
+
+TEST(ChordRing, RouteReachesResponsiblePeer) {
+  auto ring = make_ring(32);
+  sim::Rng rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const RingKey key = rng();
+    const auto from = static_cast<std::uint32_t>(rng.uniform_int(0, 31));
+    const auto result = ring.route(from, key);
+    EXPECT_EQ(result.responsible.id, ring.successor(key).id);
+  }
+}
+
+TEST(ChordRing, SelfRouteIsZeroHops) {
+  auto ring = make_ring(8);
+  const auto& peer = ring.peers()[3];
+  const auto result = ring.route(peer.owner, peer.id);
+  EXPECT_EQ(result.hops, 0u);
+  EXPECT_EQ(result.responsible.owner, peer.owner);
+}
+
+TEST(ChordRing, HopsWithinLogBound) {
+  // The defining Chord property: greedy finger routing halves the
+  // remaining distance each hop, so hops <= ceil(log2 n) + small slack.
+  sim::Rng rng(23);
+  for (const std::size_t n : {8u, 32u, 128u, 512u}) {
+    auto ring = make_ring(n);
+    std::uint32_t worst = 0;
+    double total = 0.0;
+    const int queries = 2000;
+    for (int i = 0; i < queries; ++i) {
+      const auto from =
+          static_cast<std::uint32_t>(rng.uniform_int(0, n - 1));
+      const auto result = ring.route(from, rng());
+      worst = std::max(worst, result.hops);
+      total += result.hops;
+    }
+    EXPECT_LE(worst, ring.hop_bound() + 2) << "n=" << n;
+    EXPECT_LE(total / queries, static_cast<double>(ring.hop_bound()))
+        << "n=" << n;
+  }
+}
+
+TEST(ChordRing, LeaveRemovesOwner) {
+  auto ring = make_ring(8);
+  ring.leave(3);
+  EXPECT_EQ(ring.size(), 7u);
+  for (const auto& p : ring.peers()) EXPECT_NE(p.owner, 3u);
+  // Routing still works.
+  const auto result = ring.route(0, 12345u);
+  EXPECT_EQ(result.responsible.id, ring.successor(12345u).id);
+}
+
+TEST(ChordRing, DuplicateOwnerRejected) {
+  auto ring = make_ring(4);
+  EXPECT_ANY_THROW(ring.join(2, "dup"));
+}
+
+TEST(ChordRing, ArcWalkVisitsPeersInOrder) {
+  ChordRing ring;
+  ring.join_with_id(0, "a", 100);
+  ring.join_with_id(1, "b", 200);
+  ring.join_with_id(2, "c", 300);
+  ring.join_with_id(3, "d", 400);
+  const auto visited = ring.arc_walk(150, 350);
+  ASSERT_EQ(visited.size(), 3u);
+  EXPECT_EQ(visited[0].owner, 1u);
+  EXPECT_EQ(visited[1].owner, 2u);
+  EXPECT_EQ(visited[2].owner, 3u);
+}
+
+// ---- Attribute index --------------------------------------------------------
+
+TEST(AttributeIndex, RankQueriesFollowValueOrder) {
+  auto ring = make_ring(8);
+  AttributeIndex index(ring, 0.0, 10.0);
+  const double values[] = {4.84, 5.12, 3.98, 3.59, 5.3, 4.04, 4.16, 5.24};
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    index.publish(i, values[i], i);
+  }
+  // Ascending = cheapest-first: LANL Origin (3) first.
+  const std::uint32_t expected_asc[] = {3, 2, 5, 6, 0, 1, 7, 4};
+  for (std::uint32_t r = 1; r <= 8; ++r) {
+    const auto hit = index.query_rank(0, r, true);
+    ASSERT_TRUE(hit.payload.has_value()) << r;
+    EXPECT_EQ(*hit.payload, expected_asc[r - 1]) << "rank " << r;
+  }
+  // Descending mirrors.
+  const auto fastest = index.query_rank(0, 1, false);
+  EXPECT_EQ(*fastest.payload, 4u);
+}
+
+TEST(AttributeIndex, RankBeyondSizeEmpty) {
+  auto ring = make_ring(4);
+  AttributeIndex index(ring, 0.0, 1.0);
+  index.publish(0, 0.5, 0);
+  const auto hit = index.query_rank(1, 2, true);
+  EXPECT_FALSE(hit.payload.has_value());
+  EXPECT_GE(hit.messages, 0u);
+}
+
+TEST(AttributeIndex, RepublishReplacesValue) {
+  auto ring = make_ring(4);
+  AttributeIndex index(ring, 0.0, 10.0);
+  index.publish(0, 9.0, 0);
+  index.publish(1, 5.0, 1);
+  EXPECT_EQ(*index.query_rank(0, 1, true).payload, 1u);
+  index.publish(0, 1.0, 0);  // repricing: payload 0 is now cheapest
+  EXPECT_EQ(*index.query_rank(0, 1, true).payload, 0u);
+  EXPECT_EQ(index.registrations(), 2u);
+}
+
+TEST(AttributeIndex, WithdrawRemoves) {
+  auto ring = make_ring(4);
+  AttributeIndex index(ring, 0.0, 10.0);
+  index.publish(0, 2.0, 0);
+  index.publish(1, 4.0, 1);
+  index.withdraw(2, 0);
+  EXPECT_EQ(index.registrations(), 1u);
+  EXPECT_EQ(*index.query_rank(0, 1, true).payload, 1u);
+}
+
+TEST(AttributeIndex, RangeQueryReturnsWindow) {
+  auto ring = make_ring(8);
+  AttributeIndex index(ring, 0.0, 10.0);
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    index.publish(i, static_cast<double>(i), i);
+  }
+  const auto result = index.query_range(0, 2.5, 5.5);
+  EXPECT_EQ(result.payloads, (std::vector<std::uint32_t>{3, 4, 5}));
+  EXPECT_GT(result.messages, 0u);
+}
+
+TEST(AttributeIndex, MessagesScaleLogarithmically) {
+  // Rank-1 queries should cost O(log n), not O(n): quadrupling the ring
+  // must not quadruple the message count.
+  sim::Rng rng(31);
+  double cost_small = 0.0, cost_large = 0.0;
+  for (const std::size_t n : {16u, 256u}) {
+    auto ring = make_ring(n);
+    AttributeIndex index(ring, 0.0, 1.0);
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      index.publish(i % static_cast<std::uint32_t>(n),
+                    0.3 + 0.05 * i, i);
+    }
+    double total = 0.0;
+    for (int q = 0; q < 200; ++q) {
+      const auto from =
+          static_cast<std::uint32_t>(rng.uniform_int(0, n - 1));
+      total += static_cast<double>(index.query_rank(from, 1, true).messages);
+    }
+    (n == 16u ? cost_small : cost_large) = total / 200.0;
+  }
+  EXPECT_LT(cost_large, cost_small * 4.0);
+  EXPECT_LT(cost_large, 16.0);  // ~log2(256)=8 + arc slack
+}
+
+// ---- Overlay directory facade ----------------------------------------------
+
+OverlayDirectory table1_overlay() {
+  OverlayDirectory dir(1.0, 8.0, 100.0, 1200.0);
+  const auto specs = cluster::table1_specs();
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    dir.subscribe(directory::Quote::from_spec(
+                      static_cast<cluster::ResourceIndex>(i), specs[i]),
+                  specs[i].name);
+  }
+  return dir;
+}
+
+TEST(OverlayDirectory, AgreesWithAnalyticDirectoryOnRanking) {
+  auto dir = table1_overlay();
+  // Same rankings the flat directory produces (test_directory.cpp).
+  const cluster::ResourceIndex cheap[] = {3, 2, 5, 6, 0, 1, 7, 4};
+  const cluster::ResourceIndex fast[] = {4, 7, 1, 0, 6, 5, 2, 3};
+  for (std::uint32_t r = 1; r <= 8; ++r) {
+    EXPECT_EQ(*dir.query(0, directory::OrderBy::kCheapest, r).resource,
+              cheap[r - 1])
+        << r;
+    EXPECT_EQ(*dir.query(0, directory::OrderBy::kFastest, r).resource,
+              fast[r - 1])
+        << r;
+  }
+}
+
+TEST(OverlayDirectory, RepricingReranks) {
+  auto dir = table1_overlay();
+  dir.update_price(4, 1.5);  // NASA becomes cheapest
+  EXPECT_EQ(*dir.query(0, directory::OrderBy::kCheapest, 1).resource, 4u);
+}
+
+TEST(OverlayDirectory, UnsubscribeShrinksRing) {
+  auto dir = table1_overlay();
+  dir.unsubscribe(3);
+  EXPECT_EQ(dir.size(), 7u);
+  EXPECT_EQ(*dir.query(0, directory::OrderBy::kCheapest, 1).resource, 2u);
+}
+
+TEST(OverlayDirectory, TrafficIsMetered) {
+  auto dir = table1_overlay();
+  const auto before = dir.traffic().query_messages;
+  (void)dir.query(0, directory::OrderBy::kCheapest, 1);
+  EXPECT_GE(dir.traffic().query_messages, before);
+  EXPECT_EQ(dir.traffic().queries, 1u);
+  EXPECT_GT(dir.traffic().publishes, 0u);
+}
+
+}  // namespace
+}  // namespace gridfed::overlay

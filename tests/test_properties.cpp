@@ -1,0 +1,184 @@
+// Parameterized property tests: federation-wide invariants that must hold
+// for every (mode, population profile, seed) combination.  These sweep the
+// full two-day synthetic workload, so each instantiation is an end-to-end
+// soundness check of the whole stack.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "cluster/catalog.hpp"
+#include "core/experiment.hpp"
+#include "workload/synthetic.hpp"
+
+namespace gridfed::core {
+namespace {
+
+using Params = std::tuple<SchedulingMode, std::uint32_t, std::uint64_t>;
+
+class FederationInvariants : public ::testing::TestWithParam<Params> {
+ protected:
+  static FederationResult& result() {
+    // One simulation per parameter set, shared by all assertions in the
+    // suite instance (results are cached by parameter).
+    static std::map<Params, FederationResult> cache;
+    const auto key = GetParam();
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      auto cfg = make_config(std::get<0>(key), std::get<2>(key));
+      it = cache.emplace(key, run_experiment(cfg, 8, std::get<1>(key))).first;
+    }
+    return it->second;
+  }
+};
+
+TEST_P(FederationInvariants, JobConservation) {
+  const auto& r = result();
+  EXPECT_EQ(r.total_accepted + r.total_rejected, r.total_jobs);
+  std::uint64_t per_resource = 0;
+  for (const auto& row : r.resources) {
+    EXPECT_EQ(row.accepted + row.rejected, row.total_jobs) << row.name;
+    EXPECT_EQ(row.processed_locally + row.migrated, row.accepted) << row.name;
+    per_resource += row.total_jobs;
+  }
+  EXPECT_EQ(per_resource, r.total_jobs);
+}
+
+TEST_P(FederationInvariants, MigrationConservation) {
+  const auto& r = result();
+  std::uint64_t migrated = 0, remote = 0;
+  for (const auto& row : r.resources) {
+    migrated += row.migrated;
+    remote += row.remote_processed;
+  }
+  EXPECT_EQ(migrated, remote);
+}
+
+TEST_P(FederationInvariants, UtilizationBounded) {
+  for (const auto& row : result().resources) {
+    EXPECT_GE(row.utilization, 0.0) << row.name;
+    EXPECT_LE(row.utilization, 1.0 + 1e-12) << row.name;
+  }
+}
+
+TEST_P(FederationInvariants, MessageLedgerBalances) {
+  const auto& r = result();
+  std::uint64_t local = 0, remote = 0;
+  for (const auto& row : r.resources) {
+    local += row.local_messages;
+    remote += row.remote_messages;
+  }
+  EXPECT_EQ(local, r.total_messages);
+  EXPECT_EQ(remote, r.total_messages);
+}
+
+TEST_P(FederationInvariants, ProtocolMessageAlgebra) {
+  const auto& r = result();
+  // Every negotiate gets exactly one reply; every migrated job exactly one
+  // submission and one completion.
+  EXPECT_EQ(r.messages_by_type[0], r.messages_by_type[1]);
+  EXPECT_EQ(r.messages_by_type[2], r.messages_by_type[3]);
+  std::uint64_t migrated = 0;
+  for (const auto& row : r.resources) migrated += row.migrated;
+  EXPECT_EQ(r.messages_by_type[2], migrated);
+  EXPECT_EQ(r.total_messages,
+            r.messages_by_type[0] + r.messages_by_type[1] +
+                r.messages_by_type[2] + r.messages_by_type[3]);
+}
+
+TEST_P(FederationInvariants, EconomyBankConsistency) {
+  const auto& r = result();
+  double incentives = 0.0, spending = 0.0;
+  for (const auto& row : r.resources) {
+    EXPECT_GE(row.incentive, 0.0);
+    incentives += row.incentive;
+    spending += row.spent_by_home;
+  }
+  EXPECT_NEAR(incentives, r.total_incentive,
+              1e-9 * std::max(1.0, incentives));
+  EXPECT_NEAR(spending, r.total_incentive, 1e-9 * std::max(1.0, spending));
+}
+
+TEST_P(FederationInvariants, ResponseAccumulatorsCoverAcceptedJobs) {
+  const auto& r = result();
+  for (const auto& row : r.resources) {
+    EXPECT_EQ(row.response_excl.count(), row.accepted) << row.name;
+    EXPECT_EQ(row.response_incl.count(), row.total_jobs) << row.name;
+    if (row.accepted > 0) {
+      EXPECT_GT(row.response_excl.mean(), 0.0) << row.name;
+    }
+  }
+  EXPECT_EQ(r.fed_response_excl.count(), r.total_accepted);
+  EXPECT_EQ(r.fed_response_incl.count(), r.total_jobs);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndProfiles, FederationInvariants,
+    ::testing::Values(
+        std::make_tuple(SchedulingMode::kIndependent, 0u, 0x9042005ULL),
+        std::make_tuple(SchedulingMode::kFederationNoEconomy, 0u,
+                        0x9042005ULL),
+        std::make_tuple(SchedulingMode::kEconomy, 0u, 0x9042005ULL),
+        std::make_tuple(SchedulingMode::kEconomy, 30u, 0x9042005ULL),
+        std::make_tuple(SchedulingMode::kEconomy, 50u, 0x9042005ULL),
+        std::make_tuple(SchedulingMode::kEconomy, 70u, 0x9042005ULL),
+        std::make_tuple(SchedulingMode::kEconomy, 100u, 0x9042005ULL),
+        std::make_tuple(SchedulingMode::kEconomy, 50u, 0xDEADBEEFULL),
+        std::make_tuple(SchedulingMode::kEconomy, 50u, 0x12345678ULL)),
+    [](const ::testing::TestParamInfo<Params>& info) {
+      std::string name = to_string(std::get<0>(info.param));
+      for (auto& c : name) {
+        if (c == '+' || c == '-') c = '_';
+      }
+      return name + "_oft" + std::to_string(std::get<1>(info.param)) +
+             "_seed" + std::to_string(std::get<2>(info.param) % 1000);
+    });
+
+// Deadline soundness deserves direct per-outcome checking (not just
+// aggregates): every accepted job in every mode completes by s + d.
+class DeadlineSoundness
+    : public ::testing::TestWithParam<std::tuple<SchedulingMode,
+                                                 std::uint32_t>> {};
+
+TEST_P(DeadlineSoundness, AcceptedJobsMeetDeadline) {
+  const auto [mode, oft] = GetParam();
+  auto cfg = make_config(mode);
+  auto specs = cluster::table1_specs();
+  Federation fed(cfg, specs);
+  const auto traces = workload::generate_federation_workload(
+      specs, cfg.window, cfg.seed);
+  std::optional<workload::PopulationProfile> profile;
+  if (mode == SchedulingMode::kEconomy) {
+    profile = workload::PopulationProfile{oft};
+  }
+  fed.load_workload(traces, profile);
+  (void)fed.run();
+  std::uint64_t checked = 0;
+  for (const auto& o : fed.outcomes()) {
+    if (!o.accepted) continue;
+    ++checked;
+    ASSERT_LE(o.completion, o.job.absolute_deadline() + 1e-6)
+        << "job " << o.job.id << " missed its guaranteed deadline";
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, DeadlineSoundness,
+    ::testing::Values(
+        std::make_tuple(SchedulingMode::kIndependent, 0u),
+        std::make_tuple(SchedulingMode::kFederationNoEconomy, 0u),
+        std::make_tuple(SchedulingMode::kEconomy, 0u),
+        std::make_tuple(SchedulingMode::kEconomy, 50u),
+        std::make_tuple(SchedulingMode::kEconomy, 100u)),
+    [](const auto& info) {
+      std::string name = to_string(std::get<0>(info.param));
+      for (auto& c : name) {
+        if (c == '+' || c == '-') c = '_';
+      }
+      return name + "_oft" + std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace gridfed::core

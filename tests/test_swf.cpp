@@ -1,0 +1,105 @@
+// Unit tests for the Standard Workload Format parser.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/swf.hpp"
+
+namespace gridfed::workload {
+namespace {
+
+// A tiny SWF fragment: header comments + 4 jobs.  Fields (1-based):
+// job submit wait runtime procs cpu mem reqprocs reqtime reqmem status
+// user group exe queue partition prev think
+const char* kSample =
+    "; Version: 2\n"
+    ";   Computer: Test SP2\n"
+    "\n"
+    "1 0 10 100 8 -1 -1 8 120 -1 1 5 1 -1 1 -1 -1 -1\n"
+    "2 50 0 200 16 -1 -1 16 240 -1 1 6 1 -1 1 -1 -1 -1\n"
+    "3 100 0 -1 4 -1 -1 4 60 -1 5 7 1 -1 1 -1 -1 -1\n"   // cancelled
+    "4 150 0 300 -1 -1 -1 32 400 -1 1 8 1 -1 1 -1 -1 -1\n";  // procs from req
+
+TEST(Swf, ParsesJobsAndSkipsComments) {
+  std::istringstream in(kSample);
+  SwfOptions opts;
+  opts.rebase_to_zero = false;
+  const auto trace = parse_swf(in, 0, opts);
+  ASSERT_EQ(trace.jobs.size(), 3u);  // job 3 dropped (runtime -1)
+  EXPECT_DOUBLE_EQ(trace.jobs[0].submit, 0.0);
+  EXPECT_DOUBLE_EQ(trace.jobs[0].runtime, 100.0);
+  EXPECT_EQ(trace.jobs[0].processors, 8u);
+  EXPECT_EQ(trace.jobs[0].user, 5u);
+}
+
+TEST(Swf, FallsBackToRequestedProcessors) {
+  std::istringstream in(kSample);
+  SwfOptions opts;
+  opts.rebase_to_zero = false;
+  const auto trace = parse_swf(in, 0, opts);
+  EXPECT_EQ(trace.jobs[2].processors, 32u);  // job 4: alloc=-1, req=32
+}
+
+TEST(Swf, WindowingKeepsSlice) {
+  std::istringstream in(kSample);
+  SwfOptions opts;
+  opts.window_start = 40.0;
+  opts.window_length = 100.0;  // [40, 140): jobs at 50 and 100(dropped)
+  opts.rebase_to_zero = false;
+  const auto trace = parse_swf(in, 0, opts);
+  ASSERT_EQ(trace.jobs.size(), 1u);
+  EXPECT_DOUBLE_EQ(trace.jobs[0].submit, 50.0);
+}
+
+TEST(Swf, RebaseShiftsFirstJobToZero) {
+  std::istringstream in(kSample);
+  SwfOptions opts;
+  opts.window_start = 40.0;
+  opts.window_length = 200.0;  // jobs at 50 and 150
+  opts.rebase_to_zero = true;
+  const auto trace = parse_swf(in, 0, opts);
+  ASSERT_EQ(trace.jobs.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.jobs[0].submit, 0.0);
+  EXPECT_DOUBLE_EQ(trace.jobs[1].submit, 100.0);
+}
+
+TEST(Swf, MaxProcessorsClamps) {
+  std::istringstream in(kSample);
+  SwfOptions opts;
+  opts.max_processors = 8;
+  opts.rebase_to_zero = false;
+  const auto trace = parse_swf(in, 0, opts);
+  for (const auto& j : trace.jobs) EXPECT_LE(j.processors, 8u);
+}
+
+TEST(Swf, MalformedLineThrows) {
+  std::istringstream in("1 2 3\n");
+  EXPECT_THROW((void)parse_swf(in, 0), SwfError);
+}
+
+TEST(Swf, EmptyStreamGivesEmptyTrace) {
+  std::istringstream in("; only a comment\n");
+  const auto trace = parse_swf(in, 3);
+  EXPECT_TRUE(trace.jobs.empty());
+  EXPECT_EQ(trace.resource, 3u);
+}
+
+TEST(Swf, MissingFileThrows) {
+  EXPECT_THROW((void)load_swf("/nonexistent/file.swf", 0), SwfError);
+}
+
+TEST(Swf, OutputIsSortedBySubmit) {
+  // Deliberately out-of-order lines (some archives have ties/jitter).
+  std::istringstream in(
+      "1 100 0 10 1 -1 -1 1 10 -1 1 0 1 -1 1 -1 -1 -1\n"
+      "2 50 0 10 1 -1 -1 1 10 -1 1 0 1 -1 1 -1 -1 -1\n");
+  SwfOptions opts;
+  opts.rebase_to_zero = false;
+  const auto trace = parse_swf(in, 0, opts);
+  ASSERT_EQ(trace.jobs.size(), 2u);
+  EXPECT_LT(trace.jobs[0].submit, trace.jobs[1].submit);
+}
+
+}  // namespace
+}  // namespace gridfed::workload

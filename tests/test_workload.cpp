@@ -1,0 +1,218 @@
+// Unit tests for the workload subsystem: trace conversion, synthetic
+// generation (calibration invariants) and population profiles.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cluster/catalog.hpp"
+#include "workload/calibration.hpp"
+#include "workload/population.hpp"
+#include "workload/synthetic.hpp"
+#include "workload/trace.hpp"
+
+namespace gridfed::workload {
+namespace {
+
+TEST(TraceConversion, SplitsRuntimeIntoComputeAndComm) {
+  cluster::ResourceSpec origin{"o", 64, 500.0, 2.0, 1.0};
+  TraceJob raw{100.0, 1000.0, 8, 3};
+  const auto job = to_job(raw, 42, 0, origin, 0.10);
+  EXPECT_EQ(job.id, 42u);
+  EXPECT_EQ(job.processors, 8u);
+  EXPECT_DOUBLE_EQ(job.submit, 100.0);
+  EXPECT_DOUBLE_EQ(job.comm_overhead, 100.0);  // 10% of runtime
+  // Compute part reconstructs to 90% of the measured runtime on origin.
+  EXPECT_DOUBLE_EQ(cluster::compute_time(job, origin), 900.0);
+  EXPECT_DOUBLE_EQ(cluster::execution_time(job, origin, origin), 1000.0);
+}
+
+TEST(TraceConversion, ZeroCommFractionKeepsAllCompute) {
+  cluster::ResourceSpec origin{"o", 64, 500.0, 2.0, 1.0};
+  TraceJob raw{0.0, 600.0, 4, 0};
+  const auto job = to_job(raw, 1, 0, origin, 0.0);
+  EXPECT_DOUBLE_EQ(job.comm_overhead, 0.0);
+  EXPECT_DOUBLE_EQ(cluster::execution_time(job, origin, origin), 600.0);
+}
+
+TEST(Calibration, MeanPow2MatchesClosedForm) {
+  // exps {0..3}: (1+2+4+8)/4 = 3.75
+  EXPECT_DOUBLE_EQ(mean_pow2(0, 3), 3.75);
+  EXPECT_DOUBLE_EQ(mean_pow2(2, 2), 4.0);
+}
+
+TEST(Calibration, TargetMeanRuntimeHitsLoadIdentity) {
+  TraceCalibration cal;
+  cal.jobs = 100;
+  cal.offered_load = 0.5;
+  cal.min_proc_exp = 0;
+  cal.max_proc_exp = 3;
+  cluster::ResourceSpec spec{"s", 64, 100.0, 1.0, 1.0};
+  const double t = target_mean_runtime(cal, spec, 1000.0);
+  // jobs * E[p] * E[t] == load * P * window
+  EXPECT_NEAR(100 * mean_pow2(0, 3) * t, 0.5 * 64 * 1000.0, 1e-9);
+}
+
+TEST(Calibration, DefaultsCoverAllEightResources) {
+  for (cluster::ResourceIndex i = 0; i < 8; ++i) {
+    const auto cal = default_calibration(i);
+    EXPECT_GT(cal.jobs, 0u) << i;
+    EXPECT_GT(cal.offered_load, 0.0) << i;
+    EXPECT_GE(cal.burstiness, 1.0) << i;
+  }
+}
+
+TEST(Calibration, JobCountsMatchTable2) {
+  const auto& entries = cluster::table1();
+  for (cluster::ResourceIndex i = 0; i < 8; ++i) {
+    EXPECT_EQ(default_calibration(i).jobs, entries[i].two_day_jobs)
+        << entries[i].spec.name;
+  }
+}
+
+TEST(Synthetic, ExactJobCountAndWindow) {
+  const auto spec = cluster::table1_specs()[0];
+  const auto cal = default_calibration(0);
+  const auto trace = generate_trace(spec, 0, cal, kTwoDays, 42);
+  EXPECT_EQ(trace.jobs.size(), cal.jobs);
+  EXPECT_TRUE(validate_trace(trace, spec));
+  EXPECT_GE(trace.jobs.front().submit, 0.0);
+  EXPECT_LT(trace.jobs.back().submit, kTwoDays);
+}
+
+TEST(Synthetic, OfferedLoadIsExact) {
+  const auto spec = cluster::table1_specs()[2];  // LANL CM5
+  const auto cal = default_calibration(2);
+  const auto trace = generate_trace(spec, 2, cal, kTwoDays, 42);
+  double area = 0.0;
+  for (const auto& j : trace.jobs) area += j.processors * j.runtime;
+  const double target = cal.offered_load * spec.processors * kTwoDays;
+  EXPECT_NEAR(area, target, target * 1e-9);
+}
+
+TEST(Synthetic, DeterministicForSameSeed) {
+  const auto spec = cluster::table1_specs()[1];
+  const auto cal = default_calibration(1);
+  const auto a = generate_trace(spec, 1, cal, kTwoDays, 7);
+  const auto b = generate_trace(spec, 1, cal, kTwoDays, 7);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].submit, b.jobs[i].submit);
+    EXPECT_DOUBLE_EQ(a.jobs[i].runtime, b.jobs[i].runtime);
+    EXPECT_EQ(a.jobs[i].processors, b.jobs[i].processors);
+  }
+}
+
+TEST(Synthetic, DifferentSeedsDiffer) {
+  const auto spec = cluster::table1_specs()[1];
+  const auto cal = default_calibration(1);
+  const auto a = generate_trace(spec, 1, cal, kTwoDays, 7);
+  const auto b = generate_trace(spec, 1, cal, kTwoDays, 8);
+  int diff = 0;
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    diff += (a.jobs[i].runtime != b.jobs[i].runtime);
+  }
+  EXPECT_GT(diff, static_cast<int>(a.jobs.size()) / 2);
+}
+
+TEST(Synthetic, ProcessorsArePowersOfTwoWithinCluster) {
+  const auto spec = cluster::table1_specs()[4];  // NASA iPSC, 128 procs
+  const auto cal = default_calibration(4);
+  const auto trace = generate_trace(spec, 4, cal, kTwoDays, 3);
+  for (const auto& j : trace.jobs) {
+    EXPECT_LE(j.processors, spec.processors);
+    EXPECT_EQ(j.processors & (j.processors - 1), 0u);
+  }
+}
+
+TEST(Synthetic, UsersWithinPopulation) {
+  const auto spec = cluster::table1_specs()[0];
+  const auto cal = default_calibration(0);
+  const auto trace = generate_trace(spec, 0, cal, kTwoDays, 3);
+  for (const auto& j : trace.jobs) EXPECT_LT(j.user, cal.users);
+}
+
+TEST(Synthetic, FederationWorkloadOneTracePerSpec) {
+  const auto specs = cluster::replicated_specs(10);
+  const auto traces = generate_federation_workload(specs, kTwoDays, 42);
+  ASSERT_EQ(traces.size(), 10u);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(traces[i].resource, i);
+    EXPECT_EQ(traces[i].jobs.size(),
+              default_calibration(static_cast<cluster::ResourceIndex>(i % 8))
+                  .jobs);
+  }
+}
+
+TEST(Synthetic, ReplicasGetIndependentWorkloads) {
+  const auto specs = cluster::replicated_specs(16);
+  const auto traces = generate_federation_workload(specs, kTwoDays, 42);
+  // Resource 0 and its replica 8 share calibration but not randomness.
+  ASSERT_EQ(traces[0].jobs.size(), traces[8].jobs.size());
+  int diff = 0;
+  for (std::size_t i = 0; i < traces[0].jobs.size(); ++i) {
+    diff += (traces[0].jobs[i].runtime != traces[8].jobs[i].runtime);
+  }
+  EXPECT_GT(diff, static_cast<int>(traces[0].jobs.size()) / 2);
+}
+
+// ---- Population profiles ----------------------------------------------------
+
+TEST(Population, StandardProfilesAreElevenPoints) {
+  const auto profiles = standard_profiles();
+  ASSERT_EQ(profiles.size(), 11u);
+  EXPECT_EQ(profiles.front().oft_percent, 0u);
+  EXPECT_EQ(profiles.back().oft_percent, 100u);
+}
+
+TEST(Population, ExtremesAreUniform) {
+  const PopulationProfile all_ofc{0};
+  const PopulationProfile all_oft{100};
+  for (std::uint32_t u = 0; u < 100; ++u) {
+    EXPECT_EQ(all_ofc.preference(0, u, 1), cluster::Optimization::kCost);
+    EXPECT_EQ(all_oft.preference(0, u, 1), cluster::Optimization::kTime);
+  }
+}
+
+TEST(Population, FractionTracksPercentage) {
+  const PopulationProfile p30{30};
+  int oft = 0;
+  const int n = 20000;
+  for (int u = 0; u < n; ++u) {
+    oft += p30.preference(2, static_cast<std::uint32_t>(u), 9) ==
+           cluster::Optimization::kTime;
+  }
+  EXPECT_NEAR(static_cast<double>(oft) / n, 0.30, 0.02);
+}
+
+TEST(Population, MonotoneInOftPercent) {
+  // A user who seeks OFT at 30% must still seek OFT at any higher
+  // percentage (the sweep flips users one way only).
+  for (std::uint32_t u = 0; u < 500; ++u) {
+    bool was_oft = false;
+    for (std::uint32_t pct = 0; pct <= 100; pct += 10) {
+      const bool is_oft =
+          PopulationProfile{pct}.preference(1, u, 77) ==
+          cluster::Optimization::kTime;
+      EXPECT_TRUE(is_oft || !was_oft)
+          << "user " << u << " flipped back at " << pct << "%";
+      was_oft = is_oft;
+    }
+  }
+}
+
+TEST(Population, ApplyProfileSetsJobs) {
+  std::vector<cluster::Job> jobs(100);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].origin = 0;
+    jobs[i].user = static_cast<std::uint32_t>(i % 10);
+  }
+  apply_profile(PopulationProfile{100}, 5, jobs);
+  for (const auto& j : jobs) {
+    EXPECT_EQ(j.opt, cluster::Optimization::kTime);
+  }
+}
+
+}  // namespace
+}  // namespace gridfed::workload
