@@ -12,6 +12,10 @@ namespace gridfed::cluster {
 /// Index of a cluster within a federation (k in J_{i,j,k}).
 using ResourceIndex = std::uint32_t;
 
+/// Sentinel for "no cluster": negotiation targets between enquiries, unset
+/// auction winners, and any other optional ResourceIndex slot.
+inline constexpr ResourceIndex kNoResource = static_cast<ResourceIndex>(-1);
+
 /// R_i = (p_i, mu_i, gamma_i) with the owner's quote.
 ///
 /// * `processors` — p_i, number of (homogeneous) processors.

@@ -10,6 +10,7 @@
 #include "cluster/lrms.hpp"
 #include "economy/cost_model.hpp"
 #include "economy/dynamic_pricing.hpp"
+#include "market/auction_config.hpp"
 #include "network/latency_model.hpp"
 #include "sim/types.hpp"
 #include "workload/calibration.hpp"
@@ -17,14 +18,17 @@
 
 namespace gridfed::core {
 
-/// The paper's three resource-sharing environments (§3.1).
+/// The paper's three resource-sharing environments (§3.1) plus the market
+/// extension's per-job reverse auction (market/).
 enum class SchedulingMode : std::uint8_t {
   kIndependent,          ///< Experiment 1: no federation, local-only
   kFederationNoEconomy,  ///< Experiment 2: local first, then fastest-first
   kEconomy,              ///< Experiments 3-5: DBC superscheduling (OFC/OFT)
+  kAuction,              ///< market extension: sealed-bid reverse auctions
 };
 
 [[nodiscard]] constexpr const char* to_string(SchedulingMode mode) noexcept {
+  // Exhaustive: -Wswitch flags any mode added without a name here.
   switch (mode) {
     case SchedulingMode::kIndependent:
       return "independent";
@@ -32,8 +36,10 @@ enum class SchedulingMode : std::uint8_t {
       return "federation";
     case SchedulingMode::kEconomy:
       return "federation+economy";
+    case SchedulingMode::kAuction:
+      return "federation+auction";
   }
-  return "?";
+  __builtin_unreachable();
 }
 
 /// Everything that parameterizes one federation run.
@@ -96,6 +102,11 @@ struct FederationConfig {
   /// Dynamic-pricing extension (paper §5 future work).
   bool dynamic_pricing = false;
   economy::DynamicPricingConfig pricing = {};
+
+  /// Auction-mode knobs (only read when mode == kAuction).  A lossy
+  /// network (message_drop_rate > 0) additionally requires
+  /// auction.bid_timeout > 0 so a book missing a dropped bid still clears.
+  market::AuctionConfig auction = {};
 
   /// Master seed for workload generation and population assignment.
   std::uint64_t seed = 0x9042005ULL;

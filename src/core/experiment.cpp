@@ -20,7 +20,8 @@ FederationResult run_experiment(const FederationConfig& config,
   const auto traces = workload::generate_federation_workload(
       specs, config.window, config.seed);
   std::optional<workload::PopulationProfile> profile;
-  if (config.mode == SchedulingMode::kEconomy) {
+  if (config.mode == SchedulingMode::kEconomy ||
+      config.mode == SchedulingMode::kAuction) {
     profile = workload::PopulationProfile{oft_percent};
   }
   fed.load_workload(traces, profile);

@@ -28,6 +28,14 @@ Federation::Federation(FederationConfig config,
       wan_ ? wan_->max_latency() : cfg_.network_latency;
   GF_EXPECTS(cfg_.negotiate_timeout == 0.0 ||
              cfg_.negotiate_timeout > 2.0 * worst_latency);
+  // Auction books close on completeness; a dropped bid would hold one open
+  // forever unless the bid timeout clears it.  A nonzero timeout must also
+  // outlast a call-for-bids + bid round trip or every book clears empty.
+  if (cfg_.mode == SchedulingMode::kAuction) {
+    GF_EXPECTS(cfg_.message_drop_rate == 0.0 || cfg_.auction.bid_timeout > 0.0);
+    GF_EXPECTS(cfg_.auction.bid_timeout == 0.0 ||
+               cfg_.auction.bid_timeout > 2.0 * worst_latency);
+  }
 
   lrms_.reserve(specs_.size());
   gfas_.reserve(specs_.size());
@@ -147,10 +155,14 @@ FederationResult Federation::run() {
 void Federation::send(Message msg) {
   GF_EXPECTS(msg.to < gfas_.size());
   ledger_.record(msg);
-  // Failure injection: the best-effort enquiry channel (negotiate/reply)
-  // may drop; payload transfers are reliable (see config.hpp).
+  // Failure injection: the best-effort enquiry channel (negotiate/reply
+  // and the auction's call-for-bids/bid/award legs) may drop; payload
+  // transfers are reliable (see config.hpp).
   const bool droppable = msg.type == MessageType::kNegotiate ||
-                         msg.type == MessageType::kReply;
+                         msg.type == MessageType::kReply ||
+                         msg.type == MessageType::kCallForBids ||
+                         msg.type == MessageType::kBid ||
+                         msg.type == MessageType::kAward;
   if (droppable && cfg_.message_drop_rate > 0.0 &&
       drop_rng_.bernoulli(cfg_.message_drop_rate)) {
     ++messages_dropped_;
@@ -191,6 +203,10 @@ void Federation::job_completed(const JobOutcome& outcome) {
                                    outcome.executed_on, outcome.cost,
                                    outcome.job.user});
   outcomes_.push_back(outcome);
+}
+
+void Federation::auction_report(const market::ClearingReport& report) {
+  auction_stats_.record(report);
 }
 
 void Federation::job_rejected(const cluster::Job& job,
@@ -268,12 +284,13 @@ FederationResult Federation::aggregate() const {
   }
 
   result.total_messages = ledger_.total();
-  for (std::size_t t = 0; t < 4; ++t) {
+  for (std::size_t t = 0; t < kMessageTypeCount; ++t) {
     result.messages_by_type[t] =
         ledger_.count_of(static_cast<MessageType>(t));
   }
   result.directory_traffic = dir_.traffic();
   result.total_incentive = bank_.total();
+  result.auctions = auction_stats_;
   return result;
 }
 

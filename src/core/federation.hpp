@@ -31,6 +31,7 @@
 #include "economy/grid_bank.hpp"
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
+#include "stats/auction_stats.hpp"
 #include "workload/population.hpp"
 #include "workload/trace.hpp"
 
@@ -68,6 +69,7 @@ class Federation final : public GfaHost {
   void job_completed(const JobOutcome& outcome) override;
   void job_rejected(const cluster::Job& job, std::uint32_t negotiations,
                     std::uint64_t messages) override;
+  void auction_report(const market::ClearingReport& report) override;
 
   // ---- introspection (examples, tests) -----------------------------------
   [[nodiscard]] std::size_t size() const noexcept { return gfas_.size(); }
@@ -95,6 +97,11 @@ class Federation final : public GfaHost {
     return messages_dropped_;
   }
 
+  /// Per-auction accumulators (all-zero outside kAuction runs).
+  [[nodiscard]] const stats::AuctionStats& auction_stats() const noexcept {
+    return auction_stats_;
+  }
+
  private:
   void arm_periodic_behaviours();
   [[nodiscard]] FederationResult aggregate() const;
@@ -112,6 +119,7 @@ class Federation final : public GfaHost {
   std::vector<double> pricer_last_area_;
 
   std::vector<JobOutcome> outcomes_;
+  stats::AuctionStats auction_stats_;
   std::vector<double> util_at_window_;
   sim::Rng drop_rng_;
   std::uint64_t messages_dropped_ = 0;

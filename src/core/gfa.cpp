@@ -1,7 +1,10 @@
 #include "core/gfa.hpp"
 
 #include <utility>
+#include <vector>
 
+#include "economy/cost_model.hpp"
+#include "market/bid_pricing.hpp"
 #include "sim/check.hpp"
 
 namespace gridfed::core {
@@ -31,7 +34,9 @@ Gfa::Gfa(sim::Simulation& sim, sim::EntityId id, cluster::ResourceIndex index,
 
 void Gfa::submit_local(cluster::Job job) {
   GF_EXPECTS(job.origin == index_);
-  advance(Pending{std::move(job), 1, 0, 0});
+  Pending p;
+  p.job = std::move(job);
+  advance(std::move(p));
 }
 
 void Gfa::advance(Pending p) {
@@ -44,6 +49,17 @@ void Gfa::advance(Pending p) {
       break;
     case SchedulingMode::kEconomy:
       schedule_economy(std::move(p));
+      break;
+    case SchedulingMode::kAuction:
+      // Lifecycle: open an auction, then work through the cleared award
+      // ranking, then (if everything declined) the DBC fallback walk.
+      if (p.dbc_fallback) {
+        schedule_economy(std::move(p));
+      } else if (!p.awards.empty()) {
+        advance_auction(std::move(p));
+      } else {
+        schedule_auction(std::move(p));
+      }
       break;
   }
 }
@@ -113,7 +129,8 @@ void Gfa::schedule_no_economy(Pending p) {
 void Gfa::schedule_economy(Pending p) {
   // Experiments 3-5: the DBC algorithm of §2.2.  OFC walks the cheapest
   // ranking, OFT the fastest; the origin cluster competes at its natural
-  // rank (negotiating with ourselves costs no network messages).
+  // rank (negotiating with ourselves costs no network messages).  Also the
+  // auction mode's fallback walk (p.dbc_fallback).
   const auto& cfg = host_.config();
   const auto order = p.job.opt == cluster::Optimization::kTime
                          ? directory::OrderBy::kFastest
@@ -144,17 +161,164 @@ void Gfa::schedule_economy(Pending p) {
   }
 }
 
-void Gfa::send_negotiate(Pending p, cluster::ResourceIndex target) {
+// ---- auction mode (origin side) --------------------------------------------
+
+void Gfa::schedule_auction(Pending p) {
+  const auto& cfg = host_.config();
+  const auto& acfg = cfg.auction;
+  // Candidate providers in cheapest-first directory order: deterministic,
+  // metered like any ranked walk, and compatible with the load-hint filter.
+  std::vector<cluster::ResourceIndex> remote;
+  for (std::uint32_t r = 1;; ++r) {
+    const auto quote =
+        cfg.use_load_hints
+            ? dir_.query_filtered(directory::OrderBy::kCheapest, r,
+                                  cfg.load_hint_threshold)
+            : dir_.query(directory::OrderBy::kCheapest, r);
+    if (!quote) break;
+    if (quote->resource == index_) continue;  // origin enters for free below
+    if (quote->processors < p.job.processors) continue;
+    remote.push_back(quote->resource);
+    if (acfg.max_bidders > 0 && remote.size() >= acfg.max_bidders) break;
+  }
+  const bool origin_enters =
+      acfg.origin_bids && p.job.processors <= lrms_.spec().processors;
+
+  std::vector<cluster::ResourceIndex> entrants = remote;
+  if (origin_enters) entrants.push_back(index_);
+  market::AuctionBook book(p.job.id, std::move(entrants));
+  if (origin_enters) book.add(make_bid(p.job));  // message-free local bid
+
+  for (const cluster::ResourceIndex target : remote) {
+    ++p.negotiations;  // each solicitation is a remote enquiry
+    ++p.messages;
+    host_.send(Message{MessageType::kCallForBids, index_, target, p.job});
+  }
+
+  const cluster::JobId id = p.job.id;
+  const auto [it, inserted] =
+      auctions_.emplace(id, OpenAuction{std::move(p), std::move(book)});
+  GF_EXPECTS(inserted);  // a job runs at most one auction round
+  if (it->second.book.complete()) {
+    // No outstanding bidders (possibly an empty book): clear in place.
+    clear_auction(id);
+    return;
+  }
+  if (acfg.bid_timeout > 0.0) {
+    simulation().schedule_in(acfg.bid_timeout, sim::EventPriority::kControl,
+                             [this, id] { on_bid_timeout(id); });
+  }
+}
+
+void Gfa::on_bid_timeout(cluster::JobId id) {
+  // Deadline for the book: clear with whatever arrived.  A no-op when every
+  // bid beat the timeout (the book already cleared and erased itself).
+  clear_auction(id);
+}
+
+void Gfa::clear_auction(cluster::JobId id) {
+  const auto it = auctions_.find(id);
+  if (it == auctions_.end()) return;  // already cleared
+  OpenAuction auction = std::move(it->second);
+  auctions_.erase(it);
+
+  const auto& cfg = host_.config();
+  const market::AuctionEngine engine(cfg.auction.clearing, cfg.enforce_budget,
+                                     cfg.enforce_deadline);
+  Pending p = std::move(auction.pending);
+  p.awards = engine.clear(p.job, auction.book.bids());
+  p.next_award = 0;
+
+  market::ClearingReport report;
+  report.job = p.job.id;
+  report.solicited = auction.book.solicited();
+  report.bids = auction.book.bids().size();
+  report.feasible = p.awards.size();
+  report.awarded = !p.awards.empty();
+  if (report.awarded) {
+    report.winner = p.awards.front().bid.bidder;
+    report.winner_ask = p.awards.front().bid.ask;
+    report.payment = p.awards.front().payment;
+  }
+  host_.auction_report(report);
+
+  if (p.awards.empty()) {
+    auction_fallback(std::move(p));
+  } else {
+    advance_auction(std::move(p));
+  }
+}
+
+void Gfa::advance_auction(Pending p) {
+  while (p.next_award < p.awards.size()) {
+    const market::Award award = p.awards[p.next_award++];
+    if (award.bid.bidder == index_) {
+      // Won our own auction: admission is a free local re-check, and the
+      // cleared payment (not the posted price) is what gets settled.
+      if (local_deadline_ok(p.job)) {
+        execute_here(std::move(p), award.payment);
+        return;
+      }
+      continue;  // queue filled up since bidding: next award
+    }
+    // The award is an admission enquiry through the shared seam: the
+    // winner re-checks, reserves, and answers with a kReply.
+    p.award_payment = award.payment;
+    send_enquiry(std::move(p), award.bid.bidder, MessageType::kAward,
+                 award.payment);
+    return;  // resume in handle_reply (or the timeout)
+  }
+  auction_fallback(std::move(p));
+}
+
+void Gfa::auction_fallback(Pending p) {
+  if (host_.config().auction.fallback_to_dbc) {
+    p.dbc_fallback = true;
+    p.awards.clear();
+    p.next_award = 0;
+    p.next_rank = 1;  // fresh DBC walk; cluster state moved on since bidding
+    schedule_economy(std::move(p));
+  } else {
+    reject(std::move(p));
+  }
+}
+
+market::Bid Gfa::make_bid(const cluster::Job& job) const {
+  const auto& cfg = host_.config();
+  const auto& own = lrms_.spec();
+  market::Bid bid;
+  bid.bidder = index_;
+  if (job.processors > own.processors) return bid;  // infeasible
+  const sim::SimTime exec =
+      cluster::execution_time(job, host_.spec_of(job.origin), own);
+  const sim::SimTime staged = now() + host_.payload_staging_time(job, index_);
+  bid.completion_estimate = lrms_.estimate_completion(job, exec, staged);
+  bid.feasible = !cfg.enforce_deadline ||
+                 bid.completion_estimate <= job.absolute_deadline();
+  const double true_cost =
+      economy::job_cost(job, host_.spec_of(job.origin), own, cfg.cost_model);
+  bid.ask =
+      market::bid_price(cfg.auction.bid_pricing, true_cost,
+                        lrms_.instantaneous_load(), cfg.auction.markup,
+                        cfg.pricing);
+  return bid;
+}
+
+// ---- enquiry seam (DBC negotiate + auction award) ---------------------------
+
+void Gfa::send_enquiry(Pending p, cluster::ResourceIndex target,
+                       MessageType type, double price) {
+  GF_EXPECTS(type == MessageType::kNegotiate || type == MessageType::kAward);
   ++p.negotiations;
-  ++p.messages;  // the negotiate
+  ++p.messages;  // the enquiry
   p.current_target = target;
   ++p.attempt;
-  Message negotiate{MessageType::kNegotiate, index_, target, p.job, false,
-                    0.0};
+  Message enquiry{type, index_, target, p.job};
+  enquiry.price = price;
   const cluster::JobId id = p.job.id;
   const std::uint64_t attempt = p.attempt;
   pending_.insert_or_assign(id, std::move(p));
-  host_.send(std::move(negotiate));
+  host_.send(std::move(enquiry));
 
   const auto& cfg = host_.config();
   if (cfg.negotiate_timeout > 0.0) {
@@ -164,28 +328,33 @@ void Gfa::send_negotiate(Pending p, cluster::ResourceIndex target) {
   }
 }
 
+void Gfa::send_negotiate(Pending p, cluster::ResourceIndex target) {
+  send_enquiry(std::move(p), target, MessageType::kNegotiate, 0.0);
+}
+
 void Gfa::on_negotiate_timeout(cluster::JobId id, std::uint64_t attempt) {
   const auto it = pending_.find(id);
   if (it == pending_.end()) return;            // reply already handled
   if (it->second.attempt != attempt) return;   // a later enquiry is live
-  if (it->second.current_target == kNoTarget) return;
+  if (it->second.current_target == cluster::kNoResource) return;
   // No reply: abandon this enquiry (the remote may have reserved — its own
   // hold timeout will release the processors) and walk on.
   Pending p = std::move(it->second);
   pending_.erase(it);
-  p.current_target = kNoTarget;
+  p.current_target = cluster::kNoResource;
   advance(std::move(p));
 }
 
-void Gfa::execute_here(Pending p) {
+void Gfa::execute_here(Pending p, double price) {
   const auto& cfg = host_.config();
   const auto& own = lrms_.spec();
   const sim::SimTime exec =
       cluster::execution_time(p.job, host_.spec_of(p.job.origin), own);
   lrms_.submit(p.job, exec);
   const double cost =
-      economy::job_cost(p.job, host_.spec_of(p.job.origin), own,
-                        cfg.cost_model);
+      price >= 0.0 ? price
+                   : economy::job_cost(p.job, host_.spec_of(p.job.origin),
+                                       own, cfg.cost_model);
   awaiting_.emplace(p.job.id, Awaiting{p.job, p.negotiations, p.messages,
                                        cost, index_});
 }
@@ -198,7 +367,8 @@ void Gfa::receive(const Message& msg) {
   GF_EXPECTS(msg.to == index_);
   switch (msg.type) {
     case MessageType::kNegotiate:
-      handle_negotiate(msg);
+    case MessageType::kAward:
+      admit_and_reply(msg);
       break;
     case MessageType::kReply:
       handle_reply(msg);
@@ -209,14 +379,21 @@ void Gfa::receive(const Message& msg) {
     case MessageType::kJobCompletion:
       handle_completion(msg);
       break;
+    case MessageType::kCallForBids:
+      handle_call_for_bids(msg);
+      break;
+    case MessageType::kBid:
+      handle_bid(msg);
+      break;
   }
 }
 
-void Gfa::handle_negotiate(const Message& msg) {
-  // Resource-manager side of admission control: ask the LRMS for the exact
-  // completion time; accept iff it honours the deadline.  On acceptance we
-  // reserve immediately so the guarantee stays binding until the job
-  // payload arrives.
+void Gfa::admit_and_reply(const Message& msg) {
+  // Resource-manager side of admission control, shared by the DBC
+  // negotiate and the auction award: ask the LRMS for the exact completion
+  // time; accept iff it honours the deadline.  On acceptance we reserve
+  // immediately so the guarantee stays binding until the job payload
+  // arrives.
   const auto& cfg = host_.config();
   const auto& own = lrms_.spec();
   const cluster::Job& job = msg.job;
@@ -272,19 +449,22 @@ void Gfa::handle_reply(const Message& msg) {
   if (it->second.current_target != msg.from) return;  // stale (older enquiry)
   Pending p = std::move(it->second);
   pending_.erase(it);
-  p.current_target = kNoTarget;
+  p.current_target = cluster::kNoResource;
   ++p.messages;  // the reply we just received
 
   if (!msg.accept) {
-    advance(std::move(p));  // continue the rank walk
+    advance(std::move(p));  // continue the rank walk / award ranking
     return;
   }
-  // Accepted: ship the job.  The remote reserved at negotiate time, so the
-  // submission is the payload transfer the ledger must count.
+  // Accepted: ship the job.  The remote reserved at enquiry time, so the
+  // submission is the payload transfer the ledger must count.  An auction
+  // award settles its cleared payment; a DBC negotiate the posted price.
   ++p.messages;
-  const double cost = economy::job_cost(p.job, host_.spec_of(p.job.origin),
-                                        host_.spec_of(msg.from),
-                                        host_.config().cost_model);
+  const double cost =
+      p.awarding() ? p.award_payment
+                   : economy::job_cost(p.job, host_.spec_of(p.job.origin),
+                                       host_.spec_of(msg.from),
+                                       host_.config().cost_model);
   Message submission{MessageType::kJobSubmission, index_, msg.from, p.job,
                      true, msg.completion_estimate};
   awaiting_.emplace(p.job.id, Awaiting{std::move(p.job), p.negotiations,
@@ -303,6 +483,27 @@ void Gfa::handle_submission(const Message& msg) {
 
 void Gfa::handle_completion(const Message& msg) {
   finalize(msg.job.id, msg.from, msg.start_time, msg.completion_estimate);
+}
+
+void Gfa::handle_call_for_bids(const Message& msg) {
+  // Provider side: answer with a sealed ask.  Bidding is non-binding (no
+  // reservation); the award re-runs admission, so a stale estimate only
+  // costs the origin a declined award, never a broken guarantee.
+  const market::Bid bid = make_bid(msg.job);
+  Message answer{MessageType::kBid, index_, msg.from, msg.job, bid.feasible,
+                 bid.completion_estimate};
+  answer.price = bid.ask;
+  host_.send(std::move(answer));
+}
+
+void Gfa::handle_bid(const Message& msg) {
+  const auto it = auctions_.find(msg.job.id);
+  if (it == auctions_.end()) return;  // book cleared at the timeout: stale bid
+  OpenAuction& auction = it->second;
+  ++auction.pending.messages;
+  auction.book.add(market::Bid{msg.from, msg.price, msg.completion_estimate,
+                               msg.accept});
+  if (auction.book.complete()) clear_auction(msg.job.id);
 }
 
 void Gfa::on_lrms_completion(const cluster::CompletedJob& done) {

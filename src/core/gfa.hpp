@@ -17,6 +17,15 @@
 // the deadline guarantee with the rest, and dispatch to the first
 // accepting cluster; a job whose every rank fails is dropped.
 //
+// The market extension adds a fourth mode (SchedulingMode::kAuction): the
+// origin broadcasts a call-for-bids, providers answer with sealed asks
+// priced by their bidding strategy (market/bid_pricing.hpp), and the
+// auction engine clears the book into a deterministic award ranking
+// (market/auction_engine.hpp).  An award is delivered through the same
+// enquiry machinery as a DBC negotiate — the winner re-runs admission
+// control, reserves, and replies — so the pending/awaiting/timeout state
+// and the ship/completion legs are shared between both modes.
+//
 // Admission control: the remote resource manager asks its LRMS for an
 // exact completion-time estimate; on acceptance it *reserves* the
 // processors immediately, which is what makes the returned guarantee
@@ -24,12 +33,14 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "cluster/lrms.hpp"
 #include "core/config.hpp"
 #include "core/message.hpp"
 #include "core/outcome.hpp"
 #include "directory/federation_directory.hpp"
+#include "market/auction_engine.hpp"
 #include "sim/entity.hpp"
 
 namespace gridfed::core {
@@ -64,6 +75,11 @@ class GfaHost {
   virtual void job_rejected(const cluster::Job& job,
                             std::uint32_t negotiations,
                             std::uint64_t messages) = 0;
+
+  /// Auction-mode telemetry: one call per cleared book (kAuction only).
+  virtual void auction_report(const market::ClearingReport& report) {
+    (void)report;
+  }
 };
 
 /// The Grid Federation Agent for one cluster.
@@ -106,15 +122,29 @@ class Gfa : public sim::Entity {
     std::uint32_t next_rank = 1;     ///< next directory rank to try
     std::uint32_t negotiations = 0;  ///< remote enquiries so far
     std::uint64_t messages = 0;      ///< protocol messages so far
-    /// The GFA currently being negotiated with (kNoTarget = none).  Used
+    /// The GFA currently being negotiated with (kNoResource = none).  Used
     /// to discard stale replies after a timeout abandoned the enquiry.
-    cluster::ResourceIndex current_target = kNoTarget;
+    cluster::ResourceIndex current_target = cluster::kNoResource;
     /// Monotone enquiry counter so a timeout only fires for its own
     /// enquiry, never a later one.
     std::uint64_t attempt = 0;
+
+    // -- auction-mode state (empty outside kAuction) ----------------------
+    /// Cleared award ranking still to try; awards[next_award] is next.
+    std::vector<market::Award> awards;
+    std::size_t next_award = 0;
+    /// Payment agreed for the in-flight award; settled instead of the
+    /// posted-price cost when the winner accepts.
+    double award_payment = 0.0;
+    /// Book cleared empty or every award declined: finish via the DBC
+    /// walk (when the config allows) rather than re-auctioning.
+    bool dbc_fallback = false;
+
+    /// True while an auction award (not a DBC negotiate) is in flight.
+    [[nodiscard]] bool awarding() const noexcept {
+      return !awards.empty() && !dbc_fallback;
+    }
   };
-  static constexpr cluster::ResourceIndex kNoTarget =
-      static_cast<cluster::ResourceIndex>(-1);
 
   /// A reservation held on behalf of a remote GFA between negotiate-accept
   /// and payload arrival (cancelled if the payload never comes).
@@ -130,6 +160,11 @@ class Gfa : public sim::Entity {
     double cost = 0.0;
     cluster::ResourceIndex exec = 0;
   };
+  /// An auction round collecting bids (origin side).
+  struct OpenAuction {
+    Pending pending;
+    market::AuctionBook book;
+  };
 
   // -- origin-side scheduling -------------------------------------------
   void advance(Pending p);
@@ -138,8 +173,10 @@ class Gfa : public sim::Entity {
   void schedule_independent(Pending p);
   /// True when this cluster can complete the job within its deadline.
   [[nodiscard]] bool local_deadline_ok(const cluster::Job& job) const;
-  /// Reserves the job on the local LRMS and records it as awaiting.
-  void execute_here(Pending p);
+  /// Reserves the job on the local LRMS and records it as awaiting.  The
+  /// settled amount is the posted-price cost unless `price` overrides it
+  /// (auction self-award: the cleared payment).
+  void execute_here(Pending p, double price = -1.0);
   void reject(Pending p);
 
   /// Cost of running `job` on the cluster advertised by `quote` (uses only
@@ -148,19 +185,47 @@ class Gfa : public sim::Entity {
   [[nodiscard]] double cost_from_quote(const cluster::Job& job,
                                        const directory::Quote& quote) const;
 
-  /// Sends the enquiry to `target` and parks the job in pending_; arms the
-  /// reply timeout when the config enables it.
+  /// Shared enquiry seam: sends `type` (kNegotiate or kAward) to `target`,
+  /// parks the job in pending_, and arms the reply timeout when the config
+  /// enables it.  Both DBC and auction awards resume in handle_reply.
+  void send_enquiry(Pending p, cluster::ResourceIndex target,
+                    MessageType type, double price);
   void send_negotiate(Pending p, cluster::ResourceIndex target);
   /// Fires when no reply arrived in time: abandon the enquiry, walk on.
   void on_negotiate_timeout(cluster::JobId id, std::uint64_t attempt);
   /// Fires when a held reservation saw no payload: cancel it.
   void on_hold_timeout(cluster::JobId id);
 
+  // -- auction mode (origin side) ----------------------------------------
+  /// Opens the book: solicits bids from every eligible provider (cheapest
+  /// directory order, capped at max_bidders) and enters the origin's own
+  /// message-free bid when configured.
+  void schedule_auction(Pending p);
+  /// Closes the book, clears it through the engine, reports telemetry and
+  /// starts awarding (or falls back / rejects on an empty ranking).
+  void clear_auction(cluster::JobId id);
+  /// Tries the next award in the cleared ranking; exhausted = fallback.
+  void advance_auction(Pending p);
+  void on_bid_timeout(cluster::JobId id);
+  /// Exhausted every auction avenue: DBC walk or rejection per config.
+  void auction_fallback(Pending p);
+
+  // -- auction mode (provider side) --------------------------------------
+  /// This cluster's sealed bid for `job` (also used for the origin's own
+  /// local bid): admission-style completion estimate plus the configured
+  /// bid-pricing strategy.
+  [[nodiscard]] market::Bid make_bid(const cluster::Job& job) const;
+
   // -- message handlers ---------------------------------------------------
-  void handle_negotiate(const Message& msg);
   void handle_reply(const Message& msg);
   void handle_submission(const Message& msg);
   void handle_completion(const Message& msg);
+  void handle_call_for_bids(const Message& msg);
+  void handle_bid(const Message& msg);
+
+  /// Provider-side admission shared by kNegotiate and kAward: exact LRMS
+  /// estimate, reserve on acceptance, answer with a kReply.
+  void admit_and_reply(const Message& msg);
 
   void finalize(cluster::JobId id, cluster::ResourceIndex exec,
                 sim::SimTime start, sim::SimTime completion);
@@ -173,6 +238,7 @@ class Gfa : public sim::Entity {
   std::unordered_map<cluster::JobId, Pending> pending_;
   std::unordered_map<cluster::JobId, Awaiting> awaiting_;
   std::unordered_map<cluster::JobId, RemoteHold> holds_;
+  std::unordered_map<cluster::JobId, OpenAuction> auctions_;
   std::uint64_t remote_accepted_ = 0;
 };
 

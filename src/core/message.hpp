@@ -24,13 +24,25 @@
 
 namespace gridfed::core {
 
-/// The four scheduling message types of §3.5.
+/// The four scheduling message types of §3.5, extended with the three
+/// auction-mode messages (market/): the call-for-bids broadcast, the
+/// sealed bid coming back, and the award notifying the winner.  The award
+/// doubles as an admission enquiry — the winner re-checks and answers with
+/// a kReply, so the ship/completion legs are shared with DBC.
 enum class MessageType : std::uint8_t {
   kNegotiate,      ///< admission-control enquiry (can you meet s+d?)
   kReply,          ///< accept/reject + completion-time guarantee
   kJobSubmission,  ///< the job payload
   kJobCompletion,  ///< the job output returning to the origin
+  kCallForBids,    ///< auction: solicitation broadcast to providers
+  kBid,            ///< auction: sealed ask + completion estimate
+  kAward,          ///< auction: winner notification (admission re-check)
 };
+
+/// Number of MessageType values (sizes the per-type counters).  Derived
+/// from the last enumerator so it cannot drift from the enum.
+inline constexpr std::size_t kMessageTypeCount =
+    static_cast<std::size_t>(MessageType::kAward) + 1;
 
 [[nodiscard]] constexpr const char* to_string(MessageType t) noexcept {
   switch (t) {
@@ -42,6 +54,12 @@ enum class MessageType : std::uint8_t {
       return "job-submission";
     case MessageType::kJobCompletion:
       return "job-completion";
+    case MessageType::kCallForBids:
+      return "call-for-bids";
+    case MessageType::kBid:
+      return "bid";
+    case MessageType::kAward:
+      return "award";
   }
   return "?";
 }
@@ -63,6 +81,10 @@ struct Message {
   // records the true completion instant rather than the (latency-delayed)
   // arrival of this message.
   sim::SimTime start_time = 0.0;
+
+  // Auction payload: the sealed ask (kBid) or the cleared payment the
+  // origin commits to settle (kAward).
+  double price = 0.0;
 };
 
 /// Per-GFA local/remote message counters plus per-type totals.
@@ -90,7 +112,7 @@ class MessageLedger {
  private:
   std::vector<std::uint64_t> local_;
   std::vector<std::uint64_t> remote_;
-  std::uint64_t by_type_[4] = {0, 0, 0, 0};
+  std::uint64_t by_type_[kMessageTypeCount] = {};
   std::uint64_t total_ = 0;
 };
 

@@ -7,8 +7,10 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/message.hpp"
 #include "directory/query_cost.hpp"
 #include "stats/accumulator.hpp"
+#include "stats/auction_stats.hpp"
 
 namespace gridfed::core {
 
@@ -67,11 +69,14 @@ struct FederationResult {
   stats::Accumulator negotiations_per_job;  ///< remote enquiries per job
   stats::Accumulator msgs_per_gfa;          ///< local+remote per GFA
   std::uint64_t total_messages = 0;
-  std::uint64_t messages_by_type[4] = {0, 0, 0, 0};
+  std::uint64_t messages_by_type[kMessageTypeCount] = {};
   directory::DirectoryTraffic directory_traffic;
 
   // Economy aggregate.
   double total_incentive = 0.0;
+
+  // Auction-mode aggregate (all-zero outside kAuction runs).
+  stats::AuctionStats auctions;
 
   // Federation-wide user QoS.
   stats::Accumulator fed_response_excl;

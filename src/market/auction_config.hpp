@@ -1,0 +1,43 @@
+#pragma once
+// Knobs of the auction scheduling mode (SchedulingMode::kAuction).  One
+// AuctionConfig rides inside FederationConfig; everything here only takes
+// effect in auction mode.
+
+#include <cstdint>
+
+#include "market/bid.hpp"
+#include "market/bid_pricing.hpp"
+#include "sim/types.hpp"
+
+namespace gridfed::market {
+
+/// Parameters of the per-job sealed-bid reverse auction.
+struct AuctionConfig {
+  /// Payment rule the engine clears under.
+  ClearingRule clearing = ClearingRule::kFirstPrice;
+
+  /// How providers turn true cost into a sealed ask.
+  BidPricingStrategy bid_pricing = BidPricingStrategy::kTrueCost;
+
+  /// Profit margin for BidPricingStrategy::kMarkup.
+  double markup = 0.15;
+
+  /// How long the origin keeps the book open before clearing with whatever
+  /// bids arrived.  0 = clear only when every solicited bidder answered
+  /// (sound under a lossless network; lossy runs must set a timeout).
+  sim::SimTime bid_timeout = 0.0;
+
+  /// Cap on the number of remote providers solicited per job, walked in
+  /// cheapest-first directory order.  0 = solicit every eligible provider.
+  std::uint32_t max_bidders = 0;
+
+  /// Whether the origin cluster enters a (message-free) bid of its own.
+  bool origin_bids = true;
+
+  /// What happens when the book clears empty (or every award is declined):
+  /// true = the job falls back to the paper's DBC rank walk; false = it is
+  /// rejected outright.
+  bool fallback_to_dbc = true;
+};
+
+}  // namespace gridfed::market

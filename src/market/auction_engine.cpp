@@ -1,0 +1,76 @@
+#include "market/auction_engine.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace gridfed::market {
+
+AuctionBook::AuctionBook(cluster::JobId job,
+                         std::vector<cluster::ResourceIndex> solicited)
+    : job_(job),
+      solicited_(std::move(solicited)),
+      answered_(solicited_.size(), false),
+      outstanding_(solicited_.size()) {
+  bids_.reserve(solicited_.size());
+}
+
+bool AuctionBook::add(const Bid& bid) {
+  for (std::size_t i = 0; i < solicited_.size(); ++i) {
+    if (solicited_[i] != bid.bidder) continue;
+    if (answered_[i]) return false;  // duplicate
+    answered_[i] = true;
+    --outstanding_;
+    bids_.push_back(bid);
+    return true;
+  }
+  return false;  // unsolicited
+}
+
+std::vector<Award> AuctionEngine::clear(const cluster::Job& job,
+                                        const std::vector<Bid>& bids) const {
+  std::vector<Bid> feasible;
+  feasible.reserve(bids.size());
+  for (const Bid& bid : bids) {
+    if (!bid.feasible) continue;
+    GF_EXPECTS(bid.ask >= 0.0);
+    if (enforce_budget_ && bid.ask > job.budget) continue;
+    if (enforce_deadline_ &&
+        bid.completion_estimate > job.absolute_deadline()) {
+      continue;
+    }
+    feasible.push_back(bid);
+  }
+  // Lowest ask wins; ties break on the earlier completion guarantee, then
+  // the lower resource index — a total order, so clearing is deterministic
+  // for any arrival order of the bids.
+  std::sort(feasible.begin(), feasible.end(),
+            [](const Bid& a, const Bid& b) {
+              if (a.ask != b.ask) return a.ask < b.ask;
+              if (a.completion_estimate != b.completion_estimate) {
+                return a.completion_estimate < b.completion_estimate;
+              }
+              return a.bidder < b.bidder;
+            });
+
+  std::vector<Award> ranking;
+  ranking.reserve(feasible.size());
+  for (std::size_t i = 0; i < feasible.size(); ++i) {
+    double payment = feasible[i].ask;
+    if (rule_ == ClearingRule::kVickrey) {
+      if (i + 1 < feasible.size()) {
+        payment = feasible[i + 1].ask;
+      } else if (enforce_budget_) {
+        // Lone (or last-ranked) bidder: the reserve price — the user's
+        // budget — plays the second bid, as in a Vickrey auction with a
+        // reserve.  Without budget enforcement there is no reserve and the
+        // ask itself is the only defensible payment.
+        payment = job.budget;
+      }
+    }
+    ranking.push_back(Award{feasible[i], payment});
+  }
+  return ranking;
+}
+
+}  // namespace gridfed::market

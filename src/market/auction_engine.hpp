@@ -1,0 +1,95 @@
+#pragma once
+// The sealed-bid reverse-auction engine: an order book that collects the
+// asks solicited for one job, and the clearing logic that turns a closed
+// book into a deterministic award ranking.
+//
+// Clearing filters the book down to *feasible* bids (bidder-declared
+// feasibility, the job's deadline when enforced, and the job's budget as
+// the reserve price when enforced), sorts them lowest-ask-first with
+// deterministic tie-breaking (ask, then completion estimate, then bidder
+// index), and prices every position under the configured rule:
+//
+//  * first-price — each award pays its own ask;
+//  * Vickrey     — each award pays the *next* feasible ask (the classic
+//    second-price payment for the winner), and the last-ranked award pays
+//    the reserve price (the budget) when the budget is enforced, its own
+//    ask otherwise.
+//
+// The whole ranking (not just the winner) is returned because an award is
+// only a *proposal*: the winner re-runs admission control at award time,
+// and if its queue filled up since bidding, the origin falls through to
+// the runner-up — whose payment must already be consistent with the rule.
+
+#include <cstddef>
+#include <vector>
+
+#include "cluster/job.hpp"
+#include "market/bid.hpp"
+
+namespace gridfed::market {
+
+/// Order book for one job's auction round.  Tracks which solicited bidders
+/// have answered so the origin can clear as soon as the book is complete
+/// instead of always waiting out the bid timeout.
+class AuctionBook {
+ public:
+  /// Opens the book for `job`; `solicited` lists every bidder a
+  /// call-for-bids went to (the origin itself included when it competes).
+  AuctionBook(cluster::JobId job, std::vector<cluster::ResourceIndex> solicited);
+
+  /// Records a sealed bid.  Unsolicited or duplicate bids are ignored
+  /// (stale answers after a timeout re-solicitation, byzantine bidders).
+  /// Returns true when the bid entered the book.
+  bool add(const Bid& bid);
+
+  /// True when every solicited bidder has answered.
+  [[nodiscard]] bool complete() const noexcept { return outstanding_ == 0; }
+
+  [[nodiscard]] cluster::JobId job() const noexcept { return job_; }
+  [[nodiscard]] const std::vector<Bid>& bids() const noexcept { return bids_; }
+  [[nodiscard]] std::size_t solicited() const noexcept {
+    return solicited_.size();
+  }
+
+ private:
+  cluster::JobId job_;
+  std::vector<cluster::ResourceIndex> solicited_;
+  std::vector<bool> answered_;  // parallel to solicited_
+  std::size_t outstanding_;
+  std::vector<Bid> bids_;
+};
+
+/// Telemetry for one cleared auction round (stats::AuctionStats input).
+struct ClearingReport {
+  cluster::JobId job = 0;
+  std::size_t solicited = 0;  ///< bidders a call-for-bids reached
+  std::size_t bids = 0;       ///< sealed bids in the book at clearing
+  std::size_t feasible = 0;   ///< bids that survived the feasibility filter
+  bool awarded = false;       ///< the ranking is non-empty
+  cluster::ResourceIndex winner = cluster::kNoResource;
+  double winner_ask = 0.0;
+  double payment = 0.0;  ///< what the top-ranked award would settle
+};
+
+/// Clears closed books into award rankings.
+class AuctionEngine {
+ public:
+  AuctionEngine(ClearingRule rule, bool enforce_budget, bool enforce_deadline)
+      : rule_(rule),
+        enforce_budget_(enforce_budget),
+        enforce_deadline_(enforce_deadline) {}
+
+  /// Deterministic award ranking for `job` over `bids` (see file comment).
+  /// Empty when no bid is feasible.
+  [[nodiscard]] std::vector<Award> clear(const cluster::Job& job,
+                                         const std::vector<Bid>& bids) const;
+
+  [[nodiscard]] ClearingRule rule() const noexcept { return rule_; }
+
+ private:
+  ClearingRule rule_;
+  bool enforce_budget_;
+  bool enforce_deadline_;
+};
+
+}  // namespace gridfed::market

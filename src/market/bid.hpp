@@ -1,0 +1,57 @@
+#pragma once
+// Sealed bids for the reverse-auction scheduling mode.  In a reverse
+// auction the *providers* compete for the job: the originating GFA
+// broadcasts a call-for-bids and each candidate cluster answers with a
+// sealed ask — the Grid-Dollar price it wants for running the job — plus
+// the completion time its LRMS would guarantee.  The auction engine then
+// clears the book under a first-price or Vickrey rule (auction_engine.hpp).
+//
+// This extends the paper's posted-price commodity market (Eqs. 5/6): where
+// DBC walks a static price ranking, an auction lets every provider price
+// each job individually (true cost, markup, or load-adaptive — see
+// bid_pricing.hpp), which is the mechanism-design direction of the
+// follow-on federation literature (Guazzone et al., Xie et al.).
+
+#include <cstdint>
+
+#include "cluster/resource.hpp"
+#include "sim/types.hpp"
+
+namespace gridfed::market {
+
+/// How the winning provider's payment is derived from the book.
+enum class ClearingRule : std::uint8_t {
+  kFirstPrice,  ///< winner is paid its own ask (pay-as-bid)
+  kVickrey,     ///< winner is paid the second-lowest feasible ask
+};
+
+[[nodiscard]] constexpr const char* to_string(ClearingRule rule) noexcept {
+  switch (rule) {
+    case ClearingRule::kFirstPrice:
+      return "first-price";
+    case ClearingRule::kVickrey:
+      return "vickrey";
+  }
+  return "?";
+}
+
+/// One sealed bid: a provider's ask for executing a specific job.
+struct Bid {
+  cluster::ResourceIndex bidder = cluster::kNoResource;
+  double ask = 0.0;  ///< Grid Dollars the provider wants for the job
+  /// Completion instant the bidder's LRMS would guarantee (admission-style
+  /// estimate at bidding time; re-verified on award).
+  sim::SimTime completion_estimate = 0.0;
+  /// Bidder-declared feasibility: the job fits and (when the deadline is
+  /// enforced) the estimate honours it.  Infeasible bids keep the book's
+  /// bookkeeping complete but never win.
+  bool feasible = false;
+};
+
+/// One entry of the cleared ranking: who would win at which payment.
+struct Award {
+  Bid bid;
+  double payment = 0.0;  ///< Grid Dollars settled if this award sticks
+};
+
+}  // namespace gridfed::market

@@ -1,0 +1,29 @@
+#include "market/bid_pricing.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace gridfed::market {
+
+double bid_price(BidPricingStrategy strategy, double true_cost, double load,
+                 double markup, const economy::DynamicPricingConfig& pricing) {
+  GF_EXPECTS(true_cost >= 0.0);
+  GF_EXPECTS(load >= 0.0 && load <= 1.0);
+  GF_EXPECTS(markup >= 0.0);
+  switch (strategy) {
+    case BidPricingStrategy::kTrueCost:
+      return true_cost;
+    case BidPricingStrategy::kMarkup:
+      return true_cost * (1.0 + markup);
+    case BidPricingStrategy::kLoadAdaptive: {
+      const double factor = std::clamp(
+          1.0 + pricing.eta * (load - pricing.target_load),
+          pricing.floor_factor, pricing.ceiling_factor);
+      return true_cost * factor;
+    }
+  }
+  return true_cost;
+}
+
+}  // namespace gridfed::market

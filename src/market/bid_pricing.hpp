@@ -1,0 +1,53 @@
+#pragma once
+// Provider-side bid pricing strategies.  A provider's *true cost* for a
+// job is what the posted-price economy would have charged for it (the
+// configured CostModel applied to the provider's current quote — so a
+// dynamically repriced quote already flows into it).  The strategy decides
+// how the sealed ask relates to that cost:
+//
+//  * kTrueCost  — bid exactly the cost.  Under a Vickrey rule truthful
+//    bidding is the dominant strategy, so this is the mechanism-design
+//    baseline.
+//  * kMarkup    — cost * (1 + markup): a fixed profit margin, the natural
+//    strategy under pay-as-bid (first-price) clearing.
+//  * kLoadAdaptive — cost scaled by the same tatonnement factor the
+//    dynamic-pricing extension uses, but evaluated against the provider's
+//    *instantaneous* load at bidding time: busy providers ask more, idle
+//    ones undercut.  This couples the auction to supply/demand without
+//    waiting for a repricing period.
+
+#include <cstdint>
+
+#include "economy/dynamic_pricing.hpp"
+
+namespace gridfed::market {
+
+/// How a provider turns its true cost into a sealed ask.
+enum class BidPricingStrategy : std::uint8_t {
+  kTrueCost,      ///< ask = cost (truthful)
+  kMarkup,        ///< ask = cost * (1 + markup)
+  kLoadAdaptive,  ///< ask = cost * clamp(1 + eta*(load-target), floor, ceil)
+};
+
+[[nodiscard]] constexpr const char* to_string(
+    BidPricingStrategy strategy) noexcept {
+  switch (strategy) {
+    case BidPricingStrategy::kTrueCost:
+      return "true-cost";
+    case BidPricingStrategy::kMarkup:
+      return "markup";
+    case BidPricingStrategy::kLoadAdaptive:
+      return "load-adaptive";
+  }
+  return "?";
+}
+
+/// The sealed ask for a job whose true cost on this provider is
+/// `true_cost`, given the provider's instantaneous `load` in [0, 1].
+/// `markup` parameterizes kMarkup; `pricing` parameterizes kLoadAdaptive
+/// (its eta/target/floor/ceiling are reused as the load-response curve).
+[[nodiscard]] double bid_price(BidPricingStrategy strategy, double true_cost,
+                               double load, double markup,
+                               const economy::DynamicPricingConfig& pricing);
+
+}  // namespace gridfed::market

@@ -1,0 +1,19 @@
+#include "stats/auction_stats.hpp"
+
+namespace gridfed::stats {
+
+void AuctionStats::record(const market::ClearingReport& report) {
+  held += 1;
+  solicited_per_auction.add(static_cast<double>(report.solicited));
+  bids_per_auction.add(static_cast<double>(report.bids));
+  feasible_per_auction.add(static_cast<double>(report.feasible));
+  if (report.awarded) {
+    awarded += 1;
+    clearing_price.add(report.payment);
+    winner_surplus.add(report.payment - report.winner_ask);
+  } else {
+    unfilled += 1;
+  }
+}
+
+}  // namespace gridfed::stats

@@ -1,0 +1,471 @@
+// Market subsystem tests: the auction engine's clearing rules and edge
+// cases (zero bidders, budget-infeasible lone bids, deterministic
+// tie-breaking), bid pricing strategies, and the end-to-end kAuction
+// scheduling mode including the GridBank double-entry invariant under
+// Vickrey settlements.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/federation.hpp"
+#include "economy/pricing.hpp"
+#include "market/auction_engine.hpp"
+#include "market/bid_pricing.hpp"
+#include "workload/trace.hpp"
+
+namespace gridfed {
+namespace {
+
+// ---- AuctionBook ------------------------------------------------------------
+
+TEST(AuctionBook, CompletesWhenEverySolicitedBidderAnswers) {
+  market::AuctionBook book(7, {0, 1, 2});
+  EXPECT_FALSE(book.complete());
+  EXPECT_TRUE(book.add({0, 1.0, 10.0, true}));
+  EXPECT_TRUE(book.add({2, 2.0, 20.0, true}));
+  EXPECT_FALSE(book.complete());
+  EXPECT_TRUE(book.add({1, 3.0, 30.0, false}));
+  EXPECT_TRUE(book.complete());
+  EXPECT_EQ(book.bids().size(), 3u);
+}
+
+TEST(AuctionBook, IgnoresUnsolicitedAndDuplicateBids) {
+  market::AuctionBook book(7, {0, 1});
+  EXPECT_FALSE(book.add({5, 1.0, 10.0, true}));  // never solicited
+  EXPECT_TRUE(book.add({0, 1.0, 10.0, true}));
+  EXPECT_FALSE(book.add({0, 0.5, 5.0, true}));  // second answer
+  EXPECT_EQ(book.bids().size(), 1u);
+  EXPECT_DOUBLE_EQ(book.bids()[0].ask, 1.0);  // the first answer stands
+}
+
+TEST(AuctionBook, EmptySolicitationIsCompleteImmediately) {
+  market::AuctionBook book(7, {});
+  EXPECT_TRUE(book.complete());
+  EXPECT_TRUE(book.bids().empty());
+}
+
+// ---- AuctionEngine clearing -------------------------------------------------
+
+cluster::Job auction_job(double budget = 100.0, double deadline = 1000.0) {
+  cluster::Job job;
+  job.id = 1;
+  job.processors = 4;
+  job.budget = budget;
+  job.deadline = deadline;
+  job.submit = 0.0;
+  return job;
+}
+
+TEST(AuctionEngine, FirstPriceWinnerPaysOwnAsk) {
+  const market::AuctionEngine engine(market::ClearingRule::kFirstPrice, true,
+                                     true);
+  const auto ranking = engine.clear(
+      auction_job(), {{0, 30.0, 500.0, true}, {1, 20.0, 600.0, true}});
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].bid.bidder, 1u);
+  EXPECT_DOUBLE_EQ(ranking[0].payment, 20.0);
+  EXPECT_DOUBLE_EQ(ranking[1].payment, 30.0);
+}
+
+TEST(AuctionEngine, VickreyWinnerPaysSecondPrice) {
+  const market::AuctionEngine engine(market::ClearingRule::kVickrey, true,
+                                     true);
+  const auto ranking = engine.clear(auction_job(),
+                                    {{0, 30.0, 500.0, true},
+                                     {1, 20.0, 600.0, true},
+                                     {2, 50.0, 400.0, true}});
+  ASSERT_EQ(ranking.size(), 3u);
+  EXPECT_EQ(ranking[0].bid.bidder, 1u);
+  EXPECT_DOUBLE_EQ(ranking[0].payment, 30.0);  // second-lowest ask
+  // The runner-up's payment must already be consistent for re-awards.
+  EXPECT_DOUBLE_EQ(ranking[1].payment, 50.0);
+  // Last-ranked award: the reserve (budget) plays the next bid.
+  EXPECT_DOUBLE_EQ(ranking[2].payment, 100.0);
+}
+
+TEST(AuctionEngine, VickreyLoneBidPaysBudgetReserve) {
+  const market::AuctionEngine engine(market::ClearingRule::kVickrey, true,
+                                     true);
+  const auto ranking =
+      engine.clear(auction_job(100.0), {{0, 30.0, 500.0, true}});
+  ASSERT_EQ(ranking.size(), 1u);
+  EXPECT_DOUBLE_EQ(ranking[0].payment, 100.0);
+}
+
+TEST(AuctionEngine, VickreyLoneBidWithoutBudgetEnforcementPaysAsk) {
+  const market::AuctionEngine engine(market::ClearingRule::kVickrey, false,
+                                     true);
+  const auto ranking =
+      engine.clear(auction_job(100.0), {{0, 30.0, 500.0, true}});
+  ASSERT_EQ(ranking.size(), 1u);
+  EXPECT_DOUBLE_EQ(ranking[0].payment, 30.0);
+}
+
+TEST(AuctionEngine, BudgetInfeasibleLoneBidClearsEmpty) {
+  const market::AuctionEngine engine(market::ClearingRule::kFirstPrice, true,
+                                     true);
+  const auto ranking =
+      engine.clear(auction_job(100.0), {{0, 150.0, 500.0, true}});
+  EXPECT_TRUE(ranking.empty());
+}
+
+TEST(AuctionEngine, DeadlineAndDeclaredInfeasibilityFilter) {
+  const market::AuctionEngine engine(market::ClearingRule::kFirstPrice, true,
+                                     true);
+  const auto ranking = engine.clear(auction_job(100.0, 1000.0),
+                                    {{0, 10.0, 1500.0, true},    // too late
+                                     {1, 20.0, 500.0, false},    // declined
+                                     {2, 30.0, 500.0, true}});
+  ASSERT_EQ(ranking.size(), 1u);
+  EXPECT_EQ(ranking[0].bid.bidder, 2u);
+}
+
+TEST(AuctionEngine, DisabledDeadlineKeepsLateBids) {
+  const market::AuctionEngine engine(market::ClearingRule::kFirstPrice, true,
+                                     false);
+  const auto ranking =
+      engine.clear(auction_job(100.0, 1000.0), {{0, 10.0, 1500.0, true}});
+  EXPECT_EQ(ranking.size(), 1u);
+}
+
+TEST(AuctionEngine, ZeroBiddersClearsEmpty) {
+  const market::AuctionEngine engine(market::ClearingRule::kFirstPrice, true,
+                                     true);
+  EXPECT_TRUE(engine.clear(auction_job(), {}).empty());
+}
+
+TEST(AuctionEngine, TieBreaksOnEstimateThenIndex) {
+  const market::AuctionEngine engine(market::ClearingRule::kFirstPrice, true,
+                                     true);
+  // Equal asks: the earlier completion guarantee wins.
+  auto ranking = engine.clear(
+      auction_job(), {{0, 20.0, 600.0, true}, {1, 20.0, 500.0, true}});
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].bid.bidder, 1u);
+  // Equal asks and estimates: the lower resource index wins.
+  ranking = engine.clear(
+      auction_job(), {{3, 20.0, 500.0, true}, {2, 20.0, 500.0, true}});
+  EXPECT_EQ(ranking[0].bid.bidder, 2u);
+}
+
+TEST(AuctionEngine, ClearingIsIndependentOfBidArrivalOrder) {
+  const market::AuctionEngine engine(market::ClearingRule::kVickrey, true,
+                                     true);
+  const std::vector<market::Bid> bids = {{0, 30.0, 500.0, true},
+                                         {1, 20.0, 600.0, true},
+                                         {2, 20.0, 600.0, true}};
+  std::vector<market::Bid> reversed(bids.rbegin(), bids.rend());
+  const auto a = engine.clear(auction_job(), bids);
+  const auto b = engine.clear(auction_job(), reversed);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bid.bidder, b[i].bid.bidder) << i;
+    EXPECT_DOUBLE_EQ(a[i].payment, b[i].payment) << i;
+  }
+}
+
+// ---- bid pricing ------------------------------------------------------------
+
+TEST(BidPricing, TrueCostBidsExactlyCost) {
+  EXPECT_DOUBLE_EQ(market::bid_price(market::BidPricingStrategy::kTrueCost,
+                                     40.0, 0.9, 0.5, {}),
+                   40.0);
+}
+
+TEST(BidPricing, MarkupAddsMargin) {
+  EXPECT_DOUBLE_EQ(market::bid_price(market::BidPricingStrategy::kMarkup,
+                                     40.0, 0.9, 0.25, {}),
+                   50.0);
+}
+
+TEST(BidPricing, LoadAdaptiveScalesWithLoad) {
+  const economy::DynamicPricingConfig pricing;  // eta 0.5, target 0.7
+  const double busy = market::bid_price(
+      market::BidPricingStrategy::kLoadAdaptive, 40.0, 1.0, 0.0, pricing);
+  const double idle = market::bid_price(
+      market::BidPricingStrategy::kLoadAdaptive, 40.0, 0.0, 0.0, pricing);
+  const double at_target = market::bid_price(
+      market::BidPricingStrategy::kLoadAdaptive, 40.0, 0.7, 0.0, pricing);
+  EXPECT_GT(busy, 40.0);
+  EXPECT_LT(idle, 40.0);
+  EXPECT_DOUBLE_EQ(at_target, 40.0);
+}
+
+TEST(BidPricing, InvalidInputsRejected) {
+  EXPECT_ANY_THROW((void)market::bid_price(
+      market::BidPricingStrategy::kTrueCost, -1.0, 0.5, 0.0, {}));
+  EXPECT_ANY_THROW((void)market::bid_price(
+      market::BidPricingStrategy::kTrueCost, 1.0, 1.5, 0.0, {}));
+}
+
+TEST(MarketNames, ToStringCoversEveryValue) {
+  EXPECT_STREQ(to_string(market::ClearingRule::kFirstPrice), "first-price");
+  EXPECT_STREQ(to_string(market::ClearingRule::kVickrey), "vickrey");
+  EXPECT_STREQ(to_string(market::BidPricingStrategy::kTrueCost), "true-cost");
+  EXPECT_STREQ(to_string(market::BidPricingStrategy::kMarkup), "markup");
+  EXPECT_STREQ(to_string(market::BidPricingStrategy::kLoadAdaptive),
+               "load-adaptive");
+  EXPECT_STREQ(to_string(core::SchedulingMode::kAuction),
+               "federation+auction");
+}
+
+// ---- end-to-end kAuction mode ----------------------------------------------
+
+std::vector<cluster::ResourceSpec> two_clusters() {
+  std::vector<cluster::ResourceSpec> specs = {
+      {"cheap", 64, 250.0, 1.0, 0.0},
+      {"fast", 8, 400.0, 1.0, 0.0},
+  };
+  economy::apply_commodity_pricing(specs, 4.0);  // cheap=2.5, fast=4.0
+  return specs;
+}
+
+core::FederationConfig auction_config(
+    market::ClearingRule rule = market::ClearingRule::kFirstPrice) {
+  core::FederationConfig cfg;
+  cfg.mode = core::SchedulingMode::kAuction;
+  cfg.auction.clearing = rule;
+  cfg.window = 10000.0;
+  return cfg;
+}
+
+workload::ResourceTrace one_job(cluster::ResourceIndex resource,
+                                double submit, double runtime,
+                                std::uint32_t procs,
+                                std::uint32_t user = 0) {
+  workload::ResourceTrace t;
+  t.resource = resource;
+  t.jobs.push_back(workload::TraceJob{submit, runtime, procs, user});
+  return t;
+}
+
+TEST(AuctionMode, JobMigratesToCheapestBidder) {
+  // A job originating at the expensive cluster: both clusters bid true
+  // cost, "cheap" asks less and wins.  Message trail: call-for-bids + bid
+  // + award + reply + submission + completion = 6.
+  core::Federation fed(auction_config(), two_clusters());
+  fed.load_workload({one_job(1, 0.0, 100.0, 4)},
+                    workload::PopulationProfile{0});
+  const auto result = fed.run();
+  ASSERT_EQ(result.total_accepted, 1u);
+  EXPECT_EQ(result.resources[1].migrated, 1u);
+  EXPECT_EQ(result.resources[0].remote_processed, 1u);
+  EXPECT_EQ(result.total_messages, 6u);
+  EXPECT_EQ(result.messages_by_type[0], 0u);  // negotiate (DBC only)
+  EXPECT_EQ(result.messages_by_type[1], 1u);  // reply
+  EXPECT_EQ(result.messages_by_type[2], 1u);  // submission
+  EXPECT_EQ(result.messages_by_type[3], 1u);  // completion
+  EXPECT_EQ(result.messages_by_type[4], 1u);  // call-for-bids
+  EXPECT_EQ(result.messages_by_type[5], 1u);  // bid
+  EXPECT_EQ(result.messages_by_type[6], 1u);  // award
+  // First price, true-cost bidding: the winner is paid its posted price.
+  const auto& outcome = fed.outcomes().front();
+  EXPECT_DOUBLE_EQ(outcome.cost, 2.5 * outcome.job.length_mi / 1000.0);
+  EXPECT_EQ(result.auctions.held, 1u);
+  EXPECT_EQ(result.auctions.awarded, 1u);
+  EXPECT_DOUBLE_EQ(result.auctions.bids_per_auction.mean(), 2.0);
+  EXPECT_TRUE(fed.bank().balanced());
+}
+
+TEST(AuctionMode, VickreyWinnerPaidSecondPriceAndBankBalances) {
+  // Same scenario under Vickrey: "cheap" still wins but is paid the
+  // second-lowest ask — the origin's own true cost (quote 4.0).
+  core::Federation fed(auction_config(market::ClearingRule::kVickrey),
+                       two_clusters());
+  fed.load_workload({one_job(1, 0.0, 100.0, 4)},
+                    workload::PopulationProfile{0});
+  const auto result = fed.run();
+  ASSERT_EQ(result.total_accepted, 1u);
+  EXPECT_EQ(result.resources[1].migrated, 1u);
+  const auto& outcome = fed.outcomes().front();
+  EXPECT_DOUBLE_EQ(outcome.cost, 4.0 * outcome.job.length_mi / 1000.0);
+  EXPECT_GT(result.auctions.winner_surplus.mean(), 0.0);
+  EXPECT_TRUE(fed.bank().balanced());
+  EXPECT_NEAR(result.total_incentive, outcome.cost, 1e-12);
+}
+
+TEST(AuctionMode, ZeroBiddersFallsBackToDbcWalk) {
+  // A single-cluster federation with origin_bids off: the book closes
+  // empty, the job falls back to the DBC walk and runs locally for free.
+  auto cfg = auction_config();
+  cfg.auction.origin_bids = false;
+  core::Federation fed(cfg, {two_clusters()[0]});
+  fed.load_workload({one_job(0, 0.0, 100.0, 4)},
+                    workload::PopulationProfile{0});
+  const auto result = fed.run();
+  EXPECT_EQ(result.total_accepted, 1u);
+  EXPECT_EQ(result.resources[0].processed_locally, 1u);
+  EXPECT_EQ(result.total_messages, 0u);
+  EXPECT_EQ(result.auctions.held, 1u);
+  EXPECT_EQ(result.auctions.unfilled, 1u);
+  EXPECT_EQ(result.auctions.awarded, 0u);
+}
+
+TEST(AuctionMode, ZeroBiddersRejectsWhenFallbackDisabled) {
+  auto cfg = auction_config();
+  cfg.auction.origin_bids = false;
+  cfg.auction.fallback_to_dbc = false;
+  core::Federation fed(cfg, {two_clusters()[0]});
+  fed.load_workload({one_job(0, 0.0, 100.0, 4)},
+                    workload::PopulationProfile{0});
+  const auto result = fed.run();
+  EXPECT_EQ(result.total_accepted, 0u);
+  EXPECT_EQ(result.total_rejected, 1u);
+  EXPECT_EQ(result.auctions.unfilled, 1u);
+}
+
+TEST(AuctionMode, BudgetInfeasibleBidsFallBackToDbc) {
+  // A prohibitive markup prices every ask above the 2x fabricated budget:
+  // the book clears empty and the DBC fallback (posted prices) serves the
+  // job instead.
+  auto cfg = auction_config();
+  cfg.auction.bid_pricing = market::BidPricingStrategy::kMarkup;
+  cfg.auction.markup = 10.0;  // ask = 11x cost > 2x budget everywhere
+  cfg.auction.origin_bids = false;
+  core::Federation fed(cfg, two_clusters());
+  fed.load_workload({one_job(1, 0.0, 100.0, 4)},
+                    workload::PopulationProfile{0});
+  const auto result = fed.run();
+  EXPECT_EQ(result.total_accepted, 1u);
+  EXPECT_EQ(result.auctions.held, 1u);
+  EXPECT_EQ(result.auctions.unfilled, 1u);
+  // The fallback walked the posted-price ranking: a normal DBC settlement.
+  const auto& outcome = fed.outcomes().front();
+  EXPECT_DOUBLE_EQ(outcome.cost, 2.5 * outcome.job.length_mi / 1000.0);
+  EXPECT_TRUE(fed.bank().balanced());
+}
+
+TEST(AuctionMode, TieBreakDeterministicAcrossSeeds) {
+  // Three identical clusters: every remote ask ties, so the clearing
+  // tie-break (lower index) decides — and the seed must not matter.
+  for (const std::uint64_t seed : {1ULL, 42ULL, 999ULL}) {
+    std::vector<cluster::ResourceSpec> specs = {
+        {"a", 16, 300.0, 1.0, 3.0},
+        {"b", 16, 300.0, 1.0, 3.0},
+        {"c", 16, 300.0, 1.0, 3.0},
+    };
+    auto cfg = auction_config();
+    cfg.auction.origin_bids = false;
+    cfg.seed = seed;
+    core::Federation fed(cfg, specs);
+    fed.load_workload({one_job(2, 0.0, 100.0, 4)},
+                      workload::PopulationProfile{0});
+    (void)fed.run();
+    ASSERT_EQ(fed.outcomes().size(), 1u);
+    EXPECT_TRUE(fed.outcomes().front().accepted);
+    EXPECT_EQ(fed.outcomes().front().executed_on, 0u) << "seed " << seed;
+  }
+}
+
+TEST(AuctionMode, BankBalancedOverBusyVickreyRun) {
+  // A saturating workload under Vickrey: every settlement (auction wins,
+  // self-awards, DBC fallbacks) must keep the double-entry ledger exact.
+  core::Federation fed(auction_config(market::ClearingRule::kVickrey),
+                       two_clusters());
+  std::vector<workload::ResourceTrace> traces;
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    traces.push_back(one_job(i % 2, i * 20.0, 300.0 + 13.0 * i,
+                             1u << (i % 4), i % 5));
+  }
+  fed.load_workload(traces, workload::PopulationProfile{30});
+  const auto result = fed.run();
+  EXPECT_EQ(result.total_jobs, 40u);
+  EXPECT_TRUE(fed.bank().balanced());
+  double cost_sum = 0.0;
+  for (const auto& o : fed.outcomes()) {
+    if (o.accepted) cost_sum += o.cost;
+  }
+  EXPECT_NEAR(result.total_incentive, cost_sum,
+              1e-9 * std::max(1.0, cost_sum));
+  EXPECT_EQ(result.auctions.held, 40u);
+}
+
+TEST(AuctionMode, AcceptedJobsMeetDeadlines) {
+  core::Federation fed(auction_config(), two_clusters());
+  std::vector<workload::ResourceTrace> traces;
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    traces.push_back(one_job(i % 2, i * 15.0, 200.0 + 11.0 * i,
+                             1u << (i % 4), i));
+  }
+  fed.load_workload(traces, workload::PopulationProfile{50});
+  (void)fed.run();
+  for (const auto& outcome : fed.outcomes()) {
+    if (!outcome.accepted) continue;
+    EXPECT_LE(outcome.completion, outcome.job.absolute_deadline() + 1e-6)
+        << "job " << outcome.job.id;
+  }
+}
+
+TEST(AuctionMode, PerJobMessagesSumToLedgerTotal) {
+  core::Federation fed(auction_config(), two_clusters());
+  std::vector<workload::ResourceTrace> traces;
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    traces.push_back(one_job(i % 2, i * 25.0, 400.0, 4, i));
+  }
+  fed.load_workload(traces, workload::PopulationProfile{50});
+  const auto result = fed.run();
+  double per_job_sum = 0.0;
+  for (const auto& o : fed.outcomes()) {
+    per_job_sum += static_cast<double>(o.messages);
+  }
+  EXPECT_DOUBLE_EQ(per_job_sum, static_cast<double>(result.total_messages));
+}
+
+TEST(AuctionMode, MaxBiddersCapsSolicitation) {
+  std::vector<cluster::ResourceSpec> specs = {
+      {"a", 16, 300.0, 1.0, 0.0},
+      {"b", 16, 310.0, 1.0, 0.0},
+      {"c", 16, 320.0, 1.0, 0.0},
+      {"d", 16, 330.0, 1.0, 0.0},
+  };
+  economy::apply_commodity_pricing(specs, 4.0);
+  auto cfg = auction_config();
+  cfg.auction.max_bidders = 2;
+  cfg.auction.origin_bids = false;
+  core::Federation fed(cfg, specs);
+  fed.load_workload({one_job(3, 0.0, 100.0, 4)},
+                    workload::PopulationProfile{0});
+  const auto result = fed.run();
+  EXPECT_EQ(result.total_accepted, 1u);
+  EXPECT_DOUBLE_EQ(result.auctions.solicited_per_auction.mean(), 2.0);
+  // 2 call-for-bids + 2 bids + award + reply + submission + completion.
+  EXPECT_EQ(result.total_messages, 8u);
+}
+
+TEST(AuctionMode, DeterministicUnderDropsAndTimeouts) {
+  // Lossy bids force timeout clearings; identical seeds must still agree.
+  auto cfg = auction_config();
+  cfg.message_drop_rate = 0.2;
+  cfg.negotiate_timeout = 30.0;
+  cfg.auction.bid_timeout = 30.0;
+  cfg.network_latency = 1.0;
+  cfg.seed = 4242;
+  auto run_once = [&] {
+    core::Federation fed(cfg, two_clusters());
+    std::vector<workload::ResourceTrace> traces;
+    for (std::uint32_t i = 0; i < 25; ++i) {
+      traces.push_back(one_job(i % 2, i * 30.0, 250.0, 2, i));
+    }
+    fed.load_workload(traces, workload::PopulationProfile{40});
+    return fed.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.total_accepted, b.total_accepted);
+  EXPECT_DOUBLE_EQ(a.total_incentive, b.total_incentive);
+  EXPECT_EQ(a.auctions.held, b.auctions.held);
+  EXPECT_EQ(a.total_jobs, 25u);
+}
+
+TEST(AuctionMode, LossyAuctionRequiresBidTimeout) {
+  auto cfg = auction_config();
+  cfg.message_drop_rate = 0.1;
+  cfg.negotiate_timeout = 30.0;
+  cfg.auction.bid_timeout = 0.0;
+  EXPECT_ANY_THROW(core::Federation(cfg, two_clusters()));
+}
+
+}  // namespace
+}  // namespace gridfed
