@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/auction_market.dir/examples/auction_market.cpp.o"
+  "CMakeFiles/auction_market.dir/examples/auction_market.cpp.o.d"
+  "auction_market"
+  "auction_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/auction_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_backfilling.dir/bench/bench_ablation_backfilling.cpp.o"
+  "CMakeFiles/bench_ablation_backfilling.dir/bench/bench_ablation_backfilling.cpp.o.d"
+  "bench_ablation_backfilling"
+  "bench_ablation_backfilling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_backfilling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_coordination.dir/bench/bench_ablation_coordination.cpp.o"
+  "CMakeFiles/bench_ablation_coordination.dir/bench/bench_ablation_coordination.cpp.o.d"
+  "bench_ablation_coordination"
+  "bench_ablation_coordination.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_coordination.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dynamic_pricing.dir/bench/bench_ablation_dynamic_pricing.cpp.o"
+  "CMakeFiles/bench_ablation_dynamic_pricing.dir/bench/bench_ablation_dynamic_pricing.cpp.o.d"
+  "bench_ablation_dynamic_pricing"
+  "bench_ablation_dynamic_pricing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dynamic_pricing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

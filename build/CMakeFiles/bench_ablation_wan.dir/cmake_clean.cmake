@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_wan.dir/bench/bench_ablation_wan.cpp.o"
+  "CMakeFiles/bench_ablation_wan.dir/bench/bench_ablation_wan.cpp.o.d"
+  "bench_ablation_wan"
+  "bench_ablation_wan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig10_msg_per_job_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig11_msg_per_gfa_scaling.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_utilization_migration.dir/bench/bench_fig2_utilization_migration.cpp.o"
+  "CMakeFiles/bench_fig2_utilization_migration.dir/bench/bench_fig2_utilization_migration.cpp.o.d"
+  "bench_fig2_utilization_migration"
+  "bench_fig2_utilization_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_utilization_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_incentive.dir/bench/bench_fig3_incentive.cpp.o"
+  "CMakeFiles/bench_fig3_incentive.dir/bench/bench_fig3_incentive.cpp.o.d"
+  "bench_fig3_incentive"
+  "bench_fig3_incentive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_incentive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_utilization_profiles.dir/bench/bench_fig4_utilization_profiles.cpp.o"
+  "CMakeFiles/bench_fig4_utilization_profiles.dir/bench/bench_fig4_utilization_profiles.cpp.o.d"
+  "bench_fig4_utilization_profiles"
+  "bench_fig4_utilization_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_utilization_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

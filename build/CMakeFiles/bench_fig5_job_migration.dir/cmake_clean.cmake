@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_job_migration.dir/bench/bench_fig5_job_migration.cpp.o"
+  "CMakeFiles/bench_fig5_job_migration.dir/bench/bench_fig5_job_migration.cpp.o.d"
+  "bench_fig5_job_migration"
+  "bench_fig5_job_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_job_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

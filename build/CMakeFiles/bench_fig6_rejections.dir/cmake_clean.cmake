@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_rejections.dir/bench/bench_fig6_rejections.cpp.o"
+  "CMakeFiles/bench_fig6_rejections.dir/bench/bench_fig6_rejections.cpp.o.d"
+  "bench_fig6_rejections"
+  "bench_fig6_rejections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_rejections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_user_qos_excluding.dir/bench/bench_fig7_user_qos_excluding.cpp.o"
+  "CMakeFiles/bench_fig7_user_qos_excluding.dir/bench/bench_fig7_user_qos_excluding.cpp.o.d"
+  "bench_fig7_user_qos_excluding"
+  "bench_fig7_user_qos_excluding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_user_qos_excluding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_user_qos_excluding.
+# This may be replaced when dependencies are built.

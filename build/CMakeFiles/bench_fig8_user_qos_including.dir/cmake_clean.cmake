@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_user_qos_including.dir/bench/bench_fig8_user_qos_including.cpp.o"
+  "CMakeFiles/bench_fig8_user_qos_including.dir/bench/bench_fig8_user_qos_including.cpp.o.d"
+  "bench_fig8_user_qos_including"
+  "bench_fig8_user_qos_including.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_user_qos_including.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig8_user_qos_including.
+# This may be replaced when dependencies are built.

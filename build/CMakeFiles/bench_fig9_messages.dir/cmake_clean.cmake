@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_messages.dir/bench/bench_fig9_messages.cpp.o"
+  "CMakeFiles/bench_fig9_messages.dir/bench/bench_fig9_messages.cpp.o.d"
+  "bench_fig9_messages"
+  "bench_fig9_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

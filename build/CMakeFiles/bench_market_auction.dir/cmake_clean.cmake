@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_market_auction.dir/bench/bench_market_auction.cpp.o"
+  "CMakeFiles/bench_market_auction.dir/bench/bench_market_auction.cpp.o.d"
+  "bench_market_auction"
+  "bench_market_auction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_market_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overlay_directory.dir/bench/bench_overlay_directory.cpp.o"
+  "CMakeFiles/bench_overlay_directory.dir/bench/bench_overlay_directory.cpp.o.d"
+  "bench_overlay_directory"
+  "bench_overlay_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overlay_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_independent.dir/bench/bench_table2_independent.cpp.o"
+  "CMakeFiles/bench_table2_independent.dir/bench/bench_table2_independent.cpp.o.d"
+  "bench_table2_independent"
+  "bench_table2_independent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_independent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

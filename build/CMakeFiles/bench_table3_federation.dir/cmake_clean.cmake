@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_federation.dir/bench/bench_table3_federation.cpp.o"
+  "CMakeFiles/bench_table3_federation.dir/bench/bench_table3_federation.cpp.o.d"
+  "bench_table3_federation"
+  "bench_table3_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/economy_market.dir/examples/economy_market.cpp.o"
+  "CMakeFiles/economy_market.dir/examples/economy_market.cpp.o.d"
+  "economy_market"
+  "economy_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/economy_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

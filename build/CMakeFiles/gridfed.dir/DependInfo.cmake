@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/broadcast.cpp" "CMakeFiles/gridfed.dir/src/baselines/broadcast.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/baselines/broadcast.cpp.o.d"
+  "/root/repo/src/baselines/independent.cpp" "CMakeFiles/gridfed.dir/src/baselines/independent.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/baselines/independent.cpp.o.d"
+  "/root/repo/src/baselines/no_economy.cpp" "CMakeFiles/gridfed.dir/src/baselines/no_economy.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/baselines/no_economy.cpp.o.d"
+  "/root/repo/src/cluster/availability_profile.cpp" "CMakeFiles/gridfed.dir/src/cluster/availability_profile.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/cluster/availability_profile.cpp.o.d"
+  "/root/repo/src/cluster/catalog.cpp" "CMakeFiles/gridfed.dir/src/cluster/catalog.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/cluster/catalog.cpp.o.d"
+  "/root/repo/src/cluster/job.cpp" "CMakeFiles/gridfed.dir/src/cluster/job.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/cluster/job.cpp.o.d"
+  "/root/repo/src/cluster/lrms.cpp" "CMakeFiles/gridfed.dir/src/cluster/lrms.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/cluster/lrms.cpp.o.d"
+  "/root/repo/src/cluster/resource.cpp" "CMakeFiles/gridfed.dir/src/cluster/resource.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/cluster/resource.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "CMakeFiles/gridfed.dir/src/core/experiment.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/core/experiment.cpp.o.d"
+  "/root/repo/src/core/federation.cpp" "CMakeFiles/gridfed.dir/src/core/federation.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/core/federation.cpp.o.d"
+  "/root/repo/src/core/gfa.cpp" "CMakeFiles/gridfed.dir/src/core/gfa.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/core/gfa.cpp.o.d"
+  "/root/repo/src/core/message.cpp" "CMakeFiles/gridfed.dir/src/core/message.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/core/message.cpp.o.d"
+  "/root/repo/src/core/trace_export.cpp" "CMakeFiles/gridfed.dir/src/core/trace_export.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/core/trace_export.cpp.o.d"
+  "/root/repo/src/directory/federation_directory.cpp" "CMakeFiles/gridfed.dir/src/directory/federation_directory.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/directory/federation_directory.cpp.o.d"
+  "/root/repo/src/directory/query_cost.cpp" "CMakeFiles/gridfed.dir/src/directory/query_cost.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/directory/query_cost.cpp.o.d"
+  "/root/repo/src/directory/quote.cpp" "CMakeFiles/gridfed.dir/src/directory/quote.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/directory/quote.cpp.o.d"
+  "/root/repo/src/economy/cost_model.cpp" "CMakeFiles/gridfed.dir/src/economy/cost_model.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/economy/cost_model.cpp.o.d"
+  "/root/repo/src/economy/dynamic_pricing.cpp" "CMakeFiles/gridfed.dir/src/economy/dynamic_pricing.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/economy/dynamic_pricing.cpp.o.d"
+  "/root/repo/src/economy/grid_bank.cpp" "CMakeFiles/gridfed.dir/src/economy/grid_bank.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/economy/grid_bank.cpp.o.d"
+  "/root/repo/src/economy/pricing.cpp" "CMakeFiles/gridfed.dir/src/economy/pricing.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/economy/pricing.cpp.o.d"
+  "/root/repo/src/market/auction_engine.cpp" "CMakeFiles/gridfed.dir/src/market/auction_engine.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/market/auction_engine.cpp.o.d"
+  "/root/repo/src/market/bid_pricing.cpp" "CMakeFiles/gridfed.dir/src/market/bid_pricing.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/market/bid_pricing.cpp.o.d"
+  "/root/repo/src/network/latency_model.cpp" "CMakeFiles/gridfed.dir/src/network/latency_model.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/network/latency_model.cpp.o.d"
+  "/root/repo/src/overlay/attribute_index.cpp" "CMakeFiles/gridfed.dir/src/overlay/attribute_index.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/overlay/attribute_index.cpp.o.d"
+  "/root/repo/src/overlay/chord_ring.cpp" "CMakeFiles/gridfed.dir/src/overlay/chord_ring.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/overlay/chord_ring.cpp.o.d"
+  "/root/repo/src/overlay/node_id.cpp" "CMakeFiles/gridfed.dir/src/overlay/node_id.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/overlay/node_id.cpp.o.d"
+  "/root/repo/src/overlay/overlay_directory.cpp" "CMakeFiles/gridfed.dir/src/overlay/overlay_directory.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/overlay/overlay_directory.cpp.o.d"
+  "/root/repo/src/sim/distributions.cpp" "CMakeFiles/gridfed.dir/src/sim/distributions.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/sim/distributions.cpp.o.d"
+  "/root/repo/src/sim/entity.cpp" "CMakeFiles/gridfed.dir/src/sim/entity.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/sim/entity.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "CMakeFiles/gridfed.dir/src/sim/event_queue.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "CMakeFiles/gridfed.dir/src/sim/random.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/sim/random.cpp.o.d"
+  "/root/repo/src/sim/simulation.cpp" "CMakeFiles/gridfed.dir/src/sim/simulation.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/sim/simulation.cpp.o.d"
+  "/root/repo/src/stats/accumulator.cpp" "CMakeFiles/gridfed.dir/src/stats/accumulator.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/stats/accumulator.cpp.o.d"
+  "/root/repo/src/stats/auction_stats.cpp" "CMakeFiles/gridfed.dir/src/stats/auction_stats.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/stats/auction_stats.cpp.o.d"
+  "/root/repo/src/stats/csv.cpp" "CMakeFiles/gridfed.dir/src/stats/csv.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/stats/csv.cpp.o.d"
+  "/root/repo/src/stats/table.cpp" "CMakeFiles/gridfed.dir/src/stats/table.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/stats/table.cpp.o.d"
+  "/root/repo/src/stats/utilization.cpp" "CMakeFiles/gridfed.dir/src/stats/utilization.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/stats/utilization.cpp.o.d"
+  "/root/repo/src/workload/calibration.cpp" "CMakeFiles/gridfed.dir/src/workload/calibration.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/workload/calibration.cpp.o.d"
+  "/root/repo/src/workload/population.cpp" "CMakeFiles/gridfed.dir/src/workload/population.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/workload/population.cpp.o.d"
+  "/root/repo/src/workload/statistics.cpp" "CMakeFiles/gridfed.dir/src/workload/statistics.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/workload/statistics.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "CMakeFiles/gridfed.dir/src/workload/swf.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/workload/swf.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "CMakeFiles/gridfed.dir/src/workload/synthetic.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/workload/synthetic.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "CMakeFiles/gridfed.dir/src/workload/trace.cpp.o" "gcc" "CMakeFiles/gridfed.dir/src/workload/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

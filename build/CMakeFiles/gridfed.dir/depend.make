@@ -1,0 +1,2 @@
+# Empty dependencies file for gridfed.
+# This may be replaced when dependencies are built.

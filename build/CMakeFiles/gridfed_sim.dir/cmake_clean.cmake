@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridfed_sim.dir/examples/gridfed_sim.cpp.o"
+  "CMakeFiles/gridfed_sim.dir/examples/gridfed_sim.cpp.o.d"
+  "gridfed_sim"
+  "gridfed_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridfed_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

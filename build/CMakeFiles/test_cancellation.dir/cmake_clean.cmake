@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cancellation.dir/tests/test_cancellation.cpp.o"
+  "CMakeFiles/test_cancellation.dir/tests/test_cancellation.cpp.o.d"
+  "test_cancellation"
+  "test_cancellation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cancellation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

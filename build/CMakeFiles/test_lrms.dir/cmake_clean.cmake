@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lrms.dir/tests/test_lrms.cpp.o"
+  "CMakeFiles/test_lrms.dir/tests/test_lrms.cpp.o.d"
+  "test_lrms"
+  "test_lrms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lrms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

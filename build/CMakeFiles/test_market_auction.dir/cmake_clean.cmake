@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_market_auction.dir/tests/test_market_auction.cpp.o"
+  "CMakeFiles/test_market_auction.dir/tests/test_market_auction.cpp.o.d"
+  "test_market_auction"
+  "test_market_auction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_market_auction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
