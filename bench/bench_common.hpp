@@ -35,4 +35,52 @@ inline std::string profile_label(std::uint32_t oft_percent) {
          std::to_string(oft_percent);
 }
 
+/// `--json=PATH` argument, or empty when absent.  The fig10/fig11
+/// binaries use it to dump a machine-readable summary next to the human
+/// tables (bench/run_bench.sh collects them into BENCH_messages.json).
+inline std::string json_path(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
+  }
+  return {};
+}
+
+/// One point of the auction-batching comparison: the same federation and
+/// seed run in auction mode without and with batched solicitation.
+struct BatchingPoint {
+  std::size_t size = 0;
+  core::FederationResult unbatched;
+  core::FederationResult batched;
+
+  [[nodiscard]] double reduction_pct() const {
+    const double u = unbatched.msgs_per_job.mean();
+    return u > 0.0 ? 100.0 * (1.0 - batched.msgs_per_job.mean() / u) : 0.0;
+  }
+};
+
+/// The batch window the scaling benches report (chosen so the two-day
+/// calibrated workload batches aggressively while the slack-fraction cap
+/// keeps acceptance untouched; see bench/README.md).
+inline constexpr double kBenchBatchWindow = 300.0;
+
+/// Runs the auction-mode batching comparison over `sizes` at a 70/30
+/// OFC/OFT population.
+inline std::vector<BatchingPoint> auction_batching_series(
+    const std::vector<std::size_t>& sizes, std::uint32_t oft_percent = 30) {
+  std::vector<BatchingPoint> points;
+  points.reserve(sizes.size());
+  for (const std::size_t n : sizes) {
+    BatchingPoint point;
+    point.size = n;
+    auto cfg = core::make_config(core::SchedulingMode::kAuction);
+    point.unbatched = core::run_experiment(cfg, n, oft_percent);
+    cfg.auction.batch_solicitations = true;
+    cfg.auction.solicit_batch_window = kBenchBatchWindow;
+    point.batched = core::run_experiment(cfg, n, oft_percent);
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
 }  // namespace gridfed::bench

@@ -1,5 +1,6 @@
 #include "core/gfa.hpp"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -166,33 +167,38 @@ void Gfa::schedule_economy(Pending p) {
 void Gfa::schedule_auction(Pending p) {
   const auto& cfg = host_.config();
   const auto& acfg = cfg.auction;
-  // Candidate providers in cheapest-first directory order: deterministic,
-  // metered like any ranked walk, and compatible with the load-hint filter.
-  std::vector<cluster::ResourceIndex> remote;
-  for (std::uint32_t r = 1;; ++r) {
-    const auto quote =
-        cfg.use_load_hints
-            ? dir_.query_filtered(directory::OrderBy::kCheapest, r,
-                                  cfg.load_hint_threshold)
-            : dir_.query(directory::OrderBy::kCheapest, r);
-    if (!quote) break;
-    if (quote->resource == index_) continue;  // origin enters for free below
-    if (quote->processors < p.job.processors) continue;
-    remote.push_back(quote->resource);
-    if (acfg.max_bidders > 0 && remote.size() >= acfg.max_bidders) break;
-  }
+  // Candidate providers in cheapest-first directory order: deterministic
+  // and compatible with the load-hint filter.  One metered bulk query
+  // replaces the old per-rank query walk (the results ride back on a
+  // single overlay route), which is what keeps directory traffic per
+  // auction flat as the federation grows.
+  directory::QueryFilter filter;
+  filter.min_processors = p.job.processors;
+  filter.exclude = index_;  // origin enters for free below
+  if (cfg.use_load_hints) filter.max_load_hint = cfg.load_hint_threshold;
+  dir_.query_top_k(directory::OrderBy::kCheapest, acfg.max_bidders, filter,
+                   scratch_quotes_);
+
   const bool origin_enters =
       acfg.origin_bids && p.job.processors <= lrms_.spec().processors;
 
-  std::vector<cluster::ResourceIndex> entrants = remote;
-  if (origin_enters) entrants.push_back(index_);
-  market::AuctionBook book(p.job.id, std::move(entrants));
+  scratch_entrants_.clear();
+  for (const directory::Quote& quote : scratch_quotes_) {
+    scratch_entrants_.push_back(quote.resource);
+  }
+  const std::size_t n_remote = scratch_entrants_.size();
+  if (origin_enters) scratch_entrants_.push_back(index_);
+  market::AuctionBook book = book_pool_.acquire(p.job.id, scratch_entrants_);
   if (origin_enters) book.add(make_bid(p.job));  // message-free local bid
 
-  for (const cluster::ResourceIndex target : remote) {
-    ++p.negotiations;  // each solicitation is a remote enquiry
-    ++p.messages;
-    host_.send(Message{MessageType::kCallForBids, index_, target, p.job});
+  p.negotiations += static_cast<std::uint32_t>(n_remote);  // remote enquiries
+  const bool batched = acfg.batch_solicitations && n_remote > 0;
+  if (!batched) {
+    for (std::size_t i = 0; i < n_remote; ++i) {
+      ++p.messages;
+      host_.send(Message{MessageType::kCallForBids, index_,
+                         book.solicited_list()[i], p.job});
+    }
   }
 
   const cluster::JobId id = p.job.id;
@@ -204,10 +210,96 @@ void Gfa::schedule_auction(Pending p) {
     clear_auction(id);
     return;
   }
+  if (batched) {
+    // The call-for-bids leave in the next flush; the bid timeout arms
+    // there too (the book is not on the wire yet).
+    queue_solicitation(id);
+    return;
+  }
   if (acfg.bid_timeout > 0.0) {
     simulation().schedule_in(acfg.bid_timeout, sim::EventPriority::kControl,
                              [this, id] { on_bid_timeout(id); });
   }
+}
+
+void Gfa::queue_solicitation(cluster::JobId id) {
+  const auto& acfg = host_.config().auction;
+  const auto it = auctions_.find(id);
+  GF_EXPECTS(it != auctions_.end());
+  // Hold back at most the batch window, and never more than a fraction
+  // of the job's remaining deadline slack: tight jobs flush (almost)
+  // immediately — and carry every other queued job out with them.
+  const sim::SimTime slack =
+      std::max(0.0, it->second.pending.job.absolute_deadline() - now());
+  const sim::SimTime hold = std::min(
+      acfg.solicit_batch_window, acfg.solicit_hold_slack_fraction * slack);
+  const sim::SimTime deadline = now() + hold;
+  solicit_queue_.push_back(id);
+  if (deadline < flush_deadline_) flush_deadline_ = deadline;
+  simulation().schedule_at(deadline, sim::EventPriority::kControl,
+                           [this] { maybe_flush_solicitations(); });
+}
+
+void Gfa::maybe_flush_solicitations() {
+  // Each queued job arms its own wake-up; only the one at the earliest
+  // deadline flushes (stale wake-ups find the deadline moved or the
+  // queue already empty).
+  if (solicit_queue_.empty()) return;
+  if (now() < flush_deadline_) return;
+  flush_solicitations();
+}
+
+void Gfa::flush_solicitations() {
+  const auto& acfg = host_.config().auction;
+  // One pass over the queue builds per-provider job buckets; providers
+  // keep first-seen (cheapest-first) order so the wire order stays
+  // deterministic.  scratch_providers_[i] is the provider of
+  // scratch_buckets_[i]; the buckets are members so flushes reuse their
+  // capacity instead of reallocating.
+  scratch_providers_.clear();
+  for (auto& bucket : scratch_buckets_) bucket.clear();
+  for (const cluster::JobId id : solicit_queue_) {
+    const auto it = auctions_.find(id);
+    if (it == auctions_.end()) continue;  // cleared while queued
+    for (const cluster::ResourceIndex r : it->second.book.solicited_list()) {
+      if (r == index_) continue;
+      const auto pos = std::find(scratch_providers_.begin(),
+                                 scratch_providers_.end(), r);
+      const auto bucket =
+          static_cast<std::size_t>(pos - scratch_providers_.begin());
+      if (pos == scratch_providers_.end()) {
+        scratch_providers_.push_back(r);
+        if (scratch_buckets_.size() < scratch_providers_.size()) {
+          scratch_buckets_.emplace_back();
+        }
+      }
+      scratch_buckets_[bucket].push_back(&it->second.pending.job);
+    }
+  }
+  for (std::size_t i = 0; i < scratch_providers_.size(); ++i) {
+    Message msg;
+    msg.type = MessageType::kCallForBids;
+    msg.from = index_;
+    msg.to = scratch_providers_[i];
+    msg.batch_jobs.reserve(scratch_buckets_[i].size());
+    for (const cluster::Job* job : scratch_buckets_[i]) {
+      msg.batch_jobs.push_back(*job);
+    }
+    msg.job = msg.batch_jobs.front();
+    // One wire message for the whole batch: attribute it to the first
+    // job so the per-job counters still sum to the ledger total.
+    ++auctions_.find(msg.batch_jobs.front().id)->second.pending.messages;
+    host_.send(std::move(msg));
+  }
+  if (acfg.bid_timeout > 0.0) {
+    for (const cluster::JobId id : solicit_queue_) {
+      if (auctions_.find(id) == auctions_.end()) continue;
+      simulation().schedule_in(acfg.bid_timeout, sim::EventPriority::kControl,
+                               [this, id] { on_bid_timeout(id); });
+    }
+  }
+  solicit_queue_.clear();
+  flush_deadline_ = sim::kTimeInfinity;
 }
 
 void Gfa::on_bid_timeout(cluster::JobId id) {
@@ -241,6 +333,10 @@ void Gfa::clear_auction(cluster::JobId id) {
     report.payment = p.awards.front().payment;
   }
   host_.auction_report(report);
+
+  // The book's allocations go back to the pool for the next job of the
+  // same shape.
+  book_pool_.release(std::move(auction.book));
 
   if (p.awards.empty()) {
     auction_fallback(std::move(p));
@@ -489,6 +585,23 @@ void Gfa::handle_call_for_bids(const Message& msg) {
   // Provider side: answer with a sealed ask.  Bidding is non-binding (no
   // reservation); the award re-runs admission, so a stale estimate only
   // costs the origin a declined award, never a broken guarantee.
+  if (!msg.batch_jobs.empty()) {
+    // Batched solicitation: one sealed ask per carried job, all riding
+    // home in a single wire message.
+    Message answer;
+    answer.type = MessageType::kBid;
+    answer.from = index_;
+    answer.to = msg.from;
+    answer.job = msg.batch_jobs.front();
+    answer.batch_bids.reserve(msg.batch_jobs.size());
+    for (const cluster::Job& job : msg.batch_jobs) {
+      const market::Bid bid = make_bid(job);
+      answer.batch_bids.push_back(
+          BatchedBid{job.id, bid.ask, bid.completion_estimate, bid.feasible});
+    }
+    host_.send(std::move(answer));
+    return;
+  }
   const market::Bid bid = make_bid(msg.job);
   Message answer{MessageType::kBid, index_, msg.from, msg.job, bid.feasible,
                  bid.completion_estimate};
@@ -497,6 +610,24 @@ void Gfa::handle_call_for_bids(const Message& msg) {
 }
 
 void Gfa::handle_bid(const Message& msg) {
+  if (!msg.batch_bids.empty()) {
+    // One wire message, several books: count it once (toward the first
+    // still-open auction it feeds) and enter every ask.
+    bool counted = false;
+    for (const BatchedBid& entry : msg.batch_bids) {
+      const auto it = auctions_.find(entry.job);
+      if (it == auctions_.end()) continue;  // cleared at the timeout: stale
+      if (!counted) {
+        ++it->second.pending.messages;
+        counted = true;
+      }
+      it->second.book.add(market::Bid{msg.from, entry.ask,
+                                      entry.completion_estimate,
+                                      entry.feasible});
+      if (it->second.book.complete()) clear_auction(entry.job);
+    }
+    return;
+  }
   const auto it = auctions_.find(msg.job.id);
   if (it == auctions_.end()) return;  // book cleared at the timeout: stale bid
   OpenAuction& auction = it->second;

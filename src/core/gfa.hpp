@@ -41,6 +41,7 @@
 #include "core/outcome.hpp"
 #include "directory/federation_directory.hpp"
 #include "market/auction_engine.hpp"
+#include "market/book_pool.hpp"
 #include "sim/entity.hpp"
 
 namespace gridfed::core {
@@ -198,9 +199,20 @@ class Gfa : public sim::Entity {
 
   // -- auction mode (origin side) ----------------------------------------
   /// Opens the book: solicits bids from every eligible provider (cheapest
-  /// directory order, capped at max_bidders) and enters the origin's own
-  /// message-free bid when configured.
+  /// directory order, capped at max_bidders, fetched with ONE metered
+  /// query_top_k instead of a per-rank query walk) and enters the
+  /// origin's own message-free bid when configured.  With
+  /// batch_solicitations the call-for-bids go through the solicit queue
+  /// instead of the wire.
   void schedule_auction(Pending p);
+  /// Batched solicitation: parks the job's call-for-bids until the flush
+  /// deadline (bounded by the batch window and the job's deadline slack).
+  void queue_solicitation(cluster::JobId id);
+  /// Flush wake-up; a no-op unless the earliest queued deadline is due.
+  void maybe_flush_solicitations();
+  /// Sends one coalesced kCallForBids per provider covering every queued
+  /// job, then arms the per-job bid timeouts.
+  void flush_solicitations();
   /// Closes the book, clears it through the engine, reports telemetry and
   /// starts awarding (or falls back / rejects on an empty ranking).
   void clear_auction(cluster::JobId id);
@@ -240,6 +252,22 @@ class Gfa : public sim::Entity {
   std::unordered_map<cluster::JobId, RemoteHold> holds_;
   std::unordered_map<cluster::JobId, OpenAuction> auctions_;
   std::uint64_t remote_accepted_ = 0;
+
+  // -- batched solicitation state (kAuction + batch_solicitations) -------
+  /// Jobs whose call-for-bids await the next flush, in submission order.
+  std::vector<cluster::JobId> solicit_queue_;
+  /// Earliest flush deadline among queued jobs (infinity when empty).
+  sim::SimTime flush_deadline_ = sim::kTimeInfinity;
+
+  /// Cleared books are recycled here instead of reallocating per job.
+  market::BookPool book_pool_;
+  // Scratch buffers reused across auctions (hot path: one per job).
+  std::vector<directory::Quote> scratch_quotes_;
+  std::vector<cluster::ResourceIndex> scratch_entrants_;
+  std::vector<cluster::ResourceIndex> scratch_providers_;
+  /// Per-provider job buckets built by flush_solicitations; parallel to
+  /// scratch_providers_, capacity retained across flushes.
+  std::vector<std::vector<const cluster::Job*>> scratch_buckets_;
 };
 
 }  // namespace gridfed::core

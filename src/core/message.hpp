@@ -16,6 +16,7 @@
 // messages (the Fig 9(c) series counts each message once).
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "cluster/job.hpp"
@@ -64,10 +65,40 @@ inline constexpr std::size_t kMessageTypeCount =
   return "?";
 }
 
+/// One sealed ask inside a batched kBid message: the provider's answer
+/// for one of the jobs a batched call-for-bids carried.
+struct BatchedBid {
+  cluster::JobId job = 0;
+  double ask = 0.0;
+  sim::SimTime completion_estimate = 0.0;
+  bool feasible = false;
+};
+
 /// One inter-GFA message.  The full Job rides along: negotiate needs the
 /// QoS parameters for the remote estimate, submission needs the payload,
 /// and reply/completion use it for identification/accounting.
+///
+/// Batched solicitation (AuctionConfig::batch_solicitations) coalesces
+/// same-window call-for-bids per (origin, provider) pair: one kCallForBids
+/// carries several jobs in `batch_jobs`, answered by one kBid carrying
+/// one BatchedBid per job.  `job` still holds the first batched job so
+/// the ledger's local/remote classification (batches never mix origins)
+/// and the routing asserts keep working unchanged.
 struct Message {
+  Message() = default;
+  /// The common construction prefix; the remaining payload fields are
+  /// assigned after the fact by the protocol legs that use them.
+  Message(MessageType type, cluster::ResourceIndex from,
+          cluster::ResourceIndex to, cluster::Job job, bool accept = false,
+          sim::SimTime completion_estimate = 0.0, sim::SimTime start_time = 0.0)
+      : type(type),
+        from(from),
+        to(to),
+        job(std::move(job)),
+        accept(accept),
+        completion_estimate(completion_estimate),
+        start_time(start_time) {}
+
   MessageType type = MessageType::kNegotiate;
   cluster::ResourceIndex from = 0;
   cluster::ResourceIndex to = 0;
@@ -85,6 +116,10 @@ struct Message {
   // Auction payload: the sealed ask (kBid) or the cleared payment the
   // origin commits to settle (kAward).
   double price = 0.0;
+
+  // Batched-solicitation payloads (empty outside batched auction mode).
+  std::vector<cluster::Job> batch_jobs;  ///< kCallForBids: all jobs asked
+  std::vector<BatchedBid> batch_bids;    ///< kBid: one ask per asked job
 };
 
 /// Per-GFA local/remote message counters plus per-type totals.

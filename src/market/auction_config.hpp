@@ -38,6 +38,25 @@ struct AuctionConfig {
   /// true = the job falls back to the paper's DBC rank walk; false = it is
   /// rejected outright.
   bool fallback_to_dbc = true;
+
+  /// Perf extension: coalesce call-for-bids per (origin, provider) pair
+  /// into one wire message carrying every job whose solicitation is
+  /// queued at flush time (providers answer with one batched bid message
+  /// per call).  Off by default: the unbatched protocol is the paper-
+  /// faithful per-job broadcast, and per-auction stats are bit-identical
+  /// to it.
+  bool batch_solicitations = false;
+
+  /// How long a job's solicitation may wait for batch companions before
+  /// the queue is flushed.  0 still coalesces same-instant submissions
+  /// (the flush runs at control priority after all same-tick arrivals).
+  /// Only read when batch_solicitations is true.
+  sim::SimTime solicit_batch_window = 0.0;
+
+  /// A job's solicitation is never held longer than this fraction of its
+  /// remaining deadline slack, so tight-deadline jobs flush (nearly)
+  /// immediately while loose jobs ride out the full window.
+  double solicit_hold_slack_fraction = 0.25;
 };
 
 }  // namespace gridfed::market

@@ -15,6 +15,16 @@ AuctionBook::AuctionBook(cluster::JobId job,
   bids_.reserve(solicited_.size());
 }
 
+void AuctionBook::reopen(cluster::JobId job,
+                         std::span<const cluster::ResourceIndex> solicited) {
+  job_ = job;
+  solicited_.assign(solicited.begin(), solicited.end());
+  answered_.assign(solicited_.size(), false);
+  outstanding_ = solicited_.size();
+  bids_.clear();
+  bids_.reserve(solicited_.size());
+}
+
 bool AuctionBook::add(const Bid& bid) {
   for (std::size_t i = 0; i < solicited_.size(); ++i) {
     if (solicited_[i] != bid.bidder) continue;

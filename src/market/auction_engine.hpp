@@ -21,6 +21,7 @@
 // the runner-up — whose payment must already be consistent with the rule.
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "cluster/job.hpp"
@@ -31,11 +32,22 @@ namespace gridfed::market {
 /// Order book for one job's auction round.  Tracks which solicited bidders
 /// have answered so the origin can clear as soon as the book is complete
 /// instead of always waiting out the bid timeout.
+///
+/// Books are designed to be pooled (see book_pool.hpp): reopen() rewinds
+/// a cleared book for the next job while keeping every internal vector's
+/// capacity, so back-to-back auctions of the same shape allocate nothing.
 class AuctionBook {
  public:
+  /// An unopened book (pool storage); reopen() before use.
+  AuctionBook() = default;
+
   /// Opens the book for `job`; `solicited` lists every bidder a
   /// call-for-bids went to (the origin itself included when it competes).
   AuctionBook(cluster::JobId job, std::vector<cluster::ResourceIndex> solicited);
+
+  /// Rewinds this book for a new job, reusing the existing allocations.
+  void reopen(cluster::JobId job,
+              std::span<const cluster::ResourceIndex> solicited);
 
   /// Records a sealed bid.  Unsolicited or duplicate bids are ignored
   /// (stale answers after a timeout re-solicitation, byzantine bidders).
@@ -50,12 +62,17 @@ class AuctionBook {
   [[nodiscard]] std::size_t solicited() const noexcept {
     return solicited_.size();
   }
+  /// The solicited bidders, in solicitation order.
+  [[nodiscard]] const std::vector<cluster::ResourceIndex>& solicited_list()
+      const noexcept {
+    return solicited_;
+  }
 
  private:
-  cluster::JobId job_;
+  cluster::JobId job_ = 0;
   std::vector<cluster::ResourceIndex> solicited_;
   std::vector<bool> answered_;  // parallel to solicited_
-  std::size_t outstanding_;
+  std::size_t outstanding_ = 0;
   std::vector<Bid> bids_;
 };
 

@@ -1,10 +1,11 @@
 #pragma once
 // Discrete events.  gridfed uses a callback-event kernel: an Event owns a
 // type-erased closure executed when the simulation clock reaches its
-// timestamp.  Entities layer typed message delivery on top of this.
+// timestamp.  Entities layer typed message delivery on top of this.  The
+// closure is an InlineFunction, so the `this`+id captures that dominate
+// the hot path never allocate.
 
-#include <functional>
-
+#include "sim/inline_function.hpp"
 #include "sim/types.hpp"
 
 namespace gridfed::sim {
@@ -20,12 +21,13 @@ enum class EventPriority : int {
   kControl = 3,     ///< bookkeeping (metric sampling, horizon stop)
 };
 
-/// A scheduled unit of work.  Events are value types owned by the queue.
+/// A scheduled unit of work.  Events are move-only value types owned by
+/// the queue.
 struct Event {
   SimTime time = 0.0;
   EventPriority priority = EventPriority::kControl;
   EventSeq seq = 0;  ///< assigned by the Simulation; stabilises ordering
-  std::function<void()> action;
+  InlineFunction action;
 
   /// Strict weak ordering: earlier time first, then priority, then FIFO.
   [[nodiscard]] friend bool operator<(const Event& a, const Event& b) {

@@ -1,28 +1,6 @@
+// EventQueue is header-only (see event_queue_inl.hpp): push/pop are the
+// simulation's innermost loop and must inline into their callers.  This
+// TU remains so the build has a home for the class should it regrow
+// out-of-line members.
+
 #include "sim/event_queue.hpp"
-
-#include <algorithm>
-#include <utility>
-
-#include "sim/check.hpp"
-
-namespace gridfed::sim {
-
-void EventQueue::push(Event ev) {
-  heap_.push_back(std::move(ev));
-  std::push_heap(heap_.begin(), heap_.end(), &EventQueue::later);
-}
-
-Event EventQueue::pop() {
-  GF_EXPECTS(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), &EventQueue::later);
-  Event ev = std::move(heap_.back());
-  heap_.pop_back();
-  return ev;
-}
-
-SimTime EventQueue::next_time() const {
-  GF_EXPECTS(!heap_.empty());
-  return heap_.front().time;
-}
-
-}  // namespace gridfed::sim

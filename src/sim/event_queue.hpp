@@ -1,9 +1,27 @@
 #pragma once
-// Future-event list: a binary min-heap over Event's strict weak ordering.
+// Future-event list: a 4-ary min-heap over Event's strict weak ordering.
 // std::priority_queue is not used because we need (a) move-out of the top
 // element and (b) cheap clear(); both are awkward through its interface.
+//
+// Layout: each pending event is one 128-bit integer key
+//
+//     [ time as IEEE-754 bits : 64 | priority : 2 | seq : 40 | slot : 22 ]
+//
+// For non-negative doubles the IEEE bit pattern orders exactly like the
+// value, so a single unsigned 128-bit compare implements the full
+// (time, priority, seq) strict weak ordering — one branch where the
+// naive comparator needs three.  The 48-byte inline callbacks live in a
+// stable slot-indexed side array and never move while queued; sifting
+// shuffles 16-byte integers only.  The heap is 4-ary rather than binary
+// because halving the tree depth halves the key moves per pop and four
+// children share a cache line.  Sifts use hole insertion (one move per
+// level) instead of the three-move swaps std::push_heap / std::pop_heap
+// perform.  Measured against the std::function binary heap it replaces,
+// push+pop throughput is ~2-3x (see bench_micro_kernel / BENCH_kernel).
 
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "sim/event.hpp"
@@ -13,29 +31,70 @@ namespace gridfed::sim {
 /// Min-heap of pending events ordered by (time, priority, seq).
 /// Deterministic: equal-time events pop in insertion order within a
 /// priority class.
+///
+/// Contracts (all checked, loud): event times are non-negative (the
+/// simulation clock starts at 0 and never moves backwards), seq < 2^40,
+/// and at most 2^22 events are pending at once — far beyond any
+/// federation sweep, and a violation fails a GF_EXPECTS rather than
+/// silently reordering.
 class EventQueue {
  public:
-  /// Inserts an event.  O(log n).
+  EventQueue() {
+    // One queue drives a whole federation; pre-sizing skips the first
+    // rounds of growth (and InlineFunction relocation) in the hot loop.
+    heap_.reserve(kInitialCapacity);
+    actions_.reserve(kInitialCapacity);
+    free_slots_.reserve(kInitialCapacity);
+  }
+
+  /// Inserts an event.  O(log n), allocation-free apart from amortized
+  /// storage growth (slots freed by pop() are reused).  Defined inline
+  /// below: push/pop are the innermost simulation loop and inlining lets
+  /// callers elide the Event round-trip entirely.
   void push(Event ev);
 
   /// Removes and returns the earliest event.  Precondition: !empty().
   [[nodiscard]] Event pop();
 
-  /// Timestamp of the earliest event.  Precondition: !empty().
-  [[nodiscard]] SimTime next_time() const;
+  /// Hot-loop variant of pop(): moves the earliest event's callback into
+  /// `action` and returns its timestamp, skipping the Event round-trip
+  /// (the dispatch loop needs neither seq nor priority).
+  /// Precondition: !empty().
+  SimTime pop_into(InlineFunction& action);
+
+  /// Timestamp of the earliest event (cached; no heap access).
+  /// Precondition: !empty().
+  [[nodiscard]] SimTime next_time() const noexcept { return next_time_; }
 
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
 
-  /// Drops all pending events.
-  void clear() noexcept { heap_.clear(); }
+  /// Drops all pending events (storage capacity is retained).
+  void clear() noexcept {
+    heap_.clear();
+    actions_.clear();
+    free_slots_.clear();
+    next_time_ = kTimeInfinity;
+  }
 
  private:
-  // `a` sorts after `b` in heap order (we keep a min-heap, std::push_heap
-  // builds max-heaps, so the comparator is reversed).
-  static bool later(const Event& a, const Event& b) { return b < a; }
+  static constexpr std::size_t kArity = 4;
+  static constexpr std::size_t kInitialCapacity = 4096;
+  static constexpr std::uint64_t kSlotBits = 22;
+  static constexpr std::uint64_t kSeqBits = 40;
 
-  std::vector<Event> heap_;
+  using Key = unsigned __int128;
+
+  [[nodiscard]] static SimTime time_of(Key k) noexcept {
+    return std::bit_cast<SimTime>(static_cast<std::uint64_t>(k >> 64));
+  }
+
+  std::vector<Key> heap_;
+  std::vector<InlineFunction> actions_;    ///< slot-indexed, stable
+  std::vector<std::uint32_t> free_slots_;  ///< recycled action slots
+  SimTime next_time_ = kTimeInfinity;      ///< time_of(heap_[0]), in sync
 };
 
 }  // namespace gridfed::sim
+
+#include "sim/event_queue_inl.hpp"  // IWYU pragma: keep

@@ -1,0 +1,126 @@
+#pragma once
+// Inline definitions of the EventQueue hot path (see event_queue.hpp for
+// the design).  push/pop are the innermost loop of every simulation run;
+// keeping them header-inline lets callers fold the Event round-trip away
+// (e.g. a caller that only reads the popped time never materializes the
+// decoded priority/seq).
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/check.hpp"
+#include "sim/event_queue.hpp"
+
+namespace gridfed::sim {
+
+inline void EventQueue::push(Event ev) {
+  // The IEEE-bits-as-integer ordering trick needs a non-negative time
+  // (which also rejects NaN).  -0.0 would bit-sort above every positive
+  // value, so normalize it to +0.0.
+  GF_EXPECTS(ev.time >= 0.0);
+  if (ev.time == 0.0) ev.time = 0.0;
+  GF_EXPECTS(ev.seq < (std::uint64_t{1} << kSeqBits));
+  // The pack reserves 2 bits for the priority; a grown enum must not
+  // silently truncate into a different ordering class.
+  static_assert(static_cast<int>(EventPriority::kControl) < 4,
+                "EventPriority no longer fits the 2-bit key field");
+
+  // Park the callback in a stable slot; only the 16-byte key enters the
+  // heap.
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    actions_[slot] = std::move(ev.action);
+  } else {
+    slot = static_cast<std::uint32_t>(actions_.size());
+    actions_.push_back(std::move(ev.action));
+  }
+  GF_EXPECTS(slot < (std::uint32_t{1} << kSlotBits));
+
+  const Key key =
+      (static_cast<Key>(std::bit_cast<std::uint64_t>(ev.time)) << 64) |
+      (static_cast<std::uint64_t>(ev.priority) << (kSeqBits + kSlotBits)) |
+      (ev.seq << kSlotBits) | slot;
+
+  // Hole insertion: open a hole at the back, move parents down while they
+  // sort after the new key, then drop the key into the final hole.
+  std::size_t hole = heap_.size();
+  heap_.emplace_back();
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / kArity;
+    if (!(key < heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = key;
+  next_time_ = time_of(heap_.front());
+}
+
+inline SimTime EventQueue::pop_into(InlineFunction& action) {
+  GF_EXPECTS(!heap_.empty());
+  constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
+  const Key top = heap_.front();
+  const auto slot =
+      static_cast<std::uint32_t>(static_cast<std::uint64_t>(top) & kSlotMask);
+  action = std::move(actions_[slot]);
+  free_slots_.push_back(slot);
+
+  const std::size_t n = heap_.size() - 1;
+  if (n == 0) {
+    heap_.pop_back();
+    next_time_ = kTimeInfinity;
+    return time_of(top);
+  }
+  const Key last = heap_.back();
+  heap_.pop_back();
+  // Bottom-up deletion (Wegener): promote the min-child chain into the
+  // root hole all the way to a leaf — branchlessly, the chain is fully
+  // determined by the children — then sift the former last key up from
+  // the leaf hole (it was a leaf itself, so it almost always stays put).
+  // This avoids the per-level "does `last` fit here?" mispredicted branch
+  // of the classic sift-down.
+  std::size_t hole = 0;
+  for (;;) {
+    const std::size_t first = hole * kArity + 1;
+    if (first + kArity <= n) {  // full node: branchless min of four
+      const std::size_t b01 =
+          heap_[first + 1] < heap_[first] ? first + 1 : first;
+      const std::size_t b23 =
+          heap_[first + 3] < heap_[first + 2] ? first + 3 : first + 2;
+      const std::size_t best = heap_[b23] < heap_[b01] ? b23 : b01;
+      heap_[hole] = heap_[best];
+      hole = best;
+    } else {
+      if (first >= n) break;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < n; ++c) {
+        if (heap_[c] < heap_[best]) best = c;
+      }
+      heap_[hole] = heap_[best];
+      hole = best;
+    }
+  }
+  while (hole > 0) {
+    const std::size_t parent = (hole - 1) / kArity;
+    if (!(last < heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = last;
+  next_time_ = time_of(heap_.front());
+  return time_of(top);
+}
+
+inline Event EventQueue::pop() {
+  GF_EXPECTS(!heap_.empty());
+  constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << kSeqBits) - 1;
+  const auto low = static_cast<std::uint64_t>(heap_.front());
+  Event ev;
+  ev.seq = (low >> kSlotBits) & kSeqMask;
+  ev.priority = static_cast<EventPriority>(low >> (kSeqBits + kSlotBits));
+  ev.time = pop_into(ev.action);
+  return ev;
+}
+
+}  // namespace gridfed::sim

@@ -1,0 +1,123 @@
+#pragma once
+// Small-buffer move-only callback for the event kernel.  The simulation
+// schedules millions of closures whose captures are almost always a
+// `this` pointer plus one or two scalar ids; routing those through
+// std::function costs an indirect manager call on every destroy and keeps
+// Event moves opaque to the optimizer.  InlineFunction stores trivially
+// copyable captures up to kInlineCapacity bytes directly inside the
+// object — zero heap traffic per scheduled event, and moves compile to a
+// fixed-size copy — while larger or non-trivial callables (a captured
+// Job or Message payload, a std::function) fall back to a heap box, which
+// is exactly what std::function did for them anyway.
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace gridfed::sim {
+
+/// Move-only `void()` callable with small-buffer optimization.
+///
+/// Storage rules:
+///  * trivially copyable callables with size <= kInlineCapacity and
+///    alignment <= alignof(std::max_align_t) live inside the buffer —
+///    construction, move and destruction never touch the heap;
+///  * everything else is boxed on the heap (one allocation, pointer in
+///    the buffer).
+///
+/// Moved-from InlineFunctions are empty; invoking one is a caller bug
+/// (checked by the Simulation, not here, to keep operator() branch-free).
+class InlineFunction {
+ public:
+  /// Captures up to this many bytes are stored without heap allocation.
+  static constexpr std::size_t kInlineCapacity = 32;
+
+  InlineFunction() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>()) {
+      // Zero the buffer first so moves can blindly copy all of it (the
+      // tail past sizeof(D) would otherwise be indeterminate).
+      std::memset(buf_, 0, kInlineCapacity);
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = [](void* p) { (*std::launder(reinterpret_cast<D*>(p)))(); };
+      // destroy_ stays null: trivially copyable implies trivially
+      // destructible, so the hot destroy path is a single null check.
+    } else {
+      D* boxed = new D(std::forward<F>(f));
+      std::memcpy(buf_, &boxed, sizeof(boxed));
+      invoke_ = [](void* p) {
+        D* b;
+        std::memcpy(&b, p, sizeof(b));
+        (*b)();
+      };
+      destroy_ = [](void* p) {
+        D* b;
+        std::memcpy(&b, p, sizeof(b));
+        delete b;
+      };
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept
+      : invoke_(other.invoke_), destroy_(other.destroy_) {
+    // Inline callables are trivially copyable by construction, so a raw
+    // byte copy is a valid move for both storage modes (for the boxed
+    // mode it just transfers the pointer).  Empty sources carry nothing.
+    if (invoke_ != nullptr) std::memcpy(buf_, other.buf_, kInlineCapacity);
+    other.invoke_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      if (destroy_ != nullptr) destroy_(buf_);
+      if (other.invoke_ != nullptr) {
+        std::memcpy(buf_, other.buf_, kInlineCapacity);
+      }
+      invoke_ = other.invoke_;
+      destroy_ = other.destroy_;
+      other.invoke_ = nullptr;
+      other.destroy_ = nullptr;
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() {
+    if (destroy_ != nullptr) destroy_(buf_);
+  }
+
+  void operator()() { invoke_(buf_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return invoke_ != nullptr;
+  }
+
+  /// True when callable type `D` is stored inline (exposed so tests can
+  /// assert the zero-allocation contract instead of guessing).
+  template <typename D>
+  [[nodiscard]] static constexpr bool fits_inline() noexcept {
+    return std::is_trivially_copyable_v<D> &&
+           sizeof(D) <= kInlineCapacity &&
+           alignof(D) <= alignof(std::max_align_t);
+  }
+
+ private:
+  using Invoke = void (*)(void*);
+  using Destroy = void (*)(void*);
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
+  Invoke invoke_ = nullptr;
+  Destroy destroy_ = nullptr;  ///< non-null only for heap-boxed callables
+};
+
+}  // namespace gridfed::sim

@@ -5,25 +5,28 @@
 namespace gridfed::sim {
 
 void Simulation::schedule_at(SimTime t, EventPriority prio,
-                             std::function<void()> action) {
+                             EventAction action) {
   GF_EXPECTS(t >= now_);
   GF_EXPECTS(static_cast<bool>(action));
   queue_.push(Event{t, prio, next_seq_++, std::move(action)});
 }
 
 void Simulation::schedule_in(SimTime delay, EventPriority prio,
-                             std::function<void()> action) {
+                             EventAction action) {
   GF_EXPECTS(delay >= 0.0);
   schedule_at(now_ + delay, prio, std::move(action));
 }
 
 bool Simulation::step() {
   if (queue_.empty()) return false;
-  Event ev = queue_.pop();
-  GF_ENSURES(ev.time >= now_);
-  now_ = ev.time;
+  // The callback is moved to the stack before it runs: an action that
+  // schedules new events must not be able to invalidate itself.
+  EventAction action;
+  const SimTime t = queue_.pop_into(action);
+  GF_ENSURES(t >= now_);
+  now_ = t;
   ++executed_;
-  ev.action();
+  action();
   return true;
 }
 

@@ -5,13 +5,18 @@
 // GFAs, user populations, the directory) are driven by this engine.
 
 #include <cstdint>
-#include <functional>
 #include <utility>
 
 #include "sim/event_queue.hpp"
+#include "sim/inline_function.hpp"
 #include "sim/types.hpp"
 
 namespace gridfed::sim {
+
+/// The closure type the engine schedules.  Small trivially copyable
+/// captures (`this` + a couple of ids) are stored inline — no heap
+/// allocation per event; see inline_function.hpp.
+using EventAction = InlineFunction;
 
 /// Deterministic discrete-event simulation engine.
 ///
@@ -34,11 +39,10 @@ class Simulation {
   [[nodiscard]] SimTime now() const noexcept { return now_; }
 
   /// Schedules `action` at absolute time `t` (>= now()).
-  void schedule_at(SimTime t, EventPriority prio, std::function<void()> action);
+  void schedule_at(SimTime t, EventPriority prio, EventAction action);
 
   /// Schedules `action` after a delay (>= 0) from now().
-  void schedule_in(SimTime delay, EventPriority prio,
-                   std::function<void()> action);
+  void schedule_in(SimTime delay, EventPriority prio, EventAction action);
 
   /// Runs until the event list is empty.  Returns the final clock value.
   SimTime run();

@@ -4,9 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "cluster/catalog.hpp"
 #include "directory/federation_directory.hpp"
 #include "directory/query_cost.hpp"
+#include "sim/random.hpp"
 
 namespace gridfed::directory {
 namespace {
@@ -143,6 +147,138 @@ TEST(Directory, HintRefreshCountsAsPublish) {
   const auto before = dir.traffic().publishes;
   dir.update_load_hint(0, 0.5, 1.0);
   EXPECT_EQ(dir.traffic().publishes, before + 1);
+}
+
+TEST(Directory, FilteredRankBeyondSizeShortCircuits) {
+  // query_filtered must early-return like query(): a rank beyond the
+  // subscription count can never be answered, filtered or not — and the
+  // lookup is still metered as one overlay query.
+  auto dir = table1_directory();
+  dir.reset_traffic();
+  EXPECT_FALSE(dir.query_filtered(OrderBy::kCheapest, 9, 0.95).has_value());
+  EXPECT_EQ(dir.traffic().queries, 1u);
+  EXPECT_EQ(dir.traffic().query_messages, query_message_cost(8));
+}
+
+// ---- query_top_k ------------------------------------------------------------
+
+TEST(Directory, TopKReturnsBestFirstAndCaps) {
+  auto dir = table1_directory();
+  std::vector<Quote> out;
+  dir.query_top_k(OrderBy::kCheapest, 3, QueryFilter{}, out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].resource, 3u);  // LANL Origin, cheapest
+  EXPECT_EQ(out[1].resource, 2u);  // LANL CM5
+  EXPECT_EQ(out[2].resource, 5u);  // SDSC Par96
+}
+
+TEST(Directory, TopKZeroMeansUnlimited) {
+  auto dir = table1_directory();
+  std::vector<Quote> out;
+  dir.query_top_k(OrderBy::kFastest, 0, QueryFilter{}, out);
+  ASSERT_EQ(out.size(), 8u);
+  EXPECT_EQ(out.front().resource, 4u);  // NASA, fastest
+}
+
+TEST(Directory, TopKAppliesFilters) {
+  auto dir = table1_directory();
+  dir.update_load_hint(3, 0.99, 1.0);  // cheapest is saturated
+  QueryFilter filter;
+  filter.exclude = 2;          // LANL CM5 is the querier
+  filter.min_processors = 100;
+  filter.max_load_hint = 0.95;
+  std::vector<Quote> out;
+  dir.query_top_k(OrderBy::kCheapest, 0, filter, out);
+  for (const Quote& q : out) {
+    EXPECT_NE(q.resource, 2u);
+    EXPECT_NE(q.resource, 3u);
+    EXPECT_GE(q.processors, 100u);
+  }
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(Directory, TopKMetersExactlyOneQuery) {
+  auto dir = table1_directory();
+  dir.reset_traffic();
+  std::vector<Quote> out;
+  dir.query_top_k(OrderBy::kCheapest, 0, QueryFilter{}, out);
+  EXPECT_EQ(dir.traffic().queries, 1u);
+  EXPECT_EQ(dir.traffic().query_messages, query_message_cost(8));
+}
+
+TEST(Directory, TopKMatchesRepeatedRankedQueries) {
+  auto dir = table1_directory();
+  std::vector<Quote> out;
+  dir.query_top_k(OrderBy::kCheapest, 0, QueryFilter{}, out);
+  ASSERT_EQ(out.size(), 8u);
+  for (std::uint32_t r = 1; r <= 8; ++r) {
+    EXPECT_EQ(out[r - 1].resource,
+              dir.query(OrderBy::kCheapest, r)->resource);
+  }
+}
+
+// ---- incremental rankings == from-scratch rebuild ---------------------------
+
+TEST(Directory, IncrementalRankingsMatchRebuildUnderRandomizedOps) {
+  // Property test: after any randomized sequence of subscribe /
+  // unsubscribe / update_price / update_load_hint, the incrementally
+  // maintained rankings must equal a from-scratch re-sort, and ranked
+  // queries must agree with a naive reference walk.
+  sim::Rng rng(0xD1CE);
+  FederationDirectory dir;
+  std::vector<cluster::ResourceIndex> live;
+  cluster::ResourceIndex next_resource = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    const auto roll = rng.uniform_int(0, 9);
+    if (live.empty() || roll <= 3) {  // subscribe new
+      Quote q;
+      q.resource = next_resource++;
+      q.price = 1.0 + static_cast<double>(rng.uniform_int(0, 50)) / 10.0;
+      q.mips = 100.0 * static_cast<double>(rng.uniform_int(1, 12));
+      q.processors = static_cast<std::uint32_t>(rng.uniform_int(4, 512));
+      q.bandwidth = 1.0;
+      dir.subscribe(q);
+      live.push_back(q.resource);
+    } else if (roll <= 5) {  // refresh an existing subscription
+      const auto target =
+          live[rng.uniform_int(0, static_cast<std::uint32_t>(live.size()) - 1)];
+      Quote q = *dir.peek(target);
+      q.price = 1.0 + static_cast<double>(rng.uniform_int(0, 50)) / 10.0;
+      q.mips = 100.0 * static_cast<double>(rng.uniform_int(1, 12));
+      dir.subscribe(q);
+    } else if (roll == 6) {  // reprice
+      const auto target =
+          live[rng.uniform_int(0, static_cast<std::uint32_t>(live.size()) - 1)];
+      dir.update_price(target,
+                       1.0 + static_cast<double>(rng.uniform_int(0, 50)) / 10.0);
+    } else if (roll == 7) {  // load hint
+      const auto target =
+          live[rng.uniform_int(0, static_cast<std::uint32_t>(live.size()) - 1)];
+      dir.update_load_hint(target, rng.uniform01(), 1.0);
+    } else {  // unsubscribe
+      const auto pick =
+          rng.uniform_int(0, static_cast<std::uint32_t>(live.size()) - 1);
+      dir.unsubscribe(live[pick]);
+      live.erase(live.begin() + pick);
+    }
+    ASSERT_TRUE(dir.rankings_match_rebuild()) << "step " << step;
+  }
+  ASSERT_EQ(dir.size(), live.size());
+
+  // Ranked queries agree with a naive reference over the surviving set.
+  std::vector<Quote> reference;
+  for (const auto r : live) reference.push_back(*dir.peek(r));
+  std::sort(reference.begin(), reference.end(),
+            [](const Quote& a, const Quote& b) {
+              if (a.price != b.price) return a.price < b.price;
+              return a.resource < b.resource;
+            });
+  for (std::uint32_t r = 1; r <= reference.size(); ++r) {
+    EXPECT_EQ(dir.query(OrderBy::kCheapest, r)->resource,
+              reference[r - 1].resource)
+        << "rank " << r;
+  }
 }
 
 }  // namespace

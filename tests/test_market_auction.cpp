@@ -467,5 +467,147 @@ TEST(AuctionMode, LossyAuctionRequiresBidTimeout) {
   EXPECT_ANY_THROW(core::Federation(cfg, two_clusters()));
 }
 
+// ---- batched solicitation + book pool ---------------------------------------
+
+TEST(AuctionBook, ReopenRewindsForTheNextJob) {
+  market::AuctionBook book(7, {0, 1, 2});
+  EXPECT_TRUE(book.add({0, 1.0, 10.0, true}));
+  book.reopen(9, std::vector<cluster::ResourceIndex>{3, 4});
+  EXPECT_EQ(book.job(), 9u);
+  EXPECT_EQ(book.solicited(), 2u);
+  EXPECT_TRUE(book.bids().empty());
+  EXPECT_FALSE(book.complete());
+  EXPECT_FALSE(book.add({0, 1.0, 10.0, true}));  // old bidder: unsolicited now
+  EXPECT_TRUE(book.add({3, 2.0, 20.0, true}));
+  EXPECT_TRUE(book.add({4, 2.5, 25.0, true}));
+  EXPECT_TRUE(book.complete());
+}
+
+TEST(BookPool, ReusesReleasedBooks) {
+  market::BookPool pool;
+  auto a = pool.acquire(1, std::vector<cluster::ResourceIndex>{0, 1});
+  EXPECT_EQ(pool.reuses(), 0u);
+  pool.release(std::move(a));
+  auto b = pool.acquire(2, std::vector<cluster::ResourceIndex>{0, 1, 2});
+  EXPECT_EQ(pool.reuses(), 1u);
+  EXPECT_EQ(b.job(), 2u);
+  EXPECT_EQ(b.solicited(), 3u);
+  EXPECT_FALSE(b.complete());
+}
+
+TEST(AuctionMode, SameTickSolicitationsCoalescePerProvider) {
+  // Two jobs submitted at the same instant at the same origin: batching
+  // folds their call-for-bids to each provider into ONE wire message and
+  // the provider's answers into ONE bid message.
+  auto cfg = auction_config();
+  cfg.auction.batch_solicitations = true;
+  cfg.auction.solicit_batch_window = 0.0;  // same-tick coalescing only
+  core::Federation fed(cfg, two_clusters());
+  workload::ResourceTrace t;
+  t.resource = 1;
+  t.jobs.push_back(workload::TraceJob{0.0, 100.0, 4, 0});
+  t.jobs.push_back(workload::TraceJob{0.0, 120.0, 4, 1});
+  fed.load_workload({t}, workload::PopulationProfile{0});
+  const auto result = fed.run();
+  EXPECT_EQ(result.total_accepted, 2u);
+  EXPECT_EQ(result.messages_by_type[4], 1u);  // call-for-bids: one batch
+  EXPECT_EQ(result.messages_by_type[5], 1u);  // bid: one batched answer
+  // Per-auction telemetry is batching-agnostic: both books saw the
+  // provider's ask.
+  EXPECT_EQ(result.auctions.held, 2u);
+  EXPECT_DOUBLE_EQ(result.auctions.bids_per_auction.mean(), 2.0);
+}
+
+TEST(AuctionMode, WindowedSolicitationsCoalesceAcrossArrivals) {
+  // Jobs 40 seconds apart coalesce under a 300 s batch window: the first
+  // job's solicitation waits (its deadline slack allows it) and the
+  // second's arrival rides in the same flush.
+  auto cfg = auction_config();
+  cfg.auction.batch_solicitations = true;
+  cfg.auction.solicit_batch_window = 300.0;
+  core::Federation fed(cfg, two_clusters());
+  workload::ResourceTrace t;
+  t.resource = 1;
+  t.jobs.push_back(workload::TraceJob{0.0, 2000.0, 4, 0});
+  t.jobs.push_back(workload::TraceJob{40.0, 2400.0, 4, 1});
+  fed.load_workload({t}, workload::PopulationProfile{0});
+  const auto result = fed.run();
+  EXPECT_EQ(result.total_accepted, 2u);
+  EXPECT_EQ(result.messages_by_type[4], 1u);  // one coalesced call-for-bids
+  EXPECT_EQ(result.messages_by_type[5], 1u);
+}
+
+TEST(AuctionMode, ZeroWindowBatchingMatchesUnbatchedOnSpreadArrivals) {
+  // With a zero batch window and arrivals at distinct instants, batching
+  // degenerates to the per-job protocol: every headline number must be
+  // identical to the unbatched run with the same seed.
+  auto traces = [] {
+    std::vector<workload::ResourceTrace> ts;
+    for (std::uint32_t i = 0; i < 20; ++i) {
+      ts.push_back(one_job(i % 2, 13.0 + i * 37.0, 300.0, 4, i));
+    }
+    return ts;
+  };
+  auto run_with = [&](bool batched) {
+    auto cfg = auction_config();
+    cfg.auction.batch_solicitations = batched;
+    cfg.auction.solicit_batch_window = 0.0;
+    core::Federation fed(cfg, two_clusters());
+    fed.load_workload(traces(), workload::PopulationProfile{30});
+    return fed.run();
+  };
+  const auto unbatched = run_with(false);
+  const auto batched = run_with(true);
+  EXPECT_EQ(batched.total_messages, unbatched.total_messages);
+  EXPECT_EQ(batched.total_accepted, unbatched.total_accepted);
+  EXPECT_DOUBLE_EQ(batched.total_incentive, unbatched.total_incentive);
+  EXPECT_EQ(batched.auctions.held, unbatched.auctions.held);
+  EXPECT_DOUBLE_EQ(batched.auctions.bids_per_auction.mean(),
+                   unbatched.auctions.bids_per_auction.mean());
+}
+
+TEST(AuctionMode, BatchedPerJobMessagesSumToLedgerTotal) {
+  // The batch message is attributed to exactly one job, so the per-job
+  // counters must still sum to the federation-wide ledger total.
+  auto cfg = auction_config();
+  cfg.auction.batch_solicitations = true;
+  cfg.auction.solicit_batch_window = 200.0;
+  core::Federation fed(cfg, two_clusters());
+  std::vector<workload::ResourceTrace> traces;
+  for (std::uint32_t i = 0; i < 30; ++i) {
+    traces.push_back(one_job(i % 2, i * 25.0, 400.0, 4, i));
+  }
+  fed.load_workload(traces, workload::PopulationProfile{50});
+  const auto result = fed.run();
+  double per_job_sum = 0.0;
+  for (const auto& o : fed.outcomes()) {
+    per_job_sum += static_cast<double>(o.messages);
+  }
+  EXPECT_DOUBLE_EQ(per_job_sum, static_cast<double>(result.total_messages));
+  EXPECT_EQ(result.total_jobs, 30u);
+}
+
+TEST(AuctionMode, BatchingIsDeterministic) {
+  auto run_once = [] {
+    auto cfg = auction_config();
+    cfg.auction.batch_solicitations = true;
+    cfg.auction.solicit_batch_window = 250.0;
+    cfg.seed = 777;
+    core::Federation fed(cfg, two_clusters());
+    std::vector<workload::ResourceTrace> traces;
+    for (std::uint32_t i = 0; i < 40; ++i) {
+      traces.push_back(one_job(i % 2, i * 11.0, 350.0, 2, i));
+    }
+    fed.load_workload(traces, workload::PopulationProfile{40});
+    return fed.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.total_accepted, b.total_accepted);
+  EXPECT_DOUBLE_EQ(a.total_incentive, b.total_incentive);
+  EXPECT_EQ(a.auctions.held, b.auctions.held);
+}
+
 }  // namespace
 }  // namespace gridfed
