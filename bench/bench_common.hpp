@@ -29,6 +29,23 @@ inline const std::vector<core::FederationResult>& economy_sweep() {
   return sweep;
 }
 
+/// The auction-mode population sweep (fig4's auction section): OFT = 0,
+/// 20, ..., 100 under the given bid-scoring rule.  kPrice reproduces the
+/// single-attribute market (the population profile only matters through
+/// the DBC fallback); kPerJob is the multi-attribute market where OFT
+/// jobs clear on completion-weighted scores.
+inline std::vector<core::FederationResult> auction_profile_sweep(
+    market::ScoringRule scoring, std::uint32_t step = 20) {
+  std::vector<core::FederationResult> results;
+  results.reserve(101 / step + 1);
+  for (std::uint32_t oft = 0; oft <= 100; oft += step) {
+    auto cfg = core::make_config(core::SchedulingMode::kAuction);
+    cfg.auction.scoring = scoring;
+    results.push_back(core::run_experiment(cfg, 8, oft));
+  }
+  return results;
+}
+
 /// Formats a profile as the paper labels it, e.g. "OFC70/OFT30".
 inline std::string profile_label(std::uint32_t oft_percent) {
   return "OFC" + std::to_string(100 - oft_percent) + "/OFT" +
@@ -47,15 +64,28 @@ inline std::string json_path(int argc, char** argv) {
 }
 
 /// One point of the auction-batching comparison: the same federation and
-/// seed run in auction mode without and with batched solicitation.
+/// seed run in auction mode without batching, with batched solicitation,
+/// and — on a 1 s-latency WAN, where awards and open solicitations
+/// actually overlap in time — batched with and without award
+/// piggybacking (kAwards riding the flush).  Under the paper's
+/// instantaneous network the whole solicit/bid/award cascade collapses
+/// into one instant, so there is never a queued solicitation for an award
+/// to ride; the WAN pair is what makes the piggyback comparison
+/// apples-to-apples.
 struct BatchingPoint {
   std::size_t size = 0;
   core::FederationResult unbatched;
   core::FederationResult batched;
+  core::FederationResult batched_wan;  ///< batching at kBenchPiggybackLatency
+  core::FederationResult piggyback;    ///< batched_wan + piggyback_awards
 
   [[nodiscard]] double reduction_pct() const {
     const double u = unbatched.msgs_per_job.mean();
     return u > 0.0 ? 100.0 * (1.0 - batched.msgs_per_job.mean() / u) : 0.0;
+  }
+  [[nodiscard]] double piggyback_reduction_pct() const {
+    const double u = batched_wan.msgs_per_job.mean();
+    return u > 0.0 ? 100.0 * (1.0 - piggyback.msgs_per_job.mean() / u) : 0.0;
   }
 };
 
@@ -63,6 +93,9 @@ struct BatchingPoint {
 /// calibrated workload batches aggressively while the slack-fraction cap
 /// keeps acceptance untouched; see bench/README.md).
 inline constexpr double kBenchBatchWindow = 300.0;
+
+/// One-way message latency of the piggyback comparison's WAN setting.
+inline constexpr double kBenchPiggybackLatency = 1.0;
 
 /// Runs the auction-mode batching comparison over `sizes` at a 70/30
 /// OFC/OFT population.
@@ -78,6 +111,10 @@ inline std::vector<BatchingPoint> auction_batching_series(
     cfg.auction.batch_solicitations = true;
     cfg.auction.solicit_batch_window = kBenchBatchWindow;
     point.batched = core::run_experiment(cfg, n, oft_percent);
+    cfg.network_latency = kBenchPiggybackLatency;
+    point.batched_wan = core::run_experiment(cfg, n, oft_percent);
+    cfg.auction.piggyback_awards = true;
+    point.piggyback = core::run_experiment(cfg, n, oft_percent);
     points.push_back(std::move(point));
   }
   return points;

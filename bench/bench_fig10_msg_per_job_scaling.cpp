@@ -58,17 +58,31 @@ int main(int argc, char** argv) {
   const std::vector<std::size_t> auction_sizes{8, 20, 50};
   const auto batching = bench::auction_batching_series(auction_sizes);
   stats::Table at({"System size", "Unbatched msgs/job", "Batched msgs/job",
-                   "Reduction %", "Accept % (b)", "Bids/auction (u=b)"});
+                   "Reduction %", "Accept % (b)"});
   for (const auto& p : batching) {
     at.add_row({std::to_string(p.size),
                 stats::Table::num(p.unbatched.msgs_per_job.mean(), 2),
                 stats::Table::num(p.batched.msgs_per_job.mean(), 2),
                 stats::Table::num(p.reduction_pct(), 1),
-                stats::Table::num(p.batched.acceptance_pct(), 2),
-                stats::Table::num(p.unbatched.auctions.bids_per_auction.mean(),
-                                  2)});
+                stats::Table::num(p.batched.acceptance_pct(), 2)});
   }
   std::printf("%s\n", at.str().c_str());
+
+  std::printf("Award piggybacking on a %.0f s-latency WAN (awards overlap "
+              "open solicitations\nand ride the flush for free):\n\n",
+              bench::kBenchPiggybackLatency);
+  stats::Table pt({"System size", "WAN batched msgs/job",
+                   "+Piggyback msgs/job", "Reduction %", "Awards ridden",
+                   "Accept % (p)"});
+  for (const auto& p : batching) {
+    pt.add_row({std::to_string(p.size),
+                stats::Table::num(p.batched_wan.msgs_per_job.mean(), 2),
+                stats::Table::num(p.piggyback.msgs_per_job.mean(), 2),
+                stats::Table::num(p.piggyback_reduction_pct(), 1),
+                std::to_string(p.piggyback.auctions.awards_piggybacked),
+                stats::Table::num(p.piggyback.acceptance_pct(), 2)});
+  }
+  std::printf("%s\n", pt.str().c_str());
 
   const std::string json = bench::json_path(argc, argv);
   if (!json.empty()) {
@@ -98,12 +112,22 @@ int main(int argc, char** argv) {
           f,
           "    {\"size\": %zu, \"unbatched_msgs_per_job\": %.4f, "
           "\"batched_msgs_per_job\": %.4f, \"reduction_pct\": %.2f, "
+          "\"wan_batched_msgs_per_job\": %.4f, "
+          "\"wan_piggyback_msgs_per_job\": %.4f, "
+          "\"piggyback_reduction_pct\": %.2f, "
+          "\"awards_piggybacked\": %llu, "
           "\"unbatched_accept_pct\": %.2f, \"batched_accept_pct\": %.2f, "
+          "\"piggyback_accept_pct\": %.2f, "
           "\"bids_per_auction_unbatched\": %.4f, "
           "\"bids_per_auction_batched\": %.4f}%s\n",
           p.size, p.unbatched.msgs_per_job.mean(),
           p.batched.msgs_per_job.mean(), p.reduction_pct(),
+          p.batched_wan.msgs_per_job.mean(),
+          p.piggyback.msgs_per_job.mean(), p.piggyback_reduction_pct(),
+          static_cast<unsigned long long>(
+              p.piggyback.auctions.awards_piggybacked),
           p.unbatched.acceptance_pct(), p.batched.acceptance_pct(),
+          p.piggyback.acceptance_pct(),
           p.unbatched.auctions.bids_per_auction.mean(),
           p.batched.auctions.bids_per_auction.mean(),
           i + 1 < batching.size() ? "," : "");

@@ -2,7 +2,9 @@
 // Experiment 1 baseline — independent resources.  Every cluster processes
 // only its own workload; a job whose deadline the local LRMS cannot honour
 // is rejected.  This is the control experiment Table 2 reports and the
-// reference all federation gains are measured against.
+// reference all federation gains are measured against.  The mode's
+// scheduling brain is policy::IndependentPolicy (policy/) — this driver
+// only selects it via SchedulingMode::kIndependent.
 
 #include <cstdint>
 

@@ -3,7 +3,9 @@
 // when the deadline allows; otherwise the GFA walks the federation in
 // decreasing order of computational speed (no prices, no budgets) and the
 // first cluster that can honour the deadline takes the job.  Table 3 and
-// Fig 2 compare this against Experiment 1.
+// Fig 2 compare this against Experiment 1.  The walk itself lives in
+// policy::NoEconomyPolicy (policy/) — this driver only selects it via
+// SchedulingMode::kFederationNoEconomy.
 
 #include <cstdint>
 

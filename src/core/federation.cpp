@@ -149,6 +149,15 @@ FederationResult Federation::run() {
   outcomes_.reserve(jobs_loaded_);
   sim_.run();
   GF_ENSURES(outcomes_.size() == jobs_loaded_);
+  // Fold every agent's policy counters in once, so the accessor and the
+  // aggregate see the same totals.
+  for (const auto& agent : gfas_) {
+    const policy::PolicyCounters counters =
+        agent->scheduling_policy().counters();
+    auction_stats_.bid_cache_lookups += counters.bid_cache_lookups;
+    auction_stats_.bid_cache_hits += counters.bid_cache_hits;
+    auction_stats_.awards_piggybacked += counters.awards_piggybacked;
+  }
   return aggregate();
 }
 

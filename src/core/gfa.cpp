@@ -1,11 +1,8 @@
 #include "core/gfa.hpp"
 
-#include <algorithm>
 #include <utility>
-#include <vector>
 
 #include "economy/cost_model.hpp"
-#include "market/bid_pricing.hpp"
 #include "sim/check.hpp"
 
 namespace gridfed::core {
@@ -31,38 +28,14 @@ Gfa::Gfa(sim::Simulation& sim, sim::EntityId id, cluster::ResourceIndex index,
       index_(index),
       lrms_(lrms),
       dir_(dir),
-      host_(host) {}
+      host_(host),
+      policy_(policy::make_policy(host.config().mode, *this)) {}
 
 void Gfa::submit_local(cluster::Job job) {
   GF_EXPECTS(job.origin == index_);
   Pending p;
   p.job = std::move(job);
-  advance(std::move(p));
-}
-
-void Gfa::advance(Pending p) {
-  switch (host_.config().mode) {
-    case SchedulingMode::kIndependent:
-      schedule_independent(std::move(p));
-      break;
-    case SchedulingMode::kFederationNoEconomy:
-      schedule_no_economy(std::move(p));
-      break;
-    case SchedulingMode::kEconomy:
-      schedule_economy(std::move(p));
-      break;
-    case SchedulingMode::kAuction:
-      // Lifecycle: open an auction, then work through the cleared award
-      // ranking, then (if everything declined) the DBC fallback walk.
-      if (p.dbc_fallback) {
-        schedule_economy(std::move(p));
-      } else if (!p.awards.empty()) {
-        advance_auction(std::move(p));
-      } else {
-        schedule_auction(std::move(p));
-      }
-      break;
-  }
+  policy_->schedule(std::move(p));
 }
 
 bool Gfa::local_deadline_ok(const cluster::Job& job) const {
@@ -90,331 +63,27 @@ double Gfa::cost_from_quote(const cluster::Job& job,
   }
 }
 
-void Gfa::schedule_independent(Pending p) {
-  // Experiment 1: the cluster is alone in the world.  Accept iff the local
-  // LRMS can honour the deadline.
-  if (local_deadline_ok(p.job)) {
-    execute_here(std::move(p));
-  } else {
-    reject(std::move(p));
-  }
-}
-
-void Gfa::schedule_no_economy(Pending p) {
-  // Experiment 2: process locally when possible; otherwise walk the
-  // federation in decreasing order of computational speed (paper §3.3).
-  if (p.next_rank == 1 && p.negotiations == 0 && local_deadline_ok(p.job)) {
-    execute_here(std::move(p));
-    return;
-  }
-  const auto& cfg = host_.config();
-  while (true) {
-    const auto quote =
-        cfg.use_load_hints
-            ? dir_.query_filtered(directory::OrderBy::kFastest, p.next_rank,
-                                  cfg.load_hint_threshold)
-            : dir_.query(directory::OrderBy::kFastest, p.next_rank);
-    if (!quote) {
-      reject(std::move(p));
-      return;
-    }
-    ++p.next_rank;
-    if (quote->resource == index_) continue;  // local already checked
-    if (quote->processors < p.job.processors) continue;  // statically too small
-    // Dynamic feasibility needs the remote queue: negotiate.
-    send_negotiate(std::move(p), quote->resource);
-    return;  // resume in handle_reply (or the timeout)
-  }
-}
-
-void Gfa::schedule_economy(Pending p) {
-  // Experiments 3-5: the DBC algorithm of §2.2.  OFC walks the cheapest
-  // ranking, OFT the fastest; the origin cluster competes at its natural
-  // rank (negotiating with ourselves costs no network messages).  Also the
-  // auction mode's fallback walk (p.dbc_fallback).
-  const auto& cfg = host_.config();
-  const auto order = p.job.opt == cluster::Optimization::kTime
-                         ? directory::OrderBy::kFastest
-                         : directory::OrderBy::kCheapest;
-  while (true) {
-    const auto quote =
-        cfg.use_load_hints
-            ? dir_.query_filtered(order, p.next_rank, cfg.load_hint_threshold)
-            : dir_.query(order, p.next_rank);
-    if (!quote) {
-      reject(std::move(p));
-      return;
-    }
-    ++p.next_rank;
-    if (quote->processors < p.job.processors) continue;
-    if (cfg.enforce_budget && cost_from_quote(p.job, *quote) > p.job.budget) {
-      continue;  // the quote alone rules this site out
-    }
-    if (quote->resource == index_) {
-      if (local_deadline_ok(p.job)) {
-        execute_here(std::move(p));
-        return;
-      }
-      continue;
-    }
-    send_negotiate(std::move(p), quote->resource);
-    return;  // resume in handle_reply (or the timeout)
-  }
-}
-
-// ---- auction mode (origin side) --------------------------------------------
-
-void Gfa::schedule_auction(Pending p) {
-  const auto& cfg = host_.config();
-  const auto& acfg = cfg.auction;
-  // Candidate providers in cheapest-first directory order: deterministic
-  // and compatible with the load-hint filter.  One metered bulk query
-  // replaces the old per-rank query walk (the results ride back on a
-  // single overlay route), which is what keeps directory traffic per
-  // auction flat as the federation grows.
-  directory::QueryFilter filter;
-  filter.min_processors = p.job.processors;
-  filter.exclude = index_;  // origin enters for free below
-  if (cfg.use_load_hints) filter.max_load_hint = cfg.load_hint_threshold;
-  dir_.query_top_k(directory::OrderBy::kCheapest, acfg.max_bidders, filter,
-                   scratch_quotes_);
-
-  const bool origin_enters =
-      acfg.origin_bids && p.job.processors <= lrms_.spec().processors;
-
-  scratch_entrants_.clear();
-  for (const directory::Quote& quote : scratch_quotes_) {
-    scratch_entrants_.push_back(quote.resource);
-  }
-  const std::size_t n_remote = scratch_entrants_.size();
-  if (origin_enters) scratch_entrants_.push_back(index_);
-  market::AuctionBook book = book_pool_.acquire(p.job.id, scratch_entrants_);
-  if (origin_enters) book.add(make_bid(p.job));  // message-free local bid
-
-  p.negotiations += static_cast<std::uint32_t>(n_remote);  // remote enquiries
-  const bool batched = acfg.batch_solicitations && n_remote > 0;
-  if (!batched) {
-    for (std::size_t i = 0; i < n_remote; ++i) {
-      ++p.messages;
-      host_.send(Message{MessageType::kCallForBids, index_,
-                         book.solicited_list()[i], p.job});
-    }
-  }
-
-  const cluster::JobId id = p.job.id;
-  const auto [it, inserted] =
-      auctions_.emplace(id, OpenAuction{std::move(p), std::move(book)});
-  GF_EXPECTS(inserted);  // a job runs at most one auction round
-  if (it->second.book.complete()) {
-    // No outstanding bidders (possibly an empty book): clear in place.
-    clear_auction(id);
-    return;
-  }
-  if (batched) {
-    // The call-for-bids leave in the next flush; the bid timeout arms
-    // there too (the book is not on the wire yet).
-    queue_solicitation(id);
-    return;
-  }
-  if (acfg.bid_timeout > 0.0) {
-    simulation().schedule_in(acfg.bid_timeout, sim::EventPriority::kControl,
-                             [this, id] { on_bid_timeout(id); });
-  }
-}
-
-void Gfa::queue_solicitation(cluster::JobId id) {
-  const auto& acfg = host_.config().auction;
-  const auto it = auctions_.find(id);
-  GF_EXPECTS(it != auctions_.end());
-  // Hold back at most the batch window, and never more than a fraction
-  // of the job's remaining deadline slack: tight jobs flush (almost)
-  // immediately — and carry every other queued job out with them.
-  const sim::SimTime slack =
-      std::max(0.0, it->second.pending.job.absolute_deadline() - now());
-  const sim::SimTime hold = std::min(
-      acfg.solicit_batch_window, acfg.solicit_hold_slack_fraction * slack);
-  const sim::SimTime deadline = now() + hold;
-  solicit_queue_.push_back(id);
-  if (deadline < flush_deadline_) flush_deadline_ = deadline;
-  simulation().schedule_at(deadline, sim::EventPriority::kControl,
-                           [this] { maybe_flush_solicitations(); });
-}
-
-void Gfa::maybe_flush_solicitations() {
-  // Each queued job arms its own wake-up; only the one at the earliest
-  // deadline flushes (stale wake-ups find the deadline moved or the
-  // queue already empty).
-  if (solicit_queue_.empty()) return;
-  if (now() < flush_deadline_) return;
-  flush_solicitations();
-}
-
-void Gfa::flush_solicitations() {
-  const auto& acfg = host_.config().auction;
-  // One pass over the queue builds per-provider job buckets; providers
-  // keep first-seen (cheapest-first) order so the wire order stays
-  // deterministic.  scratch_providers_[i] is the provider of
-  // scratch_buckets_[i]; the buckets are members so flushes reuse their
-  // capacity instead of reallocating.
-  scratch_providers_.clear();
-  for (auto& bucket : scratch_buckets_) bucket.clear();
-  for (const cluster::JobId id : solicit_queue_) {
-    const auto it = auctions_.find(id);
-    if (it == auctions_.end()) continue;  // cleared while queued
-    for (const cluster::ResourceIndex r : it->second.book.solicited_list()) {
-      if (r == index_) continue;
-      const auto pos = std::find(scratch_providers_.begin(),
-                                 scratch_providers_.end(), r);
-      const auto bucket =
-          static_cast<std::size_t>(pos - scratch_providers_.begin());
-      if (pos == scratch_providers_.end()) {
-        scratch_providers_.push_back(r);
-        if (scratch_buckets_.size() < scratch_providers_.size()) {
-          scratch_buckets_.emplace_back();
-        }
-      }
-      scratch_buckets_[bucket].push_back(&it->second.pending.job);
-    }
-  }
-  for (std::size_t i = 0; i < scratch_providers_.size(); ++i) {
-    Message msg;
-    msg.type = MessageType::kCallForBids;
-    msg.from = index_;
-    msg.to = scratch_providers_[i];
-    msg.batch_jobs.reserve(scratch_buckets_[i].size());
-    for (const cluster::Job* job : scratch_buckets_[i]) {
-      msg.batch_jobs.push_back(*job);
-    }
-    msg.job = msg.batch_jobs.front();
-    // One wire message for the whole batch: attribute it to the first
-    // job so the per-job counters still sum to the ledger total.
-    ++auctions_.find(msg.batch_jobs.front().id)->second.pending.messages;
-    host_.send(std::move(msg));
-  }
-  if (acfg.bid_timeout > 0.0) {
-    for (const cluster::JobId id : solicit_queue_) {
-      if (auctions_.find(id) == auctions_.end()) continue;
-      simulation().schedule_in(acfg.bid_timeout, sim::EventPriority::kControl,
-                               [this, id] { on_bid_timeout(id); });
-    }
-  }
-  solicit_queue_.clear();
-  flush_deadline_ = sim::kTimeInfinity;
-}
-
-void Gfa::on_bid_timeout(cluster::JobId id) {
-  // Deadline for the book: clear with whatever arrived.  A no-op when every
-  // bid beat the timeout (the book already cleared and erased itself).
-  clear_auction(id);
-}
-
-void Gfa::clear_auction(cluster::JobId id) {
-  const auto it = auctions_.find(id);
-  if (it == auctions_.end()) return;  // already cleared
-  OpenAuction auction = std::move(it->second);
-  auctions_.erase(it);
-
-  const auto& cfg = host_.config();
-  const market::AuctionEngine engine(cfg.auction.clearing, cfg.enforce_budget,
-                                     cfg.enforce_deadline);
-  Pending p = std::move(auction.pending);
-  p.awards = engine.clear(p.job, auction.book.bids());
-  p.next_award = 0;
-
-  market::ClearingReport report;
-  report.job = p.job.id;
-  report.solicited = auction.book.solicited();
-  report.bids = auction.book.bids().size();
-  report.feasible = p.awards.size();
-  report.awarded = !p.awards.empty();
-  if (report.awarded) {
-    report.winner = p.awards.front().bid.bidder;
-    report.winner_ask = p.awards.front().bid.ask;
-    report.payment = p.awards.front().payment;
-  }
-  host_.auction_report(report);
-
-  // The book's allocations go back to the pool for the next job of the
-  // same shape.
-  book_pool_.release(std::move(auction.book));
-
-  if (p.awards.empty()) {
-    auction_fallback(std::move(p));
-  } else {
-    advance_auction(std::move(p));
-  }
-}
-
-void Gfa::advance_auction(Pending p) {
-  while (p.next_award < p.awards.size()) {
-    const market::Award award = p.awards[p.next_award++];
-    if (award.bid.bidder == index_) {
-      // Won our own auction: admission is a free local re-check, and the
-      // cleared payment (not the posted price) is what gets settled.
-      if (local_deadline_ok(p.job)) {
-        execute_here(std::move(p), award.payment);
-        return;
-      }
-      continue;  // queue filled up since bidding: next award
-    }
-    // The award is an admission enquiry through the shared seam: the
-    // winner re-checks, reserves, and answers with a kReply.
-    p.award_payment = award.payment;
-    send_enquiry(std::move(p), award.bid.bidder, MessageType::kAward,
-                 award.payment);
-    return;  // resume in handle_reply (or the timeout)
-  }
-  auction_fallback(std::move(p));
-}
-
-void Gfa::auction_fallback(Pending p) {
-  if (host_.config().auction.fallback_to_dbc) {
-    p.dbc_fallback = true;
-    p.awards.clear();
-    p.next_award = 0;
-    p.next_rank = 1;  // fresh DBC walk; cluster state moved on since bidding
-    schedule_economy(std::move(p));
-  } else {
-    reject(std::move(p));
-  }
-}
-
-market::Bid Gfa::make_bid(const cluster::Job& job) const {
-  const auto& cfg = host_.config();
-  const auto& own = lrms_.spec();
-  market::Bid bid;
-  bid.bidder = index_;
-  if (job.processors > own.processors) return bid;  // infeasible
-  const sim::SimTime exec =
-      cluster::execution_time(job, host_.spec_of(job.origin), own);
-  const sim::SimTime staged = now() + host_.payload_staging_time(job, index_);
-  bid.completion_estimate = lrms_.estimate_completion(job, exec, staged);
-  bid.feasible = !cfg.enforce_deadline ||
-                 bid.completion_estimate <= job.absolute_deadline();
-  const double true_cost =
-      economy::job_cost(job, host_.spec_of(job.origin), own, cfg.cost_model);
-  bid.ask =
-      market::bid_price(cfg.auction.bid_pricing, true_cost,
-                        lrms_.instantaneous_load(), cfg.auction.markup,
-                        cfg.pricing);
-  return bid;
-}
-
 // ---- enquiry seam (DBC negotiate + auction award) ---------------------------
 
-void Gfa::send_enquiry(Pending p, cluster::ResourceIndex target,
-                       MessageType type, double price) {
+void Gfa::park_enquiry(Pending p, cluster::ResourceIndex target,
+                       MessageType type, double price, bool on_wire) {
   GF_EXPECTS(type == MessageType::kNegotiate || type == MessageType::kAward);
   ++p.negotiations;
-  ++p.messages;  // the enquiry
+  if (on_wire) ++p.messages;  // the enquiry (piggybacked awards ride free)
   p.current_target = target;
   ++p.attempt;
-  Message enquiry{type, index_, target, p.job};
-  enquiry.price = price;
   const cluster::JobId id = p.job.id;
   const std::uint64_t attempt = p.attempt;
-  pending_.insert_or_assign(id, std::move(p));
-  host_.send(std::move(enquiry));
+  if (on_wire) {
+    Message enquiry{type, index_, target, p.job};
+    enquiry.price = price;
+    pending_.insert_or_assign(id, std::move(p));
+    host_.send(std::move(enquiry));
+  } else {
+    // The enquiry text travels on a piggybacked solicitation; only the
+    // state and the timeout are needed here.
+    pending_.insert_or_assign(id, std::move(p));
+  }
 
   const auto& cfg = host_.config();
   if (cfg.negotiate_timeout > 0.0) {
@@ -425,7 +94,18 @@ void Gfa::send_enquiry(Pending p, cluster::ResourceIndex target,
 }
 
 void Gfa::send_negotiate(Pending p, cluster::ResourceIndex target) {
-  send_enquiry(std::move(p), target, MessageType::kNegotiate, 0.0);
+  park_enquiry(std::move(p), target, MessageType::kNegotiate, 0.0, true);
+}
+
+void Gfa::send_award(Pending p, cluster::ResourceIndex target,
+                     double payment) {
+  park_enquiry(std::move(p), target, MessageType::kAward, payment, true);
+}
+
+void Gfa::park_award(Pending p, cluster::ResourceIndex target) {
+  // The award text travels on a piggybacked solicitation the policy sends
+  // itself; only the enquiry state and the timeout are needed here.
+  park_enquiry(std::move(p), target, MessageType::kAward, 0.0, false);
 }
 
 void Gfa::on_negotiate_timeout(cluster::JobId id, std::uint64_t attempt) {
@@ -434,11 +114,11 @@ void Gfa::on_negotiate_timeout(cluster::JobId id, std::uint64_t attempt) {
   if (it->second.attempt != attempt) return;   // a later enquiry is live
   if (it->second.current_target == cluster::kNoResource) return;
   // No reply: abandon this enquiry (the remote may have reserved — its own
-  // hold timeout will release the processors) and walk on.
+  // hold timeout will release the processors) and hand the job back.
   Pending p = std::move(it->second);
   pending_.erase(it);
   p.current_target = cluster::kNoResource;
-  advance(std::move(p));
+  policy_->schedule(std::move(p));
 }
 
 void Gfa::execute_here(Pending p, double price) {
@@ -476,10 +156,10 @@ void Gfa::receive(const Message& msg) {
       handle_completion(msg);
       break;
     case MessageType::kCallForBids:
-      handle_call_for_bids(msg);
+      policy_->on_call_for_bids(msg);
       break;
     case MessageType::kBid:
-      handle_bid(msg);
+      policy_->on_bid(msg);
       break;
   }
 }
@@ -549,18 +229,15 @@ void Gfa::handle_reply(const Message& msg) {
   ++p.messages;  // the reply we just received
 
   if (!msg.accept) {
-    advance(std::move(p));  // continue the rank walk / award ranking
+    policy_->schedule(std::move(p));  // continue the policy's walk
     return;
   }
   // Accepted: ship the job.  The remote reserved at enquiry time, so the
-  // submission is the payload transfer the ledger must count.  An auction
-  // award settles its cleared payment; a DBC negotiate the posted price.
+  // submission is the payload transfer the ledger must count.  What gets
+  // settled is the policy's call: an auction award its cleared payment, a
+  // DBC negotiate the posted price.
   ++p.messages;
-  const double cost =
-      p.awarding() ? p.award_payment
-                   : economy::job_cost(p.job, host_.spec_of(p.job.origin),
-                                       host_.spec_of(msg.from),
-                                       host_.config().cost_model);
+  const double cost = policy_->settled_cost(p, msg.from);
   Message submission{MessageType::kJobSubmission, index_, msg.from, p.job,
                      true, msg.completion_estimate};
   awaiting_.emplace(p.job.id, Awaiting{std::move(p.job), p.negotiations,
@@ -579,62 +256,6 @@ void Gfa::handle_submission(const Message& msg) {
 
 void Gfa::handle_completion(const Message& msg) {
   finalize(msg.job.id, msg.from, msg.start_time, msg.completion_estimate);
-}
-
-void Gfa::handle_call_for_bids(const Message& msg) {
-  // Provider side: answer with a sealed ask.  Bidding is non-binding (no
-  // reservation); the award re-runs admission, so a stale estimate only
-  // costs the origin a declined award, never a broken guarantee.
-  if (!msg.batch_jobs.empty()) {
-    // Batched solicitation: one sealed ask per carried job, all riding
-    // home in a single wire message.
-    Message answer;
-    answer.type = MessageType::kBid;
-    answer.from = index_;
-    answer.to = msg.from;
-    answer.job = msg.batch_jobs.front();
-    answer.batch_bids.reserve(msg.batch_jobs.size());
-    for (const cluster::Job& job : msg.batch_jobs) {
-      const market::Bid bid = make_bid(job);
-      answer.batch_bids.push_back(
-          BatchedBid{job.id, bid.ask, bid.completion_estimate, bid.feasible});
-    }
-    host_.send(std::move(answer));
-    return;
-  }
-  const market::Bid bid = make_bid(msg.job);
-  Message answer{MessageType::kBid, index_, msg.from, msg.job, bid.feasible,
-                 bid.completion_estimate};
-  answer.price = bid.ask;
-  host_.send(std::move(answer));
-}
-
-void Gfa::handle_bid(const Message& msg) {
-  if (!msg.batch_bids.empty()) {
-    // One wire message, several books: count it once (toward the first
-    // still-open auction it feeds) and enter every ask.
-    bool counted = false;
-    for (const BatchedBid& entry : msg.batch_bids) {
-      const auto it = auctions_.find(entry.job);
-      if (it == auctions_.end()) continue;  // cleared at the timeout: stale
-      if (!counted) {
-        ++it->second.pending.messages;
-        counted = true;
-      }
-      it->second.book.add(market::Bid{msg.from, entry.ask,
-                                      entry.completion_estimate,
-                                      entry.feasible});
-      if (it->second.book.complete()) clear_auction(entry.job);
-    }
-    return;
-  }
-  const auto it = auctions_.find(msg.job.id);
-  if (it == auctions_.end()) return;  // book cleared at the timeout: stale bid
-  OpenAuction& auction = it->second;
-  ++auction.pending.messages;
-  auction.book.add(market::Bid{msg.from, msg.price, msg.completion_estimate,
-                               msg.accept});
-  if (auction.book.complete()) clear_auction(msg.job.id);
 }
 
 void Gfa::on_lrms_completion(const cluster::CompletedJob& done) {

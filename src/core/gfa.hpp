@@ -10,21 +10,18 @@
 //    admission-control negotiation with remote GFAs, and manages remote
 //    jobs on the local LRMS.
 //
-// Scheduling follows the paper's DBC algorithm (§2.2): walk the directory
-// ranking (cheapest order for OFC users, fastest for OFT), skip clusters
-// that statically cannot satisfy the job (too small, or the quoted price
-// would blow the budget — both computable from the quote alone), negotiate
-// the deadline guarantee with the rest, and dispatch to the first
-// accepting cluster; a job whose every rank fails is dropped.
-//
-// The market extension adds a fourth mode (SchedulingMode::kAuction): the
-// origin broadcasts a call-for-bids, providers answer with sealed asks
-// priced by their bidding strategy (market/bid_pricing.hpp), and the
-// auction engine clears the book into a deterministic award ranking
-// (market/auction_engine.hpp).  An award is delivered through the same
-// enquiry machinery as a DBC negotiate — the winner re-runs admission
-// control, reserves, and replies — so the pending/awaiting/timeout state
-// and the ship/completion legs are shared between both modes.
+// Since the policy extraction, the Gfa itself is only the *protocol
+// engine*: it routes messages, parks in-flight enquiries and arms their
+// timeouts, holds remote reservations between negotiate-accept and
+// payload arrival, and keeps the per-job message accounting honest.  WHERE
+// a job goes — the paper's DBC rank walk (§2.2), the no-economy
+// fastest-first walk, the local-only baseline, or the market extension's
+// sealed-bid reverse auction — is decided by a policy::SchedulingPolicy
+// constructed from the configured mode (policy/scheduling_policy.hpp).
+// The Gfa hands the policy its services by implementing
+// policy::SchedulerContext, and the policy hands jobs back through the
+// placement actions (execute_here / send_negotiate / send_award /
+// reject).
 //
 // Admission control: the remote resource manager asks its LRMS for an
 // exact completion-time estimate; on acceptance it *reserves* the
@@ -32,16 +29,16 @@
 // binding even with nonzero message latency.
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
-#include <vector>
 
 #include "cluster/lrms.hpp"
 #include "core/config.hpp"
 #include "core/message.hpp"
 #include "core/outcome.hpp"
+#include "core/pending.hpp"
 #include "directory/federation_directory.hpp"
-#include "market/auction_engine.hpp"
-#include "market/book_pool.hpp"
+#include "policy/scheduling_policy.hpp"
 #include "sim/entity.hpp"
 
 namespace gridfed::core {
@@ -83,8 +80,9 @@ class GfaHost {
   }
 };
 
-/// The Grid Federation Agent for one cluster.
-class Gfa : public sim::Entity {
+/// The Grid Federation Agent for one cluster: the protocol engine the
+/// configured SchedulingPolicy schedules through.
+class Gfa final : public sim::Entity, public policy::SchedulerContext {
  public:
   Gfa(sim::Simulation& sim, sim::EntityId id, cluster::ResourceIndex index,
       cluster::Lrms& lrms, directory::FederationDirectory& dir, GfaHost& host);
@@ -92,7 +90,6 @@ class Gfa : public sim::Entity {
   [[nodiscard]] cluster::ResourceIndex index() const noexcept {
     return index_;
   }
-  [[nodiscard]] cluster::Lrms& lrms() noexcept { return lrms_; }
   [[nodiscard]] const cluster::Lrms& lrms() const noexcept { return lrms_; }
 
   /// Entry point for the local user population: schedule this job per the
@@ -116,37 +113,13 @@ class Gfa : public sim::Entity {
     return remote_accepted_;
   }
 
+  /// The policy scheduling this agent's jobs (telemetry, tests).
+  [[nodiscard]] const policy::SchedulingPolicy& scheduling_policy()
+      const noexcept {
+    return *policy_;
+  }
+
  private:
-  /// In-flight scheduling state for a job this GFA originated.
-  struct Pending {
-    cluster::Job job;
-    std::uint32_t next_rank = 1;     ///< next directory rank to try
-    std::uint32_t negotiations = 0;  ///< remote enquiries so far
-    std::uint64_t messages = 0;      ///< protocol messages so far
-    /// The GFA currently being negotiated with (kNoResource = none).  Used
-    /// to discard stale replies after a timeout abandoned the enquiry.
-    cluster::ResourceIndex current_target = cluster::kNoResource;
-    /// Monotone enquiry counter so a timeout only fires for its own
-    /// enquiry, never a later one.
-    std::uint64_t attempt = 0;
-
-    // -- auction-mode state (empty outside kAuction) ----------------------
-    /// Cleared award ranking still to try; awards[next_award] is next.
-    std::vector<market::Award> awards;
-    std::size_t next_award = 0;
-    /// Payment agreed for the in-flight award; settled instead of the
-    /// posted-price cost when the winner accepts.
-    double award_payment = 0.0;
-    /// Book cleared empty or every award declined: finish via the DBC
-    /// walk (when the config allows) rather than re-auctioning.
-    bool dbc_fallback = false;
-
-    /// True while an auction award (not a DBC negotiate) is in flight.
-    [[nodiscard]] bool awarding() const noexcept {
-      return !awards.empty() && !dbc_fallback;
-    }
-  };
-
   /// A reservation held on behalf of a remote GFA between negotiate-accept
   /// and payload arrival (cancelled if the payload never comes).
   struct RemoteHold {
@@ -161,79 +134,70 @@ class Gfa : public sim::Entity {
     double cost = 0.0;
     cluster::ResourceIndex exec = 0;
   };
-  /// An auction round collecting bids (origin side).
-  struct OpenAuction {
-    Pending pending;
-    market::AuctionBook book;
-  };
 
-  // -- origin-side scheduling -------------------------------------------
-  void advance(Pending p);
-  void schedule_economy(Pending p);
-  void schedule_no_economy(Pending p);
-  void schedule_independent(Pending p);
+  // -- policy::SchedulerContext -------------------------------------------
+  [[nodiscard]] cluster::ResourceIndex self() const override {
+    return index_;
+  }
+  [[nodiscard]] const FederationConfig& config() const override {
+    return host_.config();
+  }
+  [[nodiscard]] const cluster::ResourceSpec& spec_of(
+      cluster::ResourceIndex index) const override {
+    return host_.spec_of(index);
+  }
+  [[nodiscard]] directory::FederationDirectory& directory() override {
+    return dir_;
+  }
+  [[nodiscard]] cluster::Lrms& lrms() override { return lrms_; }
+  [[nodiscard]] sim::Simulation& sim() override { return simulation(); }
+  [[nodiscard]] sim::SimTime now() const noexcept override {
+    return Entity::now();
+  }
+  [[nodiscard]] sim::SimTime payload_staging_time(
+      const cluster::Job& job, cluster::ResourceIndex site) const override {
+    return host_.payload_staging_time(job, site);
+  }
   /// True when this cluster can complete the job within its deadline.
-  [[nodiscard]] bool local_deadline_ok(const cluster::Job& job) const;
-  /// Reserves the job on the local LRMS and records it as awaiting.  The
-  /// settled amount is the posted-price cost unless `price` overrides it
-  /// (auction self-award: the cleared payment).
-  void execute_here(Pending p, double price = -1.0);
-  void reject(Pending p);
-
+  [[nodiscard]] bool local_deadline_ok(
+      const cluster::Job& job) const override;
   /// Cost of running `job` on the cluster advertised by `quote` (uses only
   /// information the quote carries — this is the static budget check a GFA
   /// can do without any negotiation).
-  [[nodiscard]] double cost_from_quote(const cluster::Job& job,
-                                       const directory::Quote& quote) const;
+  [[nodiscard]] double cost_from_quote(
+      const cluster::Job& job, const directory::Quote& quote) const override;
+  /// Reserves the job on the local LRMS and records it as awaiting.  The
+  /// settled amount is the posted-price cost unless `price` >= 0 overrides
+  /// it (auction self-award: the cleared payment).
+  void execute_here(Pending p, double price) override;
+  void send_negotiate(Pending p, cluster::ResourceIndex target) override;
+  void send_award(Pending p, cluster::ResourceIndex target,
+                  double payment) override;
+  void park_award(Pending p, cluster::ResourceIndex target) override;
+  void reject(Pending p) override;
+  void send(Message msg) override { host_.send(std::move(msg)); }
+  void admit_enquiry(const Message& msg) override { admit_and_reply(msg); }
+  void auction_report(const market::ClearingReport& report) override {
+    host_.auction_report(report);
+  }
 
-  /// Shared enquiry seam: sends `type` (kNegotiate or kAward) to `target`,
-  /// parks the job in pending_, and arms the reply timeout when the config
-  /// enables it.  Both DBC and auction awards resume in handle_reply.
-  void send_enquiry(Pending p, cluster::ResourceIndex target,
-                    MessageType type, double price);
-  void send_negotiate(Pending p, cluster::ResourceIndex target);
-  /// Fires when no reply arrived in time: abandon the enquiry, walk on.
+  // -- enquiry seam (DBC negotiate + auction award) -----------------------
+  /// Shared enquiry plumbing: parks the job in pending_, sends `type`
+  /// (kNegotiate or kAward) to `target` unless the award already rode a
+  /// piggybacked solicitation (`on_wire` false), and arms the reply
+  /// timeout when the config enables it.  Replies resume in handle_reply.
+  void park_enquiry(Pending p, cluster::ResourceIndex target,
+                    MessageType type, double price, bool on_wire);
+  /// Fires when no reply arrived in time: abandon the enquiry, hand the
+  /// job back to the policy.
   void on_negotiate_timeout(cluster::JobId id, std::uint64_t attempt);
   /// Fires when a held reservation saw no payload: cancel it.
   void on_hold_timeout(cluster::JobId id);
 
-  // -- auction mode (origin side) ----------------------------------------
-  /// Opens the book: solicits bids from every eligible provider (cheapest
-  /// directory order, capped at max_bidders, fetched with ONE metered
-  /// query_top_k instead of a per-rank query walk) and enters the
-  /// origin's own message-free bid when configured.  With
-  /// batch_solicitations the call-for-bids go through the solicit queue
-  /// instead of the wire.
-  void schedule_auction(Pending p);
-  /// Batched solicitation: parks the job's call-for-bids until the flush
-  /// deadline (bounded by the batch window and the job's deadline slack).
-  void queue_solicitation(cluster::JobId id);
-  /// Flush wake-up; a no-op unless the earliest queued deadline is due.
-  void maybe_flush_solicitations();
-  /// Sends one coalesced kCallForBids per provider covering every queued
-  /// job, then arms the per-job bid timeouts.
-  void flush_solicitations();
-  /// Closes the book, clears it through the engine, reports telemetry and
-  /// starts awarding (or falls back / rejects on an empty ranking).
-  void clear_auction(cluster::JobId id);
-  /// Tries the next award in the cleared ranking; exhausted = fallback.
-  void advance_auction(Pending p);
-  void on_bid_timeout(cluster::JobId id);
-  /// Exhausted every auction avenue: DBC walk or rejection per config.
-  void auction_fallback(Pending p);
-
-  // -- auction mode (provider side) --------------------------------------
-  /// This cluster's sealed bid for `job` (also used for the origin's own
-  /// local bid): admission-style completion estimate plus the configured
-  /// bid-pricing strategy.
-  [[nodiscard]] market::Bid make_bid(const cluster::Job& job) const;
-
-  // -- message handlers ---------------------------------------------------
+  // -- message handlers ----------------------------------------------------
   void handle_reply(const Message& msg);
   void handle_submission(const Message& msg);
   void handle_completion(const Message& msg);
-  void handle_call_for_bids(const Message& msg);
-  void handle_bid(const Message& msg);
 
   /// Provider-side admission shared by kNegotiate and kAward: exact LRMS
   /// estimate, reserve on acceptance, answer with a kReply.
@@ -246,28 +210,14 @@ class Gfa : public sim::Entity {
   cluster::Lrms& lrms_;
   directory::FederationDirectory& dir_;
   GfaHost& host_;
+  /// The configured mode's brain (constructed last: it schedules through
+  /// the members above).
+  std::unique_ptr<policy::SchedulingPolicy> policy_;
 
   std::unordered_map<cluster::JobId, Pending> pending_;
   std::unordered_map<cluster::JobId, Awaiting> awaiting_;
   std::unordered_map<cluster::JobId, RemoteHold> holds_;
-  std::unordered_map<cluster::JobId, OpenAuction> auctions_;
   std::uint64_t remote_accepted_ = 0;
-
-  // -- batched solicitation state (kAuction + batch_solicitations) -------
-  /// Jobs whose call-for-bids await the next flush, in submission order.
-  std::vector<cluster::JobId> solicit_queue_;
-  /// Earliest flush deadline among queued jobs (infinity when empty).
-  sim::SimTime flush_deadline_ = sim::kTimeInfinity;
-
-  /// Cleared books are recycled here instead of reallocating per job.
-  market::BookPool book_pool_;
-  // Scratch buffers reused across auctions (hot path: one per job).
-  std::vector<directory::Quote> scratch_quotes_;
-  std::vector<cluster::ResourceIndex> scratch_entrants_;
-  std::vector<cluster::ResourceIndex> scratch_providers_;
-  /// Per-provider job buckets built by flush_solicitations; parallel to
-  /// scratch_providers_, capacity retained across flushes.
-  std::vector<std::vector<const cluster::Job*>> scratch_buckets_;
 };
 
 }  // namespace gridfed::core

@@ -74,6 +74,14 @@ struct BatchedBid {
   bool feasible = false;
 };
 
+/// One award riding on a batched call-for-bids instead of its own kAward
+/// wire message (AuctionConfig::piggyback_awards): the full job (the
+/// winner re-runs admission on it) plus the cleared payment.
+struct PiggybackedAward {
+  cluster::Job job;
+  double payment = 0.0;
+};
+
 /// One inter-GFA message.  The full Job rides along: negotiate needs the
 /// QoS parameters for the remote estimate, submission needs the payload,
 /// and reply/completion use it for identification/accounting.
@@ -120,6 +128,9 @@ struct Message {
   // Batched-solicitation payloads (empty outside batched auction mode).
   std::vector<cluster::Job> batch_jobs;  ///< kCallForBids: all jobs asked
   std::vector<BatchedBid> batch_bids;    ///< kBid: one ask per asked job
+  /// kCallForBids: awards to this provider riding the flush for free
+  /// (AuctionConfig::piggyback_awards); processed before the bids.
+  std::vector<PiggybackedAward> batch_awards;
 };
 
 /// Per-GFA local/remote message counters plus per-type totals.

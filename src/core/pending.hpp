@@ -1,0 +1,45 @@
+#pragma once
+// In-flight origin-side scheduling state.  A Pending record travels with a
+// job from submission until it is placed (locally or remotely) or
+// rejected: the protocol engine (core/gfa.hpp) parks it while an enquiry
+// is on the wire, and the scheduling policy (policy/) carries it between
+// candidate attempts.
+//
+// The record itself holds only the mode-independent fields every policy
+// and the protocol engine share.  Mode-specific state (an auction's award
+// ranking, for example) hangs off `policy_state`: an opaque extension the
+// owning SchedulingPolicy allocates, downcasts, and mutates — so the state
+// moves with the job through the engine's pending map without the engine
+// knowing any mode's internals.
+
+#include <cstdint>
+#include <memory>
+
+#include "cluster/job.hpp"
+#include "cluster/resource.hpp"
+
+namespace gridfed::core {
+
+/// Base for policy-owned per-job extension state (see file comment).
+struct PolicyState {
+  virtual ~PolicyState() = default;
+};
+
+/// In-flight scheduling state for a job its origin GFA is placing.
+struct Pending {
+  cluster::Job job;
+  std::uint32_t next_rank = 1;     ///< next directory rank to try
+  std::uint32_t negotiations = 0;  ///< remote enquiries so far
+  std::uint64_t messages = 0;      ///< protocol messages so far
+  /// The GFA currently being negotiated with (kNoResource = none).  Used
+  /// to discard stale replies after a timeout abandoned the enquiry.
+  cluster::ResourceIndex current_target = cluster::kNoResource;
+  /// Monotone enquiry counter so a timeout only fires for its own
+  /// enquiry, never a later one.
+  std::uint64_t attempt = 0;
+  /// Mode-specific extension owned by the scheduling policy (null until
+  /// the policy needs one; dies with the record).
+  std::unique_ptr<PolicyState> policy_state;
+};
+
+}  // namespace gridfed::core

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "cluster/job.hpp"
 #include "cluster/resource.hpp"
 #include "sim/types.hpp"
 
@@ -42,5 +43,13 @@ enum class OrderBy : std::uint8_t {
   kCheapest,  ///< ascending price (OFC walks this order)
   kFastest,   ///< descending MIPS (OFT walks this order)
 };
+
+/// The ranking a QoS preference walks (paper §2.2): OFC users chase the
+/// cheapest order, OFT users the fastest.  Scheduling policies select
+/// their candidate ranking through this mapping.
+[[nodiscard]] constexpr OrderBy order_for(cluster::Optimization opt) noexcept {
+  return opt == cluster::Optimization::kTime ? OrderBy::kFastest
+                                             : OrderBy::kCheapest;
+}
 
 }  // namespace gridfed::directory

@@ -37,9 +37,44 @@ bool AuctionBook::add(const Bid& bid) {
   return false;  // unsolicited
 }
 
+double AuctionEngine::score(const cluster::Job& job, const Bid& bid) const {
+  double w = 0.0;
+  switch (scoring_) {
+    case ScoringRule::kPrice:
+      // Exactly the legacy rank key, so price-only clearing is
+      // bit-identical to the pre-scoring engine.
+      return bid.ask;
+    case ScoringRule::kCompletion:
+      return bid.completion_estimate;
+    case ScoringRule::kWeighted:
+      w = time_weight_;
+      break;
+    case ScoringRule::kPerJob:
+      w = job.opt == cluster::Optimization::kTime ? time_weight_ : 0.0;
+      break;
+  }
+  // Both attributes normalized against the job's own QoS envelope, so the
+  // blend is dimensionless and roughly in [0, 1] for feasible bids: the
+  // ask against the budget (the reserve price), the completion guarantee
+  // against the deadline window from submission.  An attribute whose
+  // envelope is unset (zero budget / zero deadline, e.g. workloads loaded
+  // without QoS fabrication) drops out of the blend — a degenerate 1e12x
+  // scale would silently swamp the other term instead.
+  const double price_norm = job.budget > 0.0 ? bid.ask / job.budget : 0.0;
+  const double time_norm =
+      job.deadline > 0.0
+          ? (bid.completion_estimate - job.submit) / job.deadline
+          : 0.0;
+  return (1.0 - w) * price_norm + w * time_norm;
+}
+
 std::vector<Award> AuctionEngine::clear(const cluster::Job& job,
                                         const std::vector<Bid>& bids) const {
-  std::vector<Bid> feasible;
+  struct Scored {
+    Bid bid;
+    double score;
+  };
+  std::vector<Scored> feasible;
   feasible.reserve(bids.size());
   for (const Bid& bid : bids) {
     if (!bid.feasible) continue;
@@ -49,27 +84,31 @@ std::vector<Award> AuctionEngine::clear(const cluster::Job& job,
         bid.completion_estimate > job.absolute_deadline()) {
       continue;
     }
-    feasible.push_back(bid);
+    feasible.push_back(Scored{bid, score(job, bid)});
   }
-  // Lowest ask wins; ties break on the earlier completion guarantee, then
-  // the lower resource index — a total order, so clearing is deterministic
-  // for any arrival order of the bids.
+  // Best score wins; ties break on the lower ask, then the earlier
+  // completion guarantee, then the lower resource index — a total order,
+  // so clearing is deterministic for any arrival order of the bids.
   std::sort(feasible.begin(), feasible.end(),
-            [](const Bid& a, const Bid& b) {
-              if (a.ask != b.ask) return a.ask < b.ask;
-              if (a.completion_estimate != b.completion_estimate) {
-                return a.completion_estimate < b.completion_estimate;
+            [](const Scored& a, const Scored& b) {
+              if (a.score != b.score) return a.score < b.score;
+              if (a.bid.ask != b.bid.ask) return a.bid.ask < b.bid.ask;
+              if (a.bid.completion_estimate != b.bid.completion_estimate) {
+                return a.bid.completion_estimate < b.bid.completion_estimate;
               }
-              return a.bidder < b.bidder;
+              return a.bid.bidder < b.bid.bidder;
             });
 
   std::vector<Award> ranking;
   ranking.reserve(feasible.size());
   for (std::size_t i = 0; i < feasible.size(); ++i) {
-    double payment = feasible[i].ask;
+    double payment = feasible[i].bid.ask;
     if (rule_ == ClearingRule::kVickrey) {
       if (i + 1 < feasible.size()) {
-        payment = feasible[i + 1].ask;
+        // Under a non-price score the next-ranked ask can undercut this
+        // one; flooring at the own ask keeps the payment individually
+        // rational (generalized second price, see file comment).
+        payment = std::max(feasible[i].bid.ask, feasible[i + 1].bid.ask);
       } else if (enforce_budget_) {
         // Lone (or last-ranked) bidder: the reserve price — the user's
         // budget — plays the second bid, as in a Vickrey auction with a
@@ -78,7 +117,7 @@ std::vector<Award> AuctionEngine::clear(const cluster::Job& job,
         payment = job.budget;
       }
     }
-    ranking.push_back(Award{feasible[i], payment});
+    ranking.push_back(Award{feasible[i].bid, payment});
   }
   return ranking;
 }

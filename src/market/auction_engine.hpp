@@ -5,15 +5,25 @@
 //
 // Clearing filters the book down to *feasible* bids (bidder-declared
 // feasibility, the job's deadline when enforced, and the job's budget as
-// the reserve price when enforced), sorts them lowest-ask-first with
-// deterministic tie-breaking (ask, then completion estimate, then bidder
-// index), and prices every position under the configured rule:
+// the reserve price when enforced), sorts them best-score-first with
+// deterministic tie-breaking (score, then ask, then completion estimate,
+// then bidder index), and prices every position under the configured rule:
 //
 //  * first-price — each award pays its own ask;
 //  * Vickrey     — each award pays the *next* feasible ask (the classic
 //    second-price payment for the winner), and the last-ranked award pays
 //    the reserve price (the budget) when the budget is enforced, its own
 //    ask otherwise.
+//
+// The score is the multi-attribute extension (ScoringRule): price-only
+// reproduces the classic lowest-ask auction bit-for-bit; the completion
+// and weighted rules rank bids by (a blend of) the completion guarantee,
+// normalized against the job's budget/deadline envelope.  Under a
+// non-price score the rank order and the ask order can disagree, so
+// Vickrey payments are floored at the award's own ask — a
+// generalized-second-price payment that preserves individual rationality
+// (no provider is ever paid less than it asked), not an exact VCG
+// transfer.
 //
 // The whole ranking (not just the winner) is returned because an award is
 // only a *proposal*: the winner re-runs admission control at award time,
@@ -91,8 +101,18 @@ struct ClearingReport {
 /// Clears closed books into award rankings.
 class AuctionEngine {
  public:
+  /// Classic price-only clearing (the single-attribute baseline).
   AuctionEngine(ClearingRule rule, bool enforce_budget, bool enforce_deadline)
+      : AuctionEngine(rule, ScoringRule::kPrice, 0.0, enforce_budget,
+                      enforce_deadline) {}
+
+  /// Multi-attribute clearing: rank by `scoring` with `time_weight` on
+  /// the completion term (kWeighted always, kPerJob for OFT jobs).
+  AuctionEngine(ClearingRule rule, ScoringRule scoring, double time_weight,
+                bool enforce_budget, bool enforce_deadline)
       : rule_(rule),
+        scoring_(scoring),
+        time_weight_(time_weight),
         enforce_budget_(enforce_budget),
         enforce_deadline_(enforce_deadline) {}
 
@@ -101,10 +121,17 @@ class AuctionEngine {
   [[nodiscard]] std::vector<Award> clear(const cluster::Job& job,
                                          const std::vector<Bid>& bids) const;
 
+  /// The rank key of `bid` for `job` under this engine's scoring rule
+  /// (lower is better; exposed for tests and telemetry).
+  [[nodiscard]] double score(const cluster::Job& job, const Bid& bid) const;
+
   [[nodiscard]] ClearingRule rule() const noexcept { return rule_; }
+  [[nodiscard]] ScoringRule scoring() const noexcept { return scoring_; }
 
  private:
   ClearingRule rule_;
+  ScoringRule scoring_;
+  double time_weight_;
   bool enforce_budget_;
   bool enforce_deadline_;
 };

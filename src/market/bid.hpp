@@ -25,6 +25,35 @@ enum class ClearingRule : std::uint8_t {
   kVickrey,     ///< winner is paid the second-lowest feasible ask
 };
 
+/// Multi-attribute clearing: which score ranks the feasible bids.  A bid
+/// carries two attributes — the ask and the completion-time guarantee —
+/// and the scoring rule decides how much each matters.  kPrice is the
+/// classic single-attribute reverse auction; the others normalize both
+/// attributes against the job's own QoS envelope (ask against the budget,
+/// completion against the deadline window) and rank by the blend, which
+/// is what lets OFT users buy *time* in the market rather than price.
+enum class ScoringRule : std::uint8_t {
+  kPrice,       ///< lowest ask wins (single-attribute baseline)
+  kCompletion,  ///< earliest completion guarantee wins
+  kWeighted,    ///< fixed blend: (1-w)*ask/budget + w*completion/deadline
+  kPerJob,      ///< align with the job's Optimization: OFC jobs clear on
+                ///< price, OFT jobs on the weighted blend
+};
+
+[[nodiscard]] constexpr const char* to_string(ScoringRule rule) noexcept {
+  switch (rule) {
+    case ScoringRule::kPrice:
+      return "price";
+    case ScoringRule::kCompletion:
+      return "completion";
+    case ScoringRule::kWeighted:
+      return "weighted";
+    case ScoringRule::kPerJob:
+      return "per-job";
+  }
+  return "?";
+}
+
 [[nodiscard]] constexpr const char* to_string(ClearingRule rule) noexcept {
   switch (rule) {
     case ClearingRule::kFirstPrice:

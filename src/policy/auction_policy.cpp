@@ -1,0 +1,455 @@
+#include "policy/auction_policy.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <utility>
+
+#include "economy/cost_model.hpp"
+#include "market/bid_pricing.hpp"
+#include "sim/check.hpp"
+#include "sim/hash.hpp"
+
+namespace gridfed::policy {
+
+AuctionPolicy::AuctionPolicy(SchedulerContext& ctx)
+    : SchedulingPolicy(ctx), dbc_fallback_(ctx) {}
+
+namespace {
+/// Log-scale shape bucket: values within ~`quantum` of each other map to
+/// the same bin.  quantum <= 0 degenerates to bit-exact matching.
+[[nodiscard]] std::int64_t shape_bucket(double value, double quantum) {
+  if (quantum <= 0.0) {
+    return std::bit_cast<std::int64_t>(value);
+  }
+  return std::llround(std::log1p(std::max(0.0, value)) / quantum);
+}
+}  // namespace
+
+std::size_t AuctionPolicy::BidCacheKeyHash::operator()(
+    const BidCacheKey& key) const noexcept {
+  std::uint64_t h = sim::kFnvOffsetBasis;
+  h = sim::fnv1a_mix(h, key.origin);
+  h = sim::fnv1a_mix(h, key.processors);
+  h = sim::fnv1a_mix(h, key.length_bucket);
+  h = sim::fnv1a_mix(h, key.comm_bucket);
+  return static_cast<std::size_t>(h);
+}
+
+AuctionPolicy::AuctionJobState* AuctionPolicy::state_of(
+    const core::Pending& p) {
+  return static_cast<AuctionJobState*>(p.policy_state.get());
+}
+
+AuctionPolicy::AuctionJobState& AuctionPolicy::ensure_state(core::Pending& p) {
+  if (p.policy_state == nullptr) {
+    p.policy_state = std::make_unique<AuctionJobState>();
+  }
+  return *state_of(p);
+}
+
+void AuctionPolicy::schedule(core::Pending p) {
+  // Lifecycle: open an auction, then work through the cleared award
+  // ranking, then (if everything declined) the DBC fallback walk.
+  const AuctionJobState* st = state_of(p);
+  if (st != nullptr && st->dbc_fallback) {
+    dbc_fallback_.schedule(std::move(p));
+  } else if (st != nullptr && !st->awards.empty()) {
+    advance_awards(std::move(p));
+  } else {
+    open_auction(std::move(p));
+  }
+}
+
+double AuctionPolicy::settled_cost(const core::Pending& p,
+                                   cluster::ResourceIndex exec) const {
+  // An in-flight award settles its cleared payment; the DBC fallback (and
+  // anything else) the posted price.
+  const AuctionJobState* st = state_of(p);
+  if (st != nullptr && st->awarding()) return st->award_payment;
+  return SchedulingPolicy::settled_cost(p, exec);
+}
+
+// ---- origin side ------------------------------------------------------------
+
+void AuctionPolicy::open_auction(core::Pending p) {
+  const auto& cfg = ctx_.config();
+  const auto& acfg = cfg.auction;
+  // Candidate providers in cheapest-first directory order: deterministic
+  // and compatible with the load-hint filter.  One metered bulk query
+  // replaces a per-rank query walk (the results ride back on a single
+  // overlay route), which is what keeps directory traffic per auction
+  // flat as the federation grows.
+  directory::QueryFilter filter;
+  filter.min_processors = p.job.processors;
+  filter.exclude = ctx_.self();  // origin enters for free below
+  if (cfg.use_load_hints) filter.max_load_hint = cfg.load_hint_threshold;
+  ctx_.directory().query_top_k(directory::OrderBy::kCheapest,
+                               acfg.max_bidders, filter, scratch_quotes_);
+
+  const bool origin_enters =
+      acfg.origin_bids && p.job.processors <= ctx_.lrms().spec().processors;
+
+  scratch_entrants_.clear();
+  for (const directory::Quote& quote : scratch_quotes_) {
+    scratch_entrants_.push_back(quote.resource);
+  }
+  const std::size_t n_remote = scratch_entrants_.size();
+  if (origin_enters) scratch_entrants_.push_back(ctx_.self());
+  market::AuctionBook book = book_pool_.acquire(p.job.id, scratch_entrants_);
+  if (origin_enters) book.add(make_bid(p.job));  // message-free local bid
+
+  p.negotiations += static_cast<std::uint32_t>(n_remote);  // remote enquiries
+  const bool batched = acfg.batch_solicitations && n_remote > 0;
+  if (!batched) {
+    for (std::size_t i = 0; i < n_remote; ++i) {
+      ++p.messages;
+      ctx_.send(core::Message{core::MessageType::kCallForBids, ctx_.self(),
+                              book.solicited_list()[i], p.job});
+    }
+  }
+
+  const cluster::JobId id = p.job.id;
+  const auto [it, inserted] =
+      auctions_.emplace(id, OpenAuction{std::move(p), std::move(book)});
+  GF_EXPECTS(inserted);  // a job runs at most one auction round
+  if (it->second.book.complete()) {
+    // No outstanding bidders (possibly an empty book): clear in place.
+    clear_auction(id);
+    return;
+  }
+  if (batched) {
+    // The call-for-bids leave in the next flush; the bid timeout arms
+    // there too (the book is not on the wire yet).
+    queue_solicitation(id);
+    return;
+  }
+  if (acfg.bid_timeout > 0.0) {
+    ctx_.sim().schedule_in(acfg.bid_timeout, sim::EventPriority::kControl,
+                           [this, id] { on_bid_timeout(id); });
+  }
+}
+
+void AuctionPolicy::queue_solicitation(cluster::JobId id) {
+  const auto& acfg = ctx_.config().auction;
+  const auto it = auctions_.find(id);
+  GF_EXPECTS(it != auctions_.end());
+  // Hold back at most the batch window, and never more than a fraction
+  // of the job's remaining deadline slack: tight jobs flush (almost)
+  // immediately — and carry every other queued job out with them.
+  const sim::SimTime slack = std::max(
+      0.0, it->second.pending.job.absolute_deadline() - ctx_.now());
+  const sim::SimTime hold = std::min(
+      acfg.solicit_batch_window, acfg.solicit_hold_slack_fraction * slack);
+  const sim::SimTime deadline = ctx_.now() + hold;
+  solicit_queue_.push_back(id);
+  if (deadline < flush_deadline_) flush_deadline_ = deadline;
+  ctx_.sim().schedule_at(deadline, sim::EventPriority::kControl,
+                         [this] { maybe_flush_solicitations(); });
+}
+
+void AuctionPolicy::maybe_flush_solicitations() {
+  // Each queued job arms its own wake-up; only the one at the earliest
+  // deadline flushes (stale wake-ups find the deadline moved or the
+  // queue already empty).
+  if (solicit_queue_.empty()) return;
+  if (ctx_.now() < flush_deadline_) return;
+  flush_solicitations();
+}
+
+void AuctionPolicy::flush_solicitations() {
+  const auto& acfg = ctx_.config().auction;
+  // One pass over the queue builds per-provider job buckets; providers
+  // keep first-seen (cheapest-first) order so the wire order stays
+  // deterministic.  scratch_providers_[i] is the provider of
+  // scratch_buckets_[i]; the buckets are members so flushes reuse their
+  // capacity instead of reallocating.
+  scratch_providers_.clear();
+  for (auto& bucket : scratch_buckets_) bucket.clear();
+  for (const cluster::JobId id : solicit_queue_) {
+    const auto it = auctions_.find(id);
+    if (it == auctions_.end()) continue;  // cleared while queued
+    for (const cluster::ResourceIndex r : it->second.book.solicited_list()) {
+      if (r == ctx_.self()) continue;
+      const auto pos = std::find(scratch_providers_.begin(),
+                                 scratch_providers_.end(), r);
+      const auto bucket =
+          static_cast<std::size_t>(pos - scratch_providers_.begin());
+      if (pos == scratch_providers_.end()) {
+        scratch_providers_.push_back(r);
+        if (scratch_buckets_.size() < scratch_providers_.size()) {
+          scratch_buckets_.emplace_back();
+        }
+      }
+      scratch_buckets_[bucket].push_back(&it->second.pending.job);
+    }
+  }
+  for (std::size_t i = 0; i < scratch_providers_.size(); ++i) {
+    core::Message msg;
+    msg.type = core::MessageType::kCallForBids;
+    msg.from = ctx_.self();
+    msg.to = scratch_providers_[i];
+    msg.batch_jobs.reserve(scratch_buckets_[i].size());
+    for (const cluster::Job* job : scratch_buckets_[i]) {
+      msg.batch_jobs.push_back(*job);
+    }
+    msg.job = msg.batch_jobs.front();
+    // Awards held for this provider ride the flush for free: their text
+    // joins this message and the Pending parks without a wire message of
+    // its own (the reply still counts).
+    for (auto& held : held_awards_) {
+      if (held.dispatched || held.target != scratch_providers_[i]) continue;
+      msg.batch_awards.push_back(
+          core::PiggybackedAward{held.pending.job, held.payment});
+      ++counters_.awards_piggybacked;
+      held.dispatched = true;
+      ctx_.park_award(std::move(held.pending), held.target);
+    }
+    // One wire message for the whole batch: attribute it to the first
+    // job so the per-job counters still sum to the ledger total.
+    ++auctions_.find(msg.batch_jobs.front().id)->second.pending.messages;
+    ctx_.send(std::move(msg));
+  }
+  // Held awards whose provider saw no solicitation after all (its
+  // auctions cleared while the award waited) go out standalone: every
+  // hold was taken against THIS flush, so nothing waits beyond it.
+  for (auto& held : held_awards_) {
+    if (held.dispatched) continue;
+    ctx_.send_award(std::move(held.pending), held.target, held.payment);
+  }
+  held_awards_.clear();
+  if (acfg.bid_timeout > 0.0) {
+    for (const cluster::JobId id : solicit_queue_) {
+      if (auctions_.find(id) == auctions_.end()) continue;
+      ctx_.sim().schedule_in(acfg.bid_timeout, sim::EventPriority::kControl,
+                             [this, id] { on_bid_timeout(id); });
+    }
+  }
+  solicit_queue_.clear();
+  flush_deadline_ = sim::kTimeInfinity;
+}
+
+void AuctionPolicy::on_bid_timeout(cluster::JobId id) {
+  // Deadline for the book: clear with whatever arrived.  A no-op when every
+  // bid beat the timeout (the book already cleared and erased itself).
+  clear_auction(id);
+}
+
+bool AuctionPolicy::flush_solicits(cluster::ResourceIndex provider) const {
+  for (const cluster::JobId id : solicit_queue_) {
+    const auto it = auctions_.find(id);
+    if (it == auctions_.end()) continue;  // cleared while queued
+    const auto& list = it->second.book.solicited_list();
+    if (std::find(list.begin(), list.end(), provider) != list.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+
+void AuctionPolicy::clear_auction(cluster::JobId id) {
+  const auto it = auctions_.find(id);
+  if (it == auctions_.end()) return;  // already cleared
+  OpenAuction auction = std::move(it->second);
+  auctions_.erase(it);
+
+  const auto& cfg = ctx_.config();
+  const market::AuctionEngine engine(
+      cfg.auction.clearing, cfg.auction.scoring, cfg.auction.score_time_weight,
+      cfg.enforce_budget, cfg.enforce_deadline);
+  core::Pending p = std::move(auction.pending);
+  AuctionJobState& st = ensure_state(p);
+  st.awards = engine.clear(p.job, auction.book.bids());
+  st.next_award = 0;
+
+  market::ClearingReport report;
+  report.job = p.job.id;
+  report.solicited = auction.book.solicited();
+  report.bids = auction.book.bids().size();
+  report.feasible = st.awards.size();
+  report.awarded = !st.awards.empty();
+  if (report.awarded) {
+    report.winner = st.awards.front().bid.bidder;
+    report.winner_ask = st.awards.front().bid.ask;
+    report.payment = st.awards.front().payment;
+  }
+  ctx_.auction_report(report);
+
+  // The book's allocations go back to the pool for the next job of the
+  // same shape.
+  book_pool_.release(std::move(auction.book));
+
+  if (st.awards.empty()) {
+    fallback(std::move(p));
+  } else {
+    advance_awards(std::move(p));
+  }
+}
+
+void AuctionPolicy::advance_awards(core::Pending p) {
+  AuctionJobState& st = ensure_state(p);
+  while (st.next_award < st.awards.size()) {
+    const market::Award award = st.awards[st.next_award++];
+    if (award.bid.bidder == ctx_.self()) {
+      // Won our own auction: admission is a free local re-check, and the
+      // cleared payment (not the posted price) is what gets settled.
+      if (ctx_.local_deadline_ok(p.job)) {
+        ctx_.execute_here(std::move(p), award.payment);
+        return;
+      }
+      continue;  // queue filled up since bidding: next award
+    }
+    // The award is an admission enquiry through the shared seam: the
+    // winner re-checks, reserves, and answers with a kReply.
+    st.award_payment = award.payment;
+    const auto& acfg = ctx_.config().auction;
+    if (acfg.piggyback_awards && acfg.batch_solicitations &&
+        !solicit_queue_.empty() &&
+        flush_deadline_ <= ctx_.now() + acfg.piggyback_hold_window &&
+        flush_solicits(award.bid.bidder)) {
+      // A flush is already due soon AND it will solicit this winner: hold
+      // the award so that flush carries it for free.  Strictly
+      // opportunistic — an award never waits for a ride that isn't
+      // coming, because delaying an admission re-check decays the
+      // winner's estimate (and with it acceptance).
+      held_awards_.push_back(
+          HeldAward{std::move(p), award.bid.bidder, award.payment, false});
+      return;
+    }
+    ctx_.send_award(std::move(p), award.bid.bidder, award.payment);
+    return;  // resume in the engine's reply handler (or the timeout)
+  }
+  fallback(std::move(p));
+}
+
+void AuctionPolicy::fallback(core::Pending p) {
+  if (ctx_.config().auction.fallback_to_dbc) {
+    AuctionJobState& st = ensure_state(p);
+    st.dbc_fallback = true;
+    st.awards.clear();
+    st.next_award = 0;
+    p.next_rank = 1;  // fresh DBC walk; cluster state moved on since bidding
+    dbc_fallback_.schedule(std::move(p));
+  } else {
+    ctx_.reject(std::move(p));
+  }
+}
+
+// ---- provider side ----------------------------------------------------------
+
+market::Bid AuctionPolicy::make_bid(const cluster::Job& job) {
+  const auto& cfg = ctx_.config();
+  const auto& own = ctx_.lrms().spec();
+  market::Bid bid;
+  bid.bidder = ctx_.self();
+  if (job.processors > own.processors) return bid;  // infeasible
+  const sim::SimTime ttl = cfg.auction.bid_cache_ttl;
+  const double quantum = cfg.auction.bid_cache_quantum;
+  const BidCacheKey key{job.origin, job.processors,
+                        shape_bucket(job.length_mi, quantum),
+                        shape_bucket(job.comm_overhead, quantum)};
+  if (ttl > 0.0) {
+    ++counters_.bid_cache_lookups;
+    const auto it = bid_cache_.find(key);
+    if (it != bid_cache_.end() && ctx_.now() - it->second.stamp <= ttl) {
+      // Same-shape job within the window: reuse ask and estimate, but the
+      // feasibility verdict is re-derived against THIS job's deadline.
+      ++counters_.bid_cache_hits;
+      bid.ask = it->second.ask;
+      bid.completion_estimate = it->second.completion_estimate;
+      bid.feasible = !cfg.enforce_deadline ||
+                     bid.completion_estimate <= job.absolute_deadline();
+      return bid;
+    }
+  }
+  const sim::SimTime exec = cluster::execution_time(
+      job, ctx_.spec_of(job.origin), own);
+  const sim::SimTime staged =
+      ctx_.now() + ctx_.payload_staging_time(job, ctx_.self());
+  bid.completion_estimate = ctx_.lrms().estimate_completion(job, exec, staged);
+  bid.feasible = !cfg.enforce_deadline ||
+                 bid.completion_estimate <= job.absolute_deadline();
+  const double true_cost = economy::job_cost(job, ctx_.spec_of(job.origin),
+                                             own, cfg.cost_model);
+  bid.ask = market::bid_price(cfg.auction.bid_pricing, true_cost,
+                              ctx_.lrms().instantaneous_load(),
+                              cfg.auction.markup, cfg.pricing);
+  if (ttl > 0.0) {
+    bid_cache_[key] =
+        BidCacheEntry{bid.ask, bid.completion_estimate, ctx_.now()};
+  }
+  return bid;
+}
+
+void AuctionPolicy::on_call_for_bids(const core::Message& msg) {
+  // Provider side: answer with a sealed ask.  Bidding is non-binding (no
+  // reservation); the award re-runs admission, so a stale estimate only
+  // costs the origin a declined award, never a broken guarantee.
+  //
+  // Piggybacked awards ride in front of the bids: each is an admission
+  // enquiry whose reservation the subsequent estimates must price around.
+  for (const core::PiggybackedAward& award : msg.batch_awards) {
+    core::Message enquiry{core::MessageType::kAward, msg.from, ctx_.self(),
+                          award.job};
+    enquiry.price = award.payment;
+    ctx_.admit_enquiry(enquiry);
+  }
+  if (!msg.batch_awards.empty()) {
+    // The admissions above reserved capacity; cached estimates predate
+    // them, so drop the cache to keep the awards-first ordering honest.
+    bid_cache_.clear();
+  }
+  if (!msg.batch_jobs.empty()) {
+    // Batched solicitation: one sealed ask per carried job, all riding
+    // home in a single wire message.
+    core::Message answer;
+    answer.type = core::MessageType::kBid;
+    answer.from = ctx_.self();
+    answer.to = msg.from;
+    answer.job = msg.batch_jobs.front();
+    answer.batch_bids.reserve(msg.batch_jobs.size());
+    for (const cluster::Job& job : msg.batch_jobs) {
+      const market::Bid bid = make_bid(job);
+      answer.batch_bids.push_back(core::BatchedBid{
+          job.id, bid.ask, bid.completion_estimate, bid.feasible});
+    }
+    ctx_.send(std::move(answer));
+    return;
+  }
+  const market::Bid bid = make_bid(msg.job);
+  core::Message answer{core::MessageType::kBid, ctx_.self(), msg.from,
+                       msg.job, bid.feasible, bid.completion_estimate};
+  answer.price = bid.ask;
+  ctx_.send(std::move(answer));
+}
+
+void AuctionPolicy::on_bid(const core::Message& msg) {
+  if (!msg.batch_bids.empty()) {
+    // One wire message, several books: count it once (toward the first
+    // still-open auction it feeds) and enter every ask.
+    bool counted = false;
+    for (const core::BatchedBid& entry : msg.batch_bids) {
+      const auto it = auctions_.find(entry.job);
+      if (it == auctions_.end()) continue;  // cleared at the timeout: stale
+      if (!counted) {
+        ++it->second.pending.messages;
+        counted = true;
+      }
+      it->second.book.add(market::Bid{msg.from, entry.ask,
+                                      entry.completion_estimate,
+                                      entry.feasible});
+      if (it->second.book.complete()) clear_auction(entry.job);
+    }
+    return;
+  }
+  const auto it = auctions_.find(msg.job.id);
+  if (it == auctions_.end()) return;  // book cleared at the timeout: stale bid
+  OpenAuction& auction = it->second;
+  ++auction.pending.messages;
+  auction.book.add(market::Bid{msg.from, msg.price, msg.completion_estimate,
+                               msg.accept});
+  if (auction.book.complete()) clear_auction(msg.job.id);
+}
+
+}  // namespace gridfed::policy

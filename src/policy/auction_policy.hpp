@@ -1,0 +1,157 @@
+#pragma once
+// SchedulingMode::kAuction — the market extension's per-job sealed-bid
+// reverse auction, both sides of it:
+//
+//  * origin side: solicit asks from the eligible providers (cheapest
+//    directory order, one metered bulk query), collect the book, clear it
+//    through market::AuctionEngine under the configured clearing +
+//    scoring rules, and work through the award ranking; a book that
+//    clears empty (or whose every award is declined) falls back to the
+//    DBC walk when the config allows;
+//  * provider side: answer call-for-bids with sealed asks (admission-
+//    style completion estimate + the configured bid-pricing strategy),
+//    optionally served from a TTL cache for same-shape jobs.
+//
+// The policy owns every piece of auction-only state the Gfa god class
+// used to carry: the open books, the batched-solicitation queue, the
+// book pool and scratch buffers, the award ranking riding each Pending
+// (as an AuctionJobState behind Pending::policy_state), the provider-side
+// bid cache, and the held awards awaiting a piggyback flush.
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "market/book_pool.hpp"
+#include "policy/dbc_policy.hpp"
+#include "policy/scheduling_policy.hpp"
+
+namespace gridfed::policy {
+
+class AuctionPolicy final : public SchedulingPolicy {
+ public:
+  explicit AuctionPolicy(SchedulerContext& ctx);
+
+  void schedule(core::Pending p) override;
+  [[nodiscard]] double settled_cost(const core::Pending& p,
+                                    cluster::ResourceIndex exec) const override;
+  void on_call_for_bids(const core::Message& msg) override;
+  void on_bid(const core::Message& msg) override;
+  [[nodiscard]] PolicyCounters counters() const override { return counters_; }
+
+  /// This cluster's sealed bid for `job` (provider side; also the
+  /// origin's own message-free local bid).  Serves same-shape jobs from
+  /// the TTL cache when AuctionConfig::bid_cache_ttl is set.
+  [[nodiscard]] market::Bid make_bid(const cluster::Job& job);
+
+ private:
+  /// Auction-mode extension of a Pending (lives behind policy_state).
+  struct AuctionJobState final : core::PolicyState {
+    /// Cleared award ranking still to try; awards[next_award] is next.
+    std::vector<market::Award> awards;
+    std::size_t next_award = 0;
+    /// Payment agreed for the in-flight award; settled instead of the
+    /// posted-price cost when the winner accepts.
+    double award_payment = 0.0;
+    /// Book cleared empty or every award declined: finish via the DBC
+    /// walk (when the config allows) rather than re-auctioning.
+    bool dbc_fallback = false;
+
+    /// True while an auction award (not a DBC negotiate) is in flight.
+    [[nodiscard]] bool awarding() const noexcept {
+      return !awards.empty() && !dbc_fallback;
+    }
+  };
+
+  /// An auction round collecting bids (origin side).
+  struct OpenAuction {
+    core::Pending pending;
+    market::AuctionBook book;
+  };
+
+  /// An award waiting (bounded) for a solicitation flush to carry it.
+  struct HeldAward {
+    core::Pending pending;
+    cluster::ResourceIndex target = cluster::kNoResource;
+    double payment = 0.0;
+    bool dispatched = false;  ///< rode a flush or went standalone
+  };
+
+  /// Key of the provider-side bid cache: the job attributes the ask and
+  /// the completion estimate actually depend on — its *shape*.  Length
+  /// and comm overhead enter as log-scale buckets (bid_cache_quantum
+  /// relative width) so near-identical jobs share an entry.
+  struct BidCacheKey {
+    cluster::ResourceIndex origin = 0;
+    std::uint32_t processors = 0;
+    std::int64_t length_bucket = 0;
+    std::int64_t comm_bucket = 0;
+    [[nodiscard]] bool operator==(const BidCacheKey&) const = default;
+  };
+  struct BidCacheKeyHash {
+    [[nodiscard]] std::size_t operator()(const BidCacheKey& key) const noexcept;
+  };
+  struct BidCacheEntry {
+    double ask = 0.0;
+    sim::SimTime completion_estimate = 0.0;
+    sim::SimTime stamp = 0.0;  ///< when the pricing ran
+  };
+
+  [[nodiscard]] static AuctionJobState* state_of(const core::Pending& p);
+  /// Ensures `p` carries an AuctionJobState, allocating on first touch.
+  static AuctionJobState& ensure_state(core::Pending& p);
+
+  /// Opens the book: solicits bids from every eligible provider and
+  /// enters the origin's own message-free bid when configured.
+  void open_auction(core::Pending p);
+  /// Batched solicitation: parks the job's call-for-bids until the flush
+  /// deadline (bounded by the batch window and the job's deadline slack).
+  void queue_solicitation(cluster::JobId id);
+  /// Flush wake-up; a no-op unless the earliest queued deadline is due.
+  void maybe_flush_solicitations();
+  /// Sends one coalesced kCallForBids per provider covering every queued
+  /// job (held awards ride along), then arms the per-job bid timeouts.
+  void flush_solicitations();
+  /// Closes the book, clears it through the engine, reports telemetry and
+  /// starts awarding (or falls back / rejects on an empty ranking).
+  void clear_auction(cluster::JobId id);
+  /// Tries the next award in the cleared ranking; exhausted = fallback.
+  void advance_awards(core::Pending p);
+  void on_bid_timeout(cluster::JobId id);
+  /// True when some queued (still-open) auction solicits `provider`, so
+  /// the pending flush will actually send it a call-for-bids an award
+  /// could ride.
+  [[nodiscard]] bool flush_solicits(cluster::ResourceIndex provider) const;
+  /// Exhausted every auction avenue: DBC walk or rejection per config.
+  void fallback(core::Pending p);
+
+  /// The DBC walk serving as the fallback chain (shares this context).
+  DbcPolicy dbc_fallback_;
+
+  std::unordered_map<cluster::JobId, OpenAuction> auctions_;
+
+  // -- batched solicitation state (batch_solicitations) -------------------
+  /// Jobs whose call-for-bids await the next flush, in submission order.
+  std::vector<cluster::JobId> solicit_queue_;
+  /// Earliest flush deadline among queued jobs (infinity when empty).
+  sim::SimTime flush_deadline_ = sim::kTimeInfinity;
+  /// Awards waiting to ride the next flush (piggyback_awards).
+  std::vector<HeldAward> held_awards_;
+
+  /// Cleared books are recycled here instead of reallocating per job.
+  market::BookPool book_pool_;
+  // Scratch buffers reused across auctions (hot path: one per job).
+  std::vector<directory::Quote> scratch_quotes_;
+  std::vector<cluster::ResourceIndex> scratch_entrants_;
+  std::vector<cluster::ResourceIndex> scratch_providers_;
+  /// Per-provider job buckets built by flush_solicitations; parallel to
+  /// scratch_providers_, capacity retained across flushes.
+  std::vector<std::vector<const cluster::Job*>> scratch_buckets_;
+
+  /// Provider-side pricing cache (bid_cache_ttl > 0).
+  std::unordered_map<BidCacheKey, BidCacheEntry, BidCacheKeyHash> bid_cache_;
+
+  PolicyCounters counters_;
+};
+
+}  // namespace gridfed::policy

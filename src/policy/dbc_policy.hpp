@@ -1,0 +1,25 @@
+#pragma once
+// SchedulingMode::kEconomy — the paper's DBC algorithm (§2.2,
+// Experiments 3-5).  OFC walks the cheapest directory ranking, OFT the
+// fastest; clusters that statically cannot satisfy the job (too small,
+// or the quoted price would blow the budget — both computable from the
+// quote alone) are skipped, the rest are negotiated with in rank order,
+// and the origin cluster competes at its natural rank (negotiating with
+// ourselves costs no network messages).
+//
+// AuctionPolicy reuses this walk as its fallback chain: a job whose book
+// cleared empty (or whose every award was declined) finishes via plain
+// DBC when the config allows.
+
+#include "policy/scheduling_policy.hpp"
+
+namespace gridfed::policy {
+
+class DbcPolicy : public SchedulingPolicy {
+ public:
+  using SchedulingPolicy::SchedulingPolicy;
+
+  void schedule(core::Pending p) override;
+};
+
+}  // namespace gridfed::policy

@@ -1,0 +1,15 @@
+#include "policy/independent_policy.hpp"
+
+#include <utility>
+
+namespace gridfed::policy {
+
+void IndependentPolicy::schedule(core::Pending p) {
+  if (ctx_.local_deadline_ok(p.job)) {
+    ctx_.execute_here(std::move(p), -1.0);
+  } else {
+    ctx_.reject(std::move(p));
+  }
+}
+
+}  // namespace gridfed::policy

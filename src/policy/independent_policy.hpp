@@ -1,0 +1,17 @@
+#pragma once
+// SchedulingMode::kIndependent — the paper's Experiment 1 control: the
+// cluster is alone in the world.  Accept iff the local LRMS can honour
+// the deadline; no directory, no negotiation, no messages.
+
+#include "policy/scheduling_policy.hpp"
+
+namespace gridfed::policy {
+
+class IndependentPolicy final : public SchedulingPolicy {
+ public:
+  using SchedulingPolicy::SchedulingPolicy;
+
+  void schedule(core::Pending p) override;
+};
+
+}  // namespace gridfed::policy

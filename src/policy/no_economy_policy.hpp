@@ -1,0 +1,18 @@
+#pragma once
+// SchedulingMode::kFederationNoEconomy — the paper's Experiment 2:
+// process locally when possible; otherwise walk the federation in
+// decreasing order of computational speed (§3.3).  No prices, no
+// budgets: the first cluster that can honour the deadline takes the job.
+
+#include "policy/scheduling_policy.hpp"
+
+namespace gridfed::policy {
+
+class NoEconomyPolicy final : public SchedulingPolicy {
+ public:
+  using SchedulingPolicy::SchedulingPolicy;
+
+  void schedule(core::Pending p) override;
+};
+
+}  // namespace gridfed::policy

@@ -1,0 +1,136 @@
+#pragma once
+// The pluggable scheduling-policy layer.  The paper's DBC algorithm
+// (§2.2) and the market extension's reverse auction are two instances of
+// one negotiation skeleton — rank candidates, enquire, admit, fall back —
+// and this layer makes the variable part (candidate ranking, admission
+// scoring, fallback chaining) a swappable component, as mechanism-design
+// treatments of federated scheduling assume it to be (Xie et al.'s
+// mechanism-driven optimization, Guazzone et al.'s coalition formation).
+//
+// Division of labour:
+//
+//  * the GFA (core/gfa.hpp) stays the *protocol engine*: it routes
+//    messages, parks in-flight enquiries, arms timeouts, holds remote
+//    reservations, and keeps the ledger honest;
+//  * a SchedulingPolicy decides *where a job goes next*: which directory
+//    order to walk, which candidates to skip, when to run locally, when to
+//    open an auction, and what to do when every avenue is exhausted.
+//
+// The engine hands a policy its services through SchedulerContext and
+// never inspects mode-specific state: policies stash per-job extension
+// state behind Pending::policy_state (core/pending.hpp).
+
+#include <cstdint>
+#include <memory>
+
+#include "cluster/job.hpp"
+#include "cluster/lrms.hpp"
+#include "core/config.hpp"
+#include "core/message.hpp"
+#include "core/pending.hpp"
+#include "directory/federation_directory.hpp"
+#include "market/auction_engine.hpp"
+#include "sim/simulation.hpp"
+
+namespace gridfed::policy {
+
+/// Counters a policy accumulates over a run (surfaced through
+/// stats::AuctionStats; all-zero for policies without the feature).
+struct PolicyCounters {
+  std::uint64_t bid_cache_lookups = 0;  ///< provider-side pricing requests
+  std::uint64_t bid_cache_hits = 0;     ///< served from the TTL cache
+  std::uint64_t awards_piggybacked = 0; ///< kAwards that rode a solicitation
+};
+
+/// Protocol-engine services a policy schedules through.  Implemented by
+/// core::Gfa; policies hold a reference and never outlive it.
+class SchedulerContext {
+ public:
+  virtual ~SchedulerContext() = default;
+
+  // -- identity and environment -------------------------------------------
+  [[nodiscard]] virtual cluster::ResourceIndex self() const = 0;
+  [[nodiscard]] virtual const core::FederationConfig& config() const = 0;
+  [[nodiscard]] virtual const cluster::ResourceSpec& spec_of(
+      cluster::ResourceIndex index) const = 0;
+  [[nodiscard]] virtual directory::FederationDirectory& directory() = 0;
+  [[nodiscard]] virtual cluster::Lrms& lrms() = 0;
+  [[nodiscard]] virtual sim::Simulation& sim() = 0;
+  [[nodiscard]] virtual sim::SimTime now() const = 0;
+  /// Staging delay before `job`'s input data lands at `site` (WAN model).
+  [[nodiscard]] virtual sim::SimTime payload_staging_time(
+      const cluster::Job& job, cluster::ResourceIndex site) const = 0;
+
+  // -- feasibility predicates ---------------------------------------------
+  /// True when the local LRMS can complete `job` within its deadline.
+  [[nodiscard]] virtual bool local_deadline_ok(
+      const cluster::Job& job) const = 0;
+  /// Static budget check computable from a directory quote alone.
+  [[nodiscard]] virtual double cost_from_quote(
+      const cluster::Job& job, const directory::Quote& quote) const = 0;
+
+  // -- placement actions (each consumes the Pending) ----------------------
+  /// Reserves on the local LRMS; `price` < 0 settles the posted-price
+  /// cost, >= 0 settles that amount (an auction's cleared payment).
+  virtual void execute_here(core::Pending p, double price) = 0;
+  /// DBC admission enquiry: parks `p`, sends kNegotiate, arms the timeout.
+  virtual void send_negotiate(core::Pending p,
+                              cluster::ResourceIndex target) = 0;
+  /// Auction award enquiry through the same seam (kAward + payment).
+  virtual void send_award(core::Pending p, cluster::ResourceIndex target,
+                          double payment) = 0;
+  /// Parks `p` as an in-flight award to `target` WITHOUT a wire message of
+  /// its own — the award text rides on a piggybacked solicitation the
+  /// policy sends separately.  Arms the reply timeout like send_award.
+  virtual void park_award(core::Pending p, cluster::ResourceIndex target) = 0;
+  /// Every avenue exhausted: report the rejection.
+  virtual void reject(core::Pending p) = 0;
+
+  // -- raw protocol services ----------------------------------------------
+  /// Routes one message through the host (ledger + latency applied).
+  virtual void send(core::Message msg) = 0;
+  /// Provider-side admission for an enquiry delivered out of band (a
+  /// piggybacked kAward): exact estimate, reserve, answer with a kReply.
+  virtual void admit_enquiry(const core::Message& msg) = 0;
+  /// Auction telemetry sink (host's ClearingReport channel).
+  virtual void auction_report(const market::ClearingReport& report) = 0;
+};
+
+/// One scheduling mode's brain.  Constructed per GFA at wiring time; the
+/// engine calls schedule() at submission and again whenever an enquiry
+/// ends without a placement (decline or timeout), and routes the
+/// auction-only message legs to on_call_for_bids()/on_bid().
+class SchedulingPolicy {
+ public:
+  explicit SchedulingPolicy(SchedulerContext& ctx) : ctx_(ctx) {}
+  virtual ~SchedulingPolicy() = default;
+  SchedulingPolicy(const SchedulingPolicy&) = delete;
+  SchedulingPolicy& operator=(const SchedulingPolicy&) = delete;
+
+  /// Drives `p` one step: place it locally, send an enquiry, open an
+  /// auction, or reject — exactly one of which must eventually happen.
+  virtual void schedule(core::Pending p) = 0;
+
+  /// Amount settled when `exec` accepted the in-flight enquiry for `p`.
+  /// Default: the posted-price cost of the executing cluster; auction
+  /// awards override with the cleared payment.
+  [[nodiscard]] virtual double settled_cost(const core::Pending& p,
+                                            cluster::ResourceIndex exec) const;
+
+  /// Auction-only protocol legs; the default ignores them (a stray
+  /// call-for-bids at a non-auction GFA is dropped, not a crash).
+  virtual void on_call_for_bids(const core::Message& msg);
+  virtual void on_bid(const core::Message& msg);
+
+  /// Run counters (see PolicyCounters); default all-zero.
+  [[nodiscard]] virtual PolicyCounters counters() const { return {}; }
+
+ protected:
+  SchedulerContext& ctx_;
+};
+
+/// Builds the policy for `mode` (the only place mode dispatch survives).
+[[nodiscard]] std::unique_ptr<SchedulingPolicy> make_policy(
+    core::SchedulingMode mode, SchedulerContext& ctx);
+
+}  // namespace gridfed::policy

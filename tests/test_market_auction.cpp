@@ -12,6 +12,7 @@
 #include "economy/pricing.hpp"
 #include "market/auction_engine.hpp"
 #include "market/bid_pricing.hpp"
+#include "market/book_pool.hpp"
 #include "workload/trace.hpp"
 
 namespace gridfed {
@@ -163,6 +164,97 @@ TEST(AuctionEngine, ClearingIsIndependentOfBidArrivalOrder) {
     EXPECT_EQ(a[i].bid.bidder, b[i].bid.bidder) << i;
     EXPECT_DOUBLE_EQ(a[i].payment, b[i].payment) << i;
   }
+}
+
+// ---- multi-attribute scoring ------------------------------------------------
+
+TEST(AuctionScoring, PriceScoringMatchesLegacyRanking) {
+  // The explicit kPrice engine and the legacy two-argument-rule ctor must
+  // produce identical award rankings and payments.
+  const market::AuctionEngine legacy(market::ClearingRule::kVickrey, true,
+                                     true);
+  const market::AuctionEngine scored(market::ClearingRule::kVickrey,
+                                     market::ScoringRule::kPrice, 0.7, true,
+                                     true);
+  const std::vector<market::Bid> bids = {{0, 30.0, 500.0, true},
+                                         {1, 20.0, 600.0, true},
+                                         {2, 50.0, 400.0, true}};
+  const auto a = legacy.clear(auction_job(), bids);
+  const auto b = scored.clear(auction_job(), bids);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bid.bidder, b[i].bid.bidder) << i;
+    EXPECT_DOUBLE_EQ(a[i].payment, b[i].payment) << i;
+  }
+}
+
+TEST(AuctionScoring, CompletionScoringRanksByEstimate) {
+  const market::AuctionEngine engine(market::ClearingRule::kFirstPrice,
+                                     market::ScoringRule::kCompletion, 0.0,
+                                     true, true);
+  const auto ranking = engine.clear(auction_job(),
+                                    {{0, 10.0, 900.0, true},
+                                     {1, 90.0, 300.0, true},
+                                     {2, 50.0, 600.0, true}});
+  ASSERT_EQ(ranking.size(), 3u);
+  EXPECT_EQ(ranking[0].bid.bidder, 1u);  // earliest guarantee, not cheapest
+  EXPECT_EQ(ranking[1].bid.bidder, 2u);
+  EXPECT_EQ(ranking[2].bid.bidder, 0u);
+  EXPECT_DOUBLE_EQ(ranking[0].payment, 90.0);  // still pay-as-bid
+}
+
+TEST(AuctionScoring, PerJobScoringFollowsOptimization) {
+  // Full time weight so the OFT ranking is purely by completion.
+  const market::AuctionEngine engine(market::ClearingRule::kFirstPrice,
+                                     market::ScoringRule::kPerJob, 1.0, true,
+                                     true);
+  const std::vector<market::Bid> bids = {{0, 10.0, 900.0, true},
+                                         {1, 90.0, 300.0, true}};
+  cluster::Job ofc = auction_job();
+  ofc.opt = cluster::Optimization::kCost;
+  cluster::Job oft = auction_job();
+  oft.opt = cluster::Optimization::kTime;
+  EXPECT_EQ(engine.clear(ofc, bids)[0].bid.bidder, 0u);  // cheapest wins
+  EXPECT_EQ(engine.clear(oft, bids)[0].bid.bidder, 1u);  // earliest wins
+}
+
+TEST(AuctionScoring, WeightedBlendTradesPriceForTime) {
+  // Bid 0: cheap but slow; bid 1: pricey but fast.  A mild time weight
+  // keeps the cheap bid on top; a heavy one flips the ranking.
+  const std::vector<market::Bid> bids = {{0, 10.0, 900.0, true},
+                                         {1, 60.0, 200.0, true}};
+  const market::AuctionEngine mild(market::ClearingRule::kFirstPrice,
+                                   market::ScoringRule::kWeighted, 0.2, true,
+                                   true);
+  const market::AuctionEngine heavy(market::ClearingRule::kFirstPrice,
+                                    market::ScoringRule::kWeighted, 0.9, true,
+                                    true);
+  EXPECT_EQ(mild.clear(auction_job(), bids)[0].bid.bidder, 0u);
+  EXPECT_EQ(heavy.clear(auction_job(), bids)[0].bid.bidder, 1u);
+}
+
+TEST(AuctionScoring, VickreyPaymentFlooredAtOwnAskUnderTimeScoring) {
+  // Completion scoring can rank a pricey-but-fast bid first with a
+  // cheaper bid as runner-up; the Vickrey payment must not drop below the
+  // winner's own ask (individual rationality).
+  const market::AuctionEngine engine(market::ClearingRule::kVickrey,
+                                     market::ScoringRule::kCompletion, 0.0,
+                                     true, true);
+  const auto ranking = engine.clear(
+      auction_job(), {{0, 10.0, 900.0, true}, {1, 90.0, 300.0, true}});
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].bid.bidder, 1u);
+  EXPECT_DOUBLE_EQ(ranking[0].payment, 90.0);  // max(own 90, next 10)
+}
+
+TEST(AuctionScoring, ScoreNormalizesAgainstQosEnvelope) {
+  const market::AuctionEngine engine(market::ClearingRule::kFirstPrice,
+                                     market::ScoringRule::kWeighted, 0.5,
+                                     true, true);
+  const cluster::Job job = auction_job(100.0, 1000.0);
+  const market::Bid bid{0, 50.0, 500.0, true};
+  // 0.5 * (50/100) + 0.5 * (500/1000) = 0.5
+  EXPECT_DOUBLE_EQ(engine.score(job, bid), 0.5);
 }
 
 // ---- bid pricing ------------------------------------------------------------
