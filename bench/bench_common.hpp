@@ -4,6 +4,7 @@
 // binaries (which all consume the same sweep) stay cheap.
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -63,6 +64,51 @@ inline std::string json_path(int argc, char** argv) {
   return {};
 }
 
+/// True when `flag` (e.g. "--auction-only") was passed.
+inline bool has_flag(int argc, char** argv, const std::string& flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i] == flag) return true;
+  }
+  return false;
+}
+
+/// `--sizes=8,20,50` argument parsed into a size list (the CI perf-smoke
+/// job runs only the 50-cluster point); `fallback` when absent.  A
+/// malformed value is a hard error: the flag's consumer is a CI
+/// correctness gate, and silently measuring the wrong points would let
+/// it pass vacuously.
+inline std::vector<std::size_t> sizes_arg(
+    int argc, char** argv, std::vector<std::size_t> fallback) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--sizes=", 0) != 0) continue;
+    std::vector<std::size_t> sizes;
+    std::size_t value = 0;
+    for (const char c : arg.substr(8)) {
+      if (c == ',') {
+        if (value == 0) {
+          std::fprintf(stderr, "bad --sizes value: %s\n", arg.c_str());
+          std::exit(2);
+        }
+        sizes.push_back(value);
+        value = 0;
+      } else if (c >= '0' && c <= '9') {
+        value = value * 10 + static_cast<std::size_t>(c - '0');
+      } else {
+        std::fprintf(stderr, "bad --sizes value: %s\n", arg.c_str());
+        std::exit(2);
+      }
+    }
+    if (value == 0) {  // dangling comma or empty list
+      std::fprintf(stderr, "bad --sizes value: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    sizes.push_back(value);
+    return sizes;
+  }
+  return fallback;
+}
+
 /// One point of the auction-batching comparison: the same federation and
 /// seed run in auction mode without batching, with batched solicitation,
 /// and — on a 1 s-latency WAN, where awards and open solicitations
@@ -78,6 +124,9 @@ struct BatchingPoint {
   core::FederationResult batched;
   core::FederationResult batched_wan;  ///< batching at kBenchPiggybackLatency
   core::FederationResult piggyback;    ///< batched_wan + piggyback_awards
+  /// Batched solicitation over TransportKind::kTree (default fan-out and
+  /// epoch): the cross-origin overlay aggregation on top of batching.
+  core::FederationResult tree;
 
   [[nodiscard]] double reduction_pct() const {
     const double u = unbatched.msgs_per_job.mean();
@@ -86,6 +135,12 @@ struct BatchingPoint {
   [[nodiscard]] double piggyback_reduction_pct() const {
     const double u = batched_wan.msgs_per_job.mean();
     return u > 0.0 ? 100.0 * (1.0 - piggyback.msgs_per_job.mean() / u) : 0.0;
+  }
+  /// Tree-vs-batched uses the ledger-based wire metric: tree edge
+  /// messages are shared across origins and not per-job attributable.
+  [[nodiscard]] double tree_reduction_pct() const {
+    const double u = batched.wire_msgs_per_job();
+    return u > 0.0 ? 100.0 * (1.0 - tree.wire_msgs_per_job() / u) : 0.0;
   }
 };
 
@@ -111,6 +166,9 @@ inline std::vector<BatchingPoint> auction_batching_series(
     cfg.auction.batch_solicitations = true;
     cfg.auction.solicit_batch_window = kBenchBatchWindow;
     point.batched = core::run_experiment(cfg, n, oft_percent);
+    auto tree_cfg = cfg;
+    tree_cfg.transport.kind = transport::TransportKind::kTree;
+    point.tree = core::run_experiment(tree_cfg, n, oft_percent);
     cfg.network_latency = kBenchPiggybackLatency;
     point.batched_wan = core::run_experiment(cfg, n, oft_percent);
     cfg.auction.piggyback_awards = true;

@@ -17,12 +17,21 @@ int main(int argc, char** argv) {
                 "Experiment 5 — message complexity per job vs system size "
                 "(10..50 resources)");
 
+  // --auction-only skips the economy sweep (the CI perf-smoke gate runs
+  // just the transport comparison); --sizes=50 trims the point list.
+  const bool auction_only = bench::has_flag(argc, argv, "--auction-only");
   const std::vector<std::size_t> sizes{10, 20, 30, 40, 50};
   const std::vector<std::uint32_t> profiles{0, 10, 20, 30, 50, 100};
-  const auto cfg = core::make_config(core::SchedulingMode::kEconomy);
-  const auto points = core::run_scaling_study(cfg, sizes, profiles);
+  std::vector<core::FederationResult> points;
+  if (!auction_only) {
+    const auto cfg = core::make_config(core::SchedulingMode::kEconomy);
+    points = core::run_scaling_study(cfg, sizes, profiles);
+  }
 
-  for (const char* which : {"Min", "Average", "Max"}) {
+  const std::vector<const char*> series =
+      auction_only ? std::vector<const char*>{}
+                   : std::vector<const char*>{"Min", "Average", "Max"};
+  for (const char* which : series) {
     std::printf("(%c) %s messages per job vs system size\n\n",
                 which[0] == 'M' && which[1] == 'i' ? 'a'
                 : which[0] == 'A'                  ? 'b'
@@ -47,15 +56,18 @@ int main(int argc, char** argv) {
     }
     std::printf("%s\n", t.str().c_str());
   }
-  std::printf("Paper reference (avg/job): OFC 5.55 -> 17.38 and OFT 10.65 "
-              "-> 41.37 from size 10 to 50.\n\n");
+  if (!auction_only) {
+    std::printf("Paper reference (avg/job): OFC 5.55 -> 17.38 and OFT 10.65 "
+                "-> 41.37 from size 10 to 50.\n\n");
+  }
 
   // ---- auction mode: batched vs per-job solicitation ----------------------
   std::printf("Auction mode (70/30 OFC/OFT): messages per job with batched "
               "bid solicitation\n(window %.0f s, per (origin, provider) "
               "coalescing)\n\n",
               bench::kBenchBatchWindow);
-  const std::vector<std::size_t> auction_sizes{8, 20, 50};
+  const std::vector<std::size_t> auction_sizes =
+      bench::sizes_arg(argc, argv, {8, 20, 50});
   const auto batching = bench::auction_batching_series(auction_sizes);
   stats::Table at({"System size", "Unbatched msgs/job", "Batched msgs/job",
                    "Reduction %", "Accept % (b)"});
@@ -67,6 +79,50 @@ int main(int argc, char** argv) {
                 stats::Table::num(p.batched.acceptance_pct(), 2)});
   }
   std::printf("%s\n", at.str().c_str());
+
+  // ---- tree-overlay fan-out on top of batching ----------------------------
+  std::printf("TreeTransport (k-ary overlay fan-out, epoch-shared edges) on "
+              "top of batching.\nWire msgs/job is ledger-based (tree edge "
+              "messages are shared across origins):\n\n");
+  stats::Table tt({"System size", "Batched wire msgs/job",
+                   "Tree wire msgs/job", "Reduction %", "Relay msgs",
+                   "Accept % (t)", "Resp delta %"});
+  for (const auto& p : batching) {
+    const double resp_delta =
+        p.batched.fed_response_excl.mean() > 0.0
+            ? 100.0 * (p.tree.fed_response_excl.mean() /
+                           p.batched.fed_response_excl.mean() -
+                       1.0)
+            : 0.0;
+    tt.add_row({std::to_string(p.size),
+                stats::Table::num(p.batched.wire_msgs_per_job(), 2),
+                stats::Table::num(p.tree.wire_msgs_per_job(), 2),
+                stats::Table::num(p.tree_reduction_pct(), 1),
+                std::to_string(p.tree.overlay_relay_messages),
+                stats::Table::num(p.tree.acceptance_pct(), 2),
+                stats::Table::num(resp_delta, 2)});
+  }
+  std::printf("%s\n", tt.str().c_str());
+
+  std::printf("Per-type wire breakdown at the largest point (batched direct "
+              "vs tree):\n\n");
+  {
+    const auto& p = batching.back();
+    stats::Table bt({"Type", "Direct msgs", "Direct KB", "Tree msgs",
+                     "Tree KB"});
+    for (std::size_t t = 0; t < core::kMessageTypeCount; ++t) {
+      bt.add_row({core::to_string(static_cast<core::MessageType>(t)),
+                  std::to_string(p.batched.messages_by_type[t]),
+                  stats::Table::num(
+                      static_cast<double>(p.batched.bytes_by_type[t]) / 1024.0,
+                      1),
+                  std::to_string(p.tree.messages_by_type[t]),
+                  stats::Table::num(
+                      static_cast<double>(p.tree.bytes_by_type[t]) / 1024.0,
+                      1)});
+    }
+    std::printf("%s\n", bt.str().c_str());
+  }
 
   std::printf("Award piggybacking on a %.0f s-latency WAN (awards overlap "
               "open solicitations\nand ride the flush for free):\n\n",
@@ -92,26 +148,48 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(f, "{\n  \"artifact\": \"fig10\",\n");
-    std::fprintf(f, "  \"economy_msgs_per_job_mean\": {");
-    std::size_t idx = 0;
-    for (std::size_t s = 0; s < sizes.size(); ++s) {
-      std::fprintf(f, "%s\"%zu\": [", s == 0 ? "" : ", ", sizes[s]);
-      for (std::size_t p = 0; p < profiles.size(); ++p, ++idx) {
-        std::fprintf(f, "%s%.4f", p == 0 ? "" : ", ",
-                     points[idx].msgs_per_job.mean());
+    if (!auction_only) {
+      std::fprintf(f, "  \"economy_msgs_per_job_mean\": {");
+      std::size_t idx = 0;
+      for (std::size_t s = 0; s < sizes.size(); ++s) {
+        std::fprintf(f, "%s\"%zu\": [", s == 0 ? "" : ", ", sizes[s]);
+        for (std::size_t p = 0; p < profiles.size(); ++p, ++idx) {
+          std::fprintf(f, "%s%.4f", p == 0 ? "" : ", ",
+                       points[idx].msgs_per_job.mean());
+        }
+        std::fprintf(f, "]");
       }
-      std::fprintf(f, "]");
+      std::fprintf(f, "},\n");
     }
-    std::fprintf(f, "},\n");
     std::fprintf(f, "  \"auction_batching\": {\"oft_percent\": 30, "
                     "\"batch_window_s\": %.1f, \"points\": [\n",
                  bench::kBenchBatchWindow);
+    const auto by_type = [f](const char* key,
+                             const core::FederationResult& r) {
+      std::fprintf(f, "     \"%s\": {", key);
+      for (std::size_t t = 0; t < core::kMessageTypeCount; ++t) {
+        std::fprintf(
+            f, "%s\"%s\": {\"msgs\": %llu, \"bytes\": %llu}",
+            t == 0 ? "" : ", ",
+            core::to_string(static_cast<core::MessageType>(t)),
+            static_cast<unsigned long long>(r.messages_by_type[t]),
+            static_cast<unsigned long long>(r.bytes_by_type[t]));
+      }
+      std::fprintf(f, "}");
+    };
     for (std::size_t i = 0; i < batching.size(); ++i) {
       const auto& p = batching[i];
       std::fprintf(
           f,
           "    {\"size\": %zu, \"unbatched_msgs_per_job\": %.4f, "
           "\"batched_msgs_per_job\": %.4f, \"reduction_pct\": %.2f, "
+          "\"tree_wire_msgs_per_job\": %.4f, "
+          "\"batched_wire_msgs_per_job\": %.4f, "
+          "\"tree_reduction_pct\": %.2f, "
+          "\"tree_relay_messages\": %llu, "
+          "\"tree_accept_pct\": %.2f, "
+          "\"tree_mean_response_s\": %.2f, "
+          "\"batched_mean_response_s\": %.2f, "
           "\"wan_batched_msgs_per_job\": %.4f, "
           "\"wan_piggyback_msgs_per_job\": %.4f, "
           "\"piggyback_reduction_pct\": %.2f, "
@@ -119,9 +197,15 @@ int main(int argc, char** argv) {
           "\"unbatched_accept_pct\": %.2f, \"batched_accept_pct\": %.2f, "
           "\"piggyback_accept_pct\": %.2f, "
           "\"bids_per_auction_unbatched\": %.4f, "
-          "\"bids_per_auction_batched\": %.4f}%s\n",
+          "\"bids_per_auction_batched\": %.4f, "
+          "\"bids_per_auction_tree\": %.4f,\n",
           p.size, p.unbatched.msgs_per_job.mean(),
           p.batched.msgs_per_job.mean(), p.reduction_pct(),
+          p.tree.wire_msgs_per_job(), p.batched.wire_msgs_per_job(),
+          p.tree_reduction_pct(),
+          static_cast<unsigned long long>(p.tree.overlay_relay_messages),
+          p.tree.acceptance_pct(), p.tree.fed_response_excl.mean(),
+          p.batched.fed_response_excl.mean(),
           p.batched_wan.msgs_per_job.mean(),
           p.piggyback.msgs_per_job.mean(), p.piggyback_reduction_pct(),
           static_cast<unsigned long long>(
@@ -130,7 +214,11 @@ int main(int argc, char** argv) {
           p.piggyback.acceptance_pct(),
           p.unbatched.auctions.bids_per_auction.mean(),
           p.batched.auctions.bids_per_auction.mean(),
-          i + 1 < batching.size() ? "," : "");
+          p.tree.auctions.bids_per_auction.mean());
+      by_type("batched_by_type", p.batched);
+      std::fprintf(f, ",\n");
+      by_type("tree_by_type", p.tree);
+      std::fprintf(f, "}%s\n", i + 1 < batching.size() ? "," : "");
     }
     std::fprintf(f, "  ]}\n}\n");
     std::fclose(f);

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""CI gate for the message-scaling trajectory.
+
+Compares a freshly measured fig10 JSON (bench_fig10_msg_per_job_scaling
+--json=...) against the checked-in BENCH_messages.json and fails when
+messages/job regressed by more than the tolerance on any point present
+in both files — on the batched direct transport AND on the tree
+transport (the PR 4 headline).  Points are matched by federation size,
+so the CI smoke run may measure only the 50-cluster point.
+
+Usage: check_messages.py MEASURED.json CHECKED_IN.json [tolerance_pct]
+"""
+
+import json
+import sys
+
+
+def points(doc):
+    # BENCH_messages.json nests fig10 under "fig10"; a bare fig10 dump
+    # is the artifact itself.
+    fig10 = doc.get("fig10", doc)
+    return {p["size"]: p for p in fig10["auction_batching"]["points"]}
+
+
+METRICS = ("batched_msgs_per_job", "tree_wire_msgs_per_job")
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    measured = points(json.load(open(sys.argv[1])))
+    baseline = points(json.load(open(sys.argv[2])))
+    tolerance = float(sys.argv[3]) if len(sys.argv) > 3 else 5.0
+
+    failures = []
+    checked = 0
+    for size, point in measured.items():
+        base = baseline.get(size)
+        if base is None:
+            continue
+        for metric in METRICS:
+            if metric not in point or metric not in base:
+                continue
+            checked += 1
+            limit = base[metric] * (1.0 + tolerance / 100.0)
+            status = "FAIL" if point[metric] > limit else "ok"
+            print(f"size {size:>3} {metric:<28} measured {point[metric]:8.3f}"
+                  f"  baseline {base[metric]:8.3f}  (+{tolerance:.0f}% limit"
+                  f" {limit:8.3f})  {status}")
+            if point[metric] > limit:
+                failures.append((size, metric))
+    if checked == 0:
+        sys.exit("error: no comparable (size, metric) points found")
+    if failures:
+        sys.exit(f"error: messages/job regressed beyond {tolerance}% on "
+                 f"{failures}")
+    print(f"message scaling OK ({checked} checks within {tolerance}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -50,7 +50,8 @@ Reservation Lrms::submit(const Job& job, sim::SimTime exec_time,
   profile_.reserve(start, completion, job.processors);
   if (policy_ == QueuePolicy::kFcfs) last_fcfs_start_ = start;
 
-  Reservation res{job.id, start, completion, job.processors};
+  Reservation res{job.id, start, completion, job.processors,
+                  ++next_serial_};
   ++accepted_;
   ++queued_;
 
@@ -59,18 +60,29 @@ Reservation Lrms::submit(const Job& job, sim::SimTime exec_time,
   // arrivals (see EventPriority).
   simulation().schedule_at(
       start, sim::EventPriority::kCompletion,
-      [this, id = job.id, procs = job.processors] { on_start(id, procs); });
+      [this, serial = res.serial, procs = res.processors] {
+        on_start(serial, procs);
+      });
   simulation().schedule_at(completion, sim::EventPriority::kCompletion,
                            [this, job, res] { on_finish(job, res); });
   return res;
 }
 
 void Lrms::cancel(const Reservation& reservation) {
+  // Sound only while the start event has not executed.  Time alone
+  // cannot express that at the boundary: at now == start the start has
+  // already run IF the caller sits in a lower-priority event (starts
+  // run at kCompletion, first in the instant), but has not if the
+  // caller acts before the simulation reaches the instant's events.
+  // Callers firing from control events must therefore test
+  // now() < start themselves (as Gfa::on_hold_timeout and
+  // Gfa::admit_and_reply do); this precondition catches the
+  // unambiguous misuse.
   GF_EXPECTS(now() <= reservation.start);
-  GF_EXPECTS(!cancelled_.contains(reservation.job));
+  GF_EXPECTS(!cancelled_.contains(reservation.serial));
   profile_.release(reservation.start, reservation.completion,
                    reservation.processors);
-  cancelled_.insert(reservation.job);
+  cancelled_.insert(reservation.serial);
   GF_ENSURES(queued_ > 0);
   --queued_;
   ++cancelled_count_;
@@ -79,8 +91,8 @@ void Lrms::cancel(const Reservation& reservation) {
   // a conservative but sound FCFS interpretation.
 }
 
-void Lrms::on_start(JobId job, std::uint32_t procs) {
-  if (cancelled_.contains(job)) return;  // cancelled before start
+void Lrms::on_start(std::uint64_t serial, std::uint32_t procs) {
+  if (cancelled_.contains(serial)) return;  // cancelled before start
   GF_ENSURES(queued_ > 0);
   --queued_;
   ++running_;
@@ -91,7 +103,7 @@ void Lrms::on_start(JobId job, std::uint32_t procs) {
 }
 
 void Lrms::on_finish(const Job& job, const Reservation& res) {
-  if (cancelled_.erase(job.id) > 0) return;  // cancelled reservation
+  if (cancelled_.erase(res.serial) > 0) return;  // cancelled reservation
   GF_ENSURES(running_ > 0);
   --running_;
   GF_ENSURES(busy_ >= res.processors);

@@ -39,6 +39,12 @@ struct Reservation {
   sim::SimTime start = 0.0;       ///< instant processors are granted
   sim::SimTime completion = 0.0;  ///< start + execution time
   std::uint32_t processors = 0;
+  /// Per-LRMS monotone identity.  A lossy network can cancel and
+  /// re-reserve the SAME job with the SAME start on one LRMS (the slot
+  /// the cancel freed is exactly what the re-enquiry gets), so job and
+  /// times cannot distinguish a reservation from its replacement — the
+  /// serial can.
+  std::uint64_t serial = 0;
 };
 
 /// A completed job as reported to the owning agent.
@@ -143,7 +149,9 @@ class Lrms : public sim::Entity {
                                             sim::SimTime exec_time,
                                             sim::SimTime earliest) const;
 
-  void on_start(JobId job, std::uint32_t procs);
+  // Scalar parameters keep the start event's capture inside the event
+  // kernel's 32-byte inline buffer (no allocation per job start).
+  void on_start(std::uint64_t serial, std::uint32_t procs);
   void on_finish(const Job& job, const Reservation& res);
 
   ResourceSpec spec_;
@@ -160,8 +168,9 @@ class Lrms : public sim::Entity {
   std::uint64_t accepted_ = 0;
   std::uint64_t completed_ = 0;
   std::uint64_t cancelled_count_ = 0;
+  std::uint64_t next_serial_ = 0;  // reservation identities (see above)
   // Reservations cancelled before start; their events no-op on firing.
-  std::unordered_set<JobId> cancelled_;
+  std::unordered_set<std::uint64_t> cancelled_;  // by Reservation::serial
 };
 
 }  // namespace gridfed::cluster

@@ -13,6 +13,7 @@
 #include "market/auction_config.hpp"
 #include "network/latency_model.hpp"
 #include "sim/types.hpp"
+#include "transport/transport_options.hpp"
 #include "workload/calibration.hpp"
 #include "workload/trace.hpp"
 
@@ -107,6 +108,13 @@ struct FederationConfig {
   /// network (message_drop_rate > 0) additionally requires
   /// auction.bid_timeout > 0 so a book missing a dropped bid still clears.
   market::AuctionConfig auction = {};
+
+  /// Delivery substrate (transport/): kDirect reproduces the paper's
+  /// point-to-point messaging bit-identically; kTree rides the
+  /// call-for-bids fan-out over a k-ary overlay tree with epoch-batched
+  /// dissemination and convergecast-aggregated bids.  In auction mode a
+  /// nonzero bid_timeout must then also outlast the fan-out epoch.
+  transport::TransportOptions transport = {};
 
   /// Master seed for workload generation and population assignment.
   std::uint64_t seed = 0x9042005ULL;

@@ -14,27 +14,49 @@ Federation::Federation(FederationConfig config,
       ledger_(specs_.empty() ? 1 : specs_.size()),
       bank_(specs_.empty() ? 1 : specs_.size()),
       util_at_window_(specs_.size(), 0.0),
-      drop_rng_(sim::Rng::stream(config.seed, "message-drop")) {
+      drop_rng_(sim::Rng::stream(config.seed, "message-drop")),
+      dup_rng_(sim::Rng::stream(config.seed, "message-dup")) {
   GF_EXPECTS(!specs_.empty());
   GF_EXPECTS(cfg_.window > 0.0);
   GF_EXPECTS(cfg_.message_drop_rate >= 0.0 && cfg_.message_drop_rate < 1.0);
+  GF_EXPECTS(cfg_.transport.duplicate_rate >= 0.0 &&
+             cfg_.transport.duplicate_rate < 1.0);
+  GF_EXPECTS(cfg_.transport.tree_fanout >= 1);
+  GF_EXPECTS(cfg_.transport.tree_epoch >= 0.0);
+  // The WAN model moves into the transport below; it is built first so
+  // the timeout sanity checks can see the worst-case latency.
+  std::optional<network::LatencyModel> wan;
   if (cfg_.wan) {
-    wan_.emplace(*cfg_.wan, specs_);
+    wan.emplace(*cfg_.wan, specs_);
   }
   // Lossy enquiries need timeouts to make progress, and the timeout must
-  // outlast a negotiate+reply round trip.
+  // outlast an enquiry+reply round trip.  In auction mode over the tree
+  // transport a piggybacked award's enquiry leg rides the call-for-bids
+  // relay path (up to 2 * depth hops to the LCA and back down) before
+  // its reply returns point-to-point, so the bound is hop-aware there.
   GF_EXPECTS(cfg_.message_drop_rate == 0.0 || cfg_.negotiate_timeout > 0.0);
   const sim::SimTime worst_latency =
-      wan_ ? wan_->max_latency() : cfg_.network_latency;
+      wan ? wan->max_latency() : cfg_.network_latency;
+  const bool tree =
+      cfg_.transport.kind == transport::TransportKind::kTree;
+  const double tree_depth = static_cast<double>(std::max(
+      1u, transport::tree_depth(specs_.size(), cfg_.transport.tree_fanout)));
+  const bool auction = cfg_.mode == SchedulingMode::kAuction;
+  const double enquiry_hops = auction && tree ? 2.0 * tree_depth + 1.0 : 2.0;
   GF_EXPECTS(cfg_.negotiate_timeout == 0.0 ||
-             cfg_.negotiate_timeout > 2.0 * worst_latency);
+             cfg_.negotiate_timeout > enquiry_hops * worst_latency);
   // Auction books close on completeness; a dropped bid would hold one open
   // forever unless the bid timeout clears it.  A nonzero timeout must also
-  // outlast a call-for-bids + bid round trip or every book clears empty.
-  if (cfg_.mode == SchedulingMode::kAuction) {
+  // outlast a call-for-bids + bid round trip — including the tree
+  // transport's fan-out epoch, which may hold the call-for-bids back,
+  // and the relayed hops of both legs — or every book clears empty.
+  if (auction) {
     GF_EXPECTS(cfg_.message_drop_rate == 0.0 || cfg_.auction.bid_timeout > 0.0);
+    const sim::SimTime fanout_hold = tree ? cfg_.transport.tree_epoch : 0.0;
+    const double round_trip_hops = tree ? 4.0 * tree_depth : 2.0;
     GF_EXPECTS(cfg_.auction.bid_timeout == 0.0 ||
-               cfg_.auction.bid_timeout > 2.0 * worst_latency);
+               cfg_.auction.bid_timeout >
+                   round_trip_hops * worst_latency + fanout_hold);
   }
 
   lrms_.reserve(specs_.size());
@@ -55,6 +77,9 @@ Federation::Federation(FederationConfig config,
     // subscribe: the agent joins the federation and advertises its quote.
     dir_.subscribe(directory::Quote::from_spec(index, specs_[i]));
   }
+  // The delivery substrate, wired last: it delivers into the agents and
+  // owns the WAN model from here on.
+  transport_ = transport::make_transport(*this, std::move(wan));
 
   if (cfg_.dynamic_pricing) {
     pricers_.reserve(specs_.size());
@@ -163,34 +188,21 @@ FederationResult Federation::run() {
 
 void Federation::send(Message msg) {
   GF_EXPECTS(msg.to < gfas_.size());
-  ledger_.record(msg);
-  // Failure injection: the best-effort enquiry channel (negotiate/reply
-  // and the auction's call-for-bids/bid/award legs) may drop; payload
-  // transfers are reliable (see config.hpp).
-  const bool droppable = msg.type == MessageType::kNegotiate ||
-                         msg.type == MessageType::kReply ||
-                         msg.type == MessageType::kCallForBids ||
-                         msg.type == MessageType::kBid ||
-                         msg.type == MessageType::kAward;
-  if (droppable && cfg_.message_drop_rate > 0.0 &&
-      drop_rng_.bernoulli(cfg_.message_drop_rate)) {
-    ++messages_dropped_;
-    return;
+  transport_->unicast(std::move(msg));
+}
+
+std::uint64_t Federation::multicast(
+    Message msg, std::span<const cluster::ResourceIndex> targets,
+    sim::SimTime not_after) {
+  for (const cluster::ResourceIndex target : targets) {
+    GF_EXPECTS(target < gfas_.size());
   }
-  Gfa* target = gfas_[msg.to].get();
-  // Control messages see per-pair latency under the WAN model; the job
-  // payload (submission) additionally ships Eq. 1's data volume.
-  sim::SimTime delay = cfg_.network_latency;
-  if (wan_) {
-    delay = msg.type == MessageType::kJobSubmission
-                ? wan_->transfer_time(
-                      msg.from, msg.to,
-                      cluster::data_transferred(msg.job,
-                                                specs_[msg.job.origin]))
-                : wan_->latency(msg.from, msg.to);
-  }
-  sim_.schedule_in(delay, sim::EventPriority::kMessage,
-                   [target, msg = std::move(msg)] { target->receive(msg); });
+  return transport_->multicast(std::move(msg), targets, not_after);
+}
+
+void Federation::deliver(const Message& msg) {
+  GF_EXPECTS(msg.to < gfas_.size());
+  gfas_[msg.to]->receive(msg);
 }
 
 const cluster::ResourceSpec& Federation::spec_of(
@@ -201,10 +213,11 @@ const cluster::ResourceSpec& Federation::spec_of(
 
 sim::SimTime Federation::payload_staging_time(
     const cluster::Job& job, cluster::ResourceIndex site) const {
-  if (!wan_ || site == job.origin) return 0.0;
-  return wan_->transfer_time(job.origin, site,
-                             cluster::data_transferred(job,
-                                                       specs_[job.origin]));
+  const network::LatencyModel* wan = transport_->wan();
+  if (wan == nullptr || site == job.origin) return 0.0;
+  return wan->transfer_time(job.origin, site,
+                            cluster::data_transferred(job,
+                                                      specs_[job.origin]));
 }
 
 void Federation::job_completed(const JobOutcome& outcome) {
@@ -293,9 +306,12 @@ FederationResult Federation::aggregate() const {
   }
 
   result.total_messages = ledger_.total();
+  result.total_message_bytes = ledger_.total_bytes();
+  result.overlay_relay_messages = ledger_.relay_total();
   for (std::size_t t = 0; t < kMessageTypeCount; ++t) {
     result.messages_by_type[t] =
         ledger_.count_of(static_cast<MessageType>(t));
+    result.bytes_by_type[t] = ledger_.bytes_of(static_cast<MessageType>(t));
   }
   result.directory_traffic = dir_.traffic();
   result.total_incentive = bank_.total();

@@ -32,6 +32,7 @@
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
 #include "stats/auction_stats.hpp"
+#include "transport/transport.hpp"
 #include "workload/population.hpp"
 #include "workload/trace.hpp"
 
@@ -39,7 +40,10 @@ namespace gridfed::core {
 
 /// One federation instance: construction wires every entity, subscribes
 /// quotes, and arms the periodic extension behaviours the config enables.
-class Federation final : public GfaHost {
+/// Message delivery is delegated to the configured transport
+/// (config.transport.kind); the Federation is the transport's
+/// environment (transport::TransportContext) and its delivery sink.
+class Federation final : public GfaHost, private transport::TransportContext {
  public:
   Federation(FederationConfig config,
              std::vector<cluster::ResourceSpec> specs);
@@ -59,6 +63,10 @@ class Federation final : public GfaHost {
 
   // ---- GfaHost ----------------------------------------------------------
   void send(Message msg) override;
+  std::uint64_t multicast(Message msg,
+                          std::span<const cluster::ResourceIndex> targets,
+                          sim::SimTime not_after) override;
+  /// Satisfies both GfaHost and TransportContext.
   [[nodiscard]] const cluster::ResourceSpec& spec_of(
       cluster::ResourceIndex index) const override;
   [[nodiscard]] const FederationConfig& config() const override {
@@ -86,6 +94,11 @@ class Federation final : public GfaHost {
   [[nodiscard]] const MessageLedger& ledger() const noexcept {
     return ledger_;
   }
+  /// The delivery substrate this run was wired with (tests inspect the
+  /// tree topology through it).
+  [[nodiscard]] const transport::Transport& transport() const noexcept {
+    return *transport_;
+  }
   /// Raw per-job outcomes (accepted and rejected) after run().
   [[nodiscard]] const std::vector<JobOutcome>& outcomes() const noexcept {
     return outcomes_;
@@ -106,15 +119,27 @@ class Federation final : public GfaHost {
   void arm_periodic_behaviours();
   [[nodiscard]] FederationResult aggregate() const;
 
+  // ---- transport::TransportContext --------------------------------------
+  // (config() and spec_of() above satisfy both interfaces.)
+  [[nodiscard]] sim::Simulation& sim() override { return sim_; }
+  [[nodiscard]] MessageLedger& ledger() override { return ledger_; }
+  [[nodiscard]] std::size_t sites() const override { return specs_.size(); }
+  void deliver(const Message& msg) override;
+  void message_dropped() override { ++messages_dropped_; }
+  [[nodiscard]] sim::Rng& drop_rng() override { return drop_rng_; }
+  [[nodiscard]] sim::Rng& duplicate_rng() override { return dup_rng_; }
+
   FederationConfig cfg_;
   std::vector<cluster::ResourceSpec> specs_;
-  std::optional<network::LatencyModel> wan_;
   sim::Simulation sim_;
   directory::FederationDirectory dir_;
   MessageLedger ledger_;
   economy::GridBank bank_;
   std::vector<std::unique_ptr<cluster::Lrms>> lrms_;
   std::vector<std::unique_ptr<Gfa>> gfas_;
+  /// The delivery substrate; owns the WAN model.  Constructed after the
+  /// agents (it delivers into them).
+  std::unique_ptr<transport::Transport> transport_;
   std::vector<economy::DynamicPricer> pricers_;
   std::vector<double> pricer_last_area_;
 
@@ -122,6 +147,7 @@ class Federation final : public GfaHost {
   stats::AuctionStats auction_stats_;
   std::vector<double> util_at_window_;
   sim::Rng drop_rng_;
+  sim::Rng dup_rng_;
   std::uint64_t messages_dropped_ = 0;
   cluster::JobId next_job_id_ = 1;
   std::uint64_t jobs_loaded_ = 0;

@@ -177,6 +177,19 @@ void Gfa::admit_and_reply(const Message& msg) {
   bool accept = job.processors <= own.processors;
   sim::SimTime estimate = sim::kTimeInfinity;
   if (accept) {
+    // A lossy network can re-deliver an enquiry for a job we already
+    // hold a reservation for (our reply was lost; the origin's walk
+    // came back around).  Release the superseded reservation when it
+    // has not started yet, so the fresh estimate prices the queue
+    // honestly; a reservation that already started is sunk capacity and
+    // its completion will be swallowed by the identity check in
+    // on_lrms_completion.
+    const auto stale = holds_.find(job.id);
+    if (stale != holds_.end() && !stale->second.submitted &&
+        now() < stale->second.reservation.start) {
+      lrms_.cancel(stale->second.reservation);
+      holds_.erase(stale);
+    }
     const sim::SimTime exec =
         cluster::execution_time(job, host_.spec_of(job.origin), own);
     // The job cannot start before its input data lands here (Eq. 1 volume
@@ -190,14 +203,15 @@ void Gfa::admit_and_reply(const Message& msg) {
     if (accept) {
       const cluster::Reservation res = lrms_.submit(job, exec, staged);
       ++remote_accepted_;
-      holds_.insert_or_assign(job.id, RemoteHold{res, false});
+      const std::uint64_t token = ++next_hold_token_;
+      holds_.insert_or_assign(job.id, RemoteHold{res, token, false});
       if (cfg.negotiate_timeout > 0.0) {
         // If the payload never arrives (reply or submission lost), release
         // the processors.  2x the enquiry timeout comfortably covers the
         // origin's reply wait plus the submission leg.
-        simulation().schedule_in(2.0 * cfg.negotiate_timeout,
-                                 sim::EventPriority::kControl,
-                                 [this, id = job.id] { on_hold_timeout(id); });
+        simulation().schedule_in(
+            2.0 * cfg.negotiate_timeout, sim::EventPriority::kControl,
+            [this, id = job.id, token] { on_hold_timeout(id, token); });
       }
     }
   }
@@ -205,15 +219,18 @@ void Gfa::admit_and_reply(const Message& msg) {
                      estimate});
 }
 
-void Gfa::on_hold_timeout(cluster::JobId id) {
+void Gfa::on_hold_timeout(cluster::JobId id, std::uint64_t token) {
   const auto it = holds_.find(id);
   if (it == holds_.end()) return;      // completed (short job) — fine
+  if (it->second.token != token) return;  // a later reservation is live
   if (it->second.submitted) return;    // payload arrived; hold is live
-  // Cancellation is only sound before the reservation starts.  If the
-  // phantom already started (reply lost + a fast queue), keep the hold in
-  // place: on_lrms_completion uses it to recognize the phantom and swallow
-  // the completion instead of mailing output nobody is waiting for.
-  if (now() <= it->second.reservation.start) {
+  // Cancellation is only sound strictly before the reservation starts —
+  // at the start instant the LRMS has already dispatched it (completions
+  // and starts run before control events).  If the phantom already
+  // started (reply lost + a fast queue), keep the hold in place:
+  // on_lrms_completion uses it to recognize the phantom and swallow the
+  // completion instead of mailing output nobody is waiting for.
+  if (now() < it->second.reservation.start) {
     lrms_.cancel(it->second.reservation);
     holds_.erase(it);
   }
@@ -270,8 +287,20 @@ void Gfa::on_lrms_completion(const cluster::CompletedJob& done) {
   // is a phantom: it consumed the reservation but there is no one to send
   // output to — the origin rescheduled elsewhere long ago.
   const auto hold = holds_.find(done.job.id);
-  const bool phantom = hold != holds_.end() && !hold->second.submitted;
-  if (hold != holds_.end()) holds_.erase(hold);
+  if (hold == holds_.end()) {
+    // No hold at all: a superseded reservation outliving its replacement
+    // (the replacement's hold was cancelled after the origin re-enquired
+    // and lost that reply too).  Nobody awaits this output either.
+    return;
+  }
+  if (hold->second.reservation.serial != done.reservation.serial) {
+    // A superseded reservation for a re-enquired job (see
+    // admit_and_reply): sunk capacity, nobody waits for its output, and
+    // the live hold must stay in place.
+    return;
+  }
+  const bool phantom = !hold->second.submitted;
+  holds_.erase(hold);
   if (phantom) return;
   // Send the output home with the definite execution window.
   host_.send(Message{MessageType::kJobCompletion, index_, done.job.origin,

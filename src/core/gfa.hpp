@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 
 #include "cluster/lrms.hpp"
@@ -52,6 +53,17 @@ class GfaHost {
   /// Routes a message to its destination GFA (records it in the message
   /// ledger and applies the configured network latency).
   virtual void send(Message msg) = 0;
+
+  /// Routes one payload to every target through the configured
+  /// transport (msg.to is overwritten per target).  `not_after` bounds
+  /// any fan-out batching the transport applies.  Returns the wire
+  /// messages charged to the sender immediately (one per target on the
+  /// direct transport; 0 on the tree, whose shared edge messages land
+  /// in the ledger's relay counters).
+  virtual std::uint64_t multicast(Message msg,
+                                  std::span<const cluster::ResourceIndex>
+                                      targets,
+                                  sim::SimTime not_after) = 0;
 
   /// Resource description of any federation member.
   [[nodiscard]] virtual const cluster::ResourceSpec& spec_of(
@@ -121,9 +133,14 @@ class Gfa final : public sim::Entity, public policy::SchedulerContext {
 
  private:
   /// A reservation held on behalf of a remote GFA between negotiate-accept
-  /// and payload arrival (cancelled if the payload never comes).
+  /// and payload arrival (cancelled if the payload never comes).  The
+  /// token distinguishes successive reservations for the same job — a
+  /// lossy network can re-deliver the enquiry after our reply was lost,
+  /// and the superseded reservation's timeout must not touch the live
+  /// hold.
   struct RemoteHold {
     cluster::Reservation reservation;
+    std::uint64_t token = 0;
     bool submitted = false;
   };
   /// A scheduled job awaiting its completion notification.
@@ -176,6 +193,11 @@ class Gfa final : public sim::Entity, public policy::SchedulerContext {
   void park_award(Pending p, cluster::ResourceIndex target) override;
   void reject(Pending p) override;
   void send(Message msg) override { host_.send(std::move(msg)); }
+  std::uint64_t multicast(Message msg,
+                          std::span<const cluster::ResourceIndex> targets,
+                          sim::SimTime not_after) override {
+    return host_.multicast(std::move(msg), targets, not_after);
+  }
   void admit_enquiry(const Message& msg) override { admit_and_reply(msg); }
   void auction_report(const market::ClearingReport& report) override {
     host_.auction_report(report);
@@ -191,8 +213,9 @@ class Gfa final : public sim::Entity, public policy::SchedulerContext {
   /// Fires when no reply arrived in time: abandon the enquiry, hand the
   /// job back to the policy.
   void on_negotiate_timeout(cluster::JobId id, std::uint64_t attempt);
-  /// Fires when a held reservation saw no payload: cancel it.
-  void on_hold_timeout(cluster::JobId id);
+  /// Fires when a held reservation saw no payload: cancel it.  `token`
+  /// pins the timeout to the reservation it was armed for.
+  void on_hold_timeout(cluster::JobId id, std::uint64_t token);
 
   // -- message handlers ----------------------------------------------------
   void handle_reply(const Message& msg);
@@ -217,6 +240,7 @@ class Gfa final : public sim::Entity, public policy::SchedulerContext {
   std::unordered_map<cluster::JobId, Pending> pending_;
   std::unordered_map<cluster::JobId, Awaiting> awaiting_;
   std::unordered_map<cluster::JobId, RemoteHold> holds_;
+  std::uint64_t next_hold_token_ = 0;
   std::uint64_t remote_accepted_ = 0;
 };
 

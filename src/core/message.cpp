@@ -1,11 +1,21 @@
 #include "core/message.hpp"
 
+#include <algorithm>
+
 #include "sim/check.hpp"
 
 namespace gridfed::core {
 
+std::uint64_t wire_bytes(const Message& msg) noexcept {
+  return kMessageHeaderBytes +
+         kJobWireBytes *
+             std::max<std::uint64_t>(1, msg.batch_jobs.size()) +
+         kBidWireBytes * msg.batch_bids.size() +
+         kAwardWireBytes * msg.batch_awards.size();
+}
+
 MessageLedger::MessageLedger(std::size_t n_gfas)
-    : local_(n_gfas, 0), remote_(n_gfas, 0) {
+    : local_(n_gfas, 0), remote_(n_gfas, 0), relay_(n_gfas, 0) {
   GF_EXPECTS(n_gfas > 0);
 }
 
@@ -21,6 +31,23 @@ void MessageLedger::record(const Message& msg) {
   local_[origin] += 1;
   remote_[other] += 1;
   by_type_[static_cast<std::size_t>(msg.type)] += 1;
+  const std::uint64_t bytes = wire_bytes(msg);
+  bytes_by_type_[static_cast<std::size_t>(msg.type)] += bytes;
+  total_bytes_ += bytes;
+  total_ += 1;
+}
+
+void MessageLedger::record_relay(cluster::ResourceIndex from,
+                                 cluster::ResourceIndex to, MessageType type,
+                                 std::uint64_t bytes) {
+  GF_EXPECTS(from < relay_.size() && to < relay_.size());
+  GF_EXPECTS(from != to);
+  relay_[from] += 1;
+  relay_[to] += 1;
+  by_type_[static_cast<std::size_t>(type)] += 1;
+  bytes_by_type_[static_cast<std::size_t>(type)] += bytes;
+  total_bytes_ += bytes;
+  relay_total_ += 1;
   total_ += 1;
 }
 
@@ -34,12 +61,21 @@ std::uint64_t MessageLedger::remote_at(cluster::ResourceIndex gfa) const {
   return remote_[gfa];
 }
 
+std::uint64_t MessageLedger::relay_at(cluster::ResourceIndex gfa) const {
+  GF_EXPECTS(gfa < relay_.size());
+  return relay_[gfa];
+}
+
 std::uint64_t MessageLedger::total_at(cluster::ResourceIndex gfa) const {
-  return local_at(gfa) + remote_at(gfa);
+  return local_at(gfa) + remote_at(gfa) + relay_at(gfa);
 }
 
 std::uint64_t MessageLedger::count_of(MessageType t) const {
   return by_type_[static_cast<std::size_t>(t)];
+}
+
+std::uint64_t MessageLedger::bytes_of(MessageType t) const {
+  return bytes_by_type_[static_cast<std::size_t>(t)];
 }
 
 }  // namespace gridfed::core

@@ -16,12 +16,14 @@
 // messages (the Fig 9(c) series counts each message once).
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "cluster/job.hpp"
 #include "cluster/resource.hpp"
 #include "sim/types.hpp"
+#include "transport/message_arena.hpp"
 
 namespace gridfed::core {
 
@@ -126,40 +128,95 @@ struct Message {
   double price = 0.0;
 
   // Batched-solicitation payloads (empty outside batched auction mode).
-  std::vector<cluster::Job> batch_jobs;  ///< kCallForBids: all jobs asked
-  std::vector<BatchedBid> batch_bids;    ///< kBid: one ask per asked job
+  /// kCallForBids: all jobs asked.  The jobs live in a shared
+  /// MessageArena (one per solicitation flush, `arena` below keeps it
+  /// alive); every provider's copy of the message views the same
+  /// storage, so a 50-provider flush writes the job list once instead
+  /// of once per provider.
+  std::span<const cluster::Job> batch_jobs;
+  /// Keep-alive for `batch_jobs` (null when the span is empty).
+  transport::ArenaHandle arena;
+  std::vector<BatchedBid> batch_bids;  ///< kBid: one ask per asked job
   /// kCallForBids: awards to this provider riding the flush for free
   /// (AuctionConfig::piggyback_awards); processed before the bids.
   std::vector<PiggybackedAward> batch_awards;
+
+  /// Set on payloads delivered through an overlay relay (TreeTransport):
+  /// the wire cost was booked by the transport as shared edge messages,
+  /// so per-job policy counters must not book the delivery again.
+  bool via_overlay = false;
 };
 
-/// Per-GFA local/remote message counters plus per-type totals.
+// ---- wire-size model --------------------------------------------------------
+// Deliberately coarse serialized sizes, used by the per-type byte
+// counters and the size-aware WAN control delay: what matters is that a
+// batched message carrying 40 jobs is costed ~40x a single-job one, not
+// the exact marshalling format.
+
+inline constexpr std::uint64_t kMessageHeaderBytes = 64;  ///< fixed fields
+inline constexpr std::uint64_t kJobWireBytes = 96;        ///< one Job record
+inline constexpr std::uint64_t kBidWireBytes = 32;        ///< one BatchedBid
+inline constexpr std::uint64_t kAwardWireBytes =
+    kJobWireBytes + 16;  ///< PiggybackedAward: job + payment
+
+/// Serialized size of one message under the model above.  Every message
+/// carries at least one Job (the identification/payload field); batched
+/// messages replace it with their batch.
+[[nodiscard]] std::uint64_t wire_bytes(const Message& msg) noexcept;
+
+/// Per-GFA local/remote message counters plus per-type message and byte
+/// totals.  Overlay relay traffic (TreeTransport edge messages, which
+/// carry payloads for many origins at once) is booked separately: each
+/// wire message still counts once federation-wide, but per-GFA it is
+/// load at *both* endpoints and fits neither the local nor the remote
+/// classification.
 class MessageLedger {
  public:
   explicit MessageLedger(std::size_t n_gfas);
 
-  /// Records one message.  Classification: the endpoint that equals
-  /// msg.job.origin counts it as local traffic, the other as remote.
+  /// Records one point-to-point message.  Classification: the endpoint
+  /// that equals msg.job.origin counts it as local traffic, the other as
+  /// remote.
   void record(const Message& msg);
+
+  /// Records one overlay wire message on the tree edge (from, to):
+  /// counted once federation-wide (total / per-type / bytes) and as
+  /// relay load at both endpoints.
+  void record_relay(cluster::ResourceIndex from, cluster::ResourceIndex to,
+                    MessageType type, std::uint64_t bytes);
 
   [[nodiscard]] std::uint64_t local_at(cluster::ResourceIndex gfa) const;
   [[nodiscard]] std::uint64_t remote_at(cluster::ResourceIndex gfa) const;
+  [[nodiscard]] std::uint64_t relay_at(cluster::ResourceIndex gfa) const;
 
-  /// local + remote at one GFA (the Fig 11 per-GFA series).
+  /// local + remote + relay at one GFA (the Fig 11 per-GFA series).
   [[nodiscard]] std::uint64_t total_at(cluster::ResourceIndex gfa) const;
 
   /// Federation-wide message count (each message counted once).
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Federation-wide payload bytes under the wire-size model.
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return total_bytes_;
+  }
+  /// Overlay relay wire messages (0 outside TreeTransport runs).
+  [[nodiscard]] std::uint64_t relay_total() const noexcept {
+    return relay_total_;
+  }
 
   [[nodiscard]] std::uint64_t count_of(MessageType t) const;
+  [[nodiscard]] std::uint64_t bytes_of(MessageType t) const;
 
   [[nodiscard]] std::size_t gfas() const noexcept { return local_.size(); }
 
  private:
   std::vector<std::uint64_t> local_;
   std::vector<std::uint64_t> remote_;
+  std::vector<std::uint64_t> relay_;
   std::uint64_t by_type_[kMessageTypeCount] = {};
+  std::uint64_t bytes_by_type_[kMessageTypeCount] = {};
   std::uint64_t total_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t relay_total_ = 0;
 };
 
 }  // namespace gridfed::core

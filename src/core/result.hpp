@@ -67,9 +67,14 @@ struct FederationResult {
   // Message complexity (Experiments 4/5).
   stats::Accumulator msgs_per_job;          ///< over every originated job
   stats::Accumulator negotiations_per_job;  ///< remote enquiries per job
-  stats::Accumulator msgs_per_gfa;          ///< local+remote per GFA
+  stats::Accumulator msgs_per_gfa;          ///< local+remote(+relay) per GFA
   std::uint64_t total_messages = 0;
+  std::uint64_t total_message_bytes = 0;  ///< under the wire-size model
   std::uint64_t messages_by_type[kMessageTypeCount] = {};
+  std::uint64_t bytes_by_type[kMessageTypeCount] = {};
+  /// Overlay relay wire messages (TreeTransport edge messages; included
+  /// in total_messages, 0 on the direct transport).
+  std::uint64_t overlay_relay_messages = 0;
   directory::DirectoryTraffic directory_traffic;
 
   // Economy aggregate.
@@ -90,6 +95,18 @@ struct FederationResult {
 
   [[nodiscard]] double acceptance_pct() const noexcept {
     return total_jobs ? 100.0 * static_cast<double>(total_accepted) /
+                            static_cast<double>(total_jobs)
+                      : 0.0;
+  }
+
+  /// Ledger-based messages per job: every wire message the run cost —
+  /// overlay relay messages included — over every originated job.  On
+  /// the direct transport this equals msgs_per_job.mean() (per-job
+  /// counters sum to the ledger); on the tree transport the shared edge
+  /// messages are not attributable to single jobs, so THIS is the
+  /// apples-to-apples scaling metric (fig10's transport comparison).
+  [[nodiscard]] double wire_msgs_per_job() const noexcept {
+    return total_jobs ? static_cast<double>(total_messages) /
                             static_cast<double>(total_jobs)
                       : 0.0;
   }

@@ -54,6 +54,14 @@ sim::SimTime LatencyModel::transfer_time(cluster::ResourceIndex from,
   return latency(from, to) + gigabits / bottleneck;
 }
 
+sim::SimTime LatencyModel::control_delay(cluster::ResourceIndex from,
+                                         cluster::ResourceIndex to,
+                                         std::uint64_t bytes) const {
+  if (from == to) return 0.0;
+  const double gigabits = static_cast<double>(bytes) * 8.0e-9;
+  return transfer_time(from, to, gigabits);
+}
+
 sim::SimTime LatencyModel::max_latency() const {
   sim::SimTime worst = 0.0;
   for (cluster::ResourceIndex a = 0; a < gamma_.size(); ++a) {

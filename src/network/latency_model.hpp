@@ -59,6 +59,16 @@ class LatencyModel {
                                            cluster::ResourceIndex to,
                                            double gigabits) const;
 
+  /// One-way delay of a control message of `bytes` serialized size:
+  /// per-pair latency plus the payload's transmission time over the
+  /// bottleneck access link.  The seed charged every control message
+  /// pure latency, so a 40-job batched solicitation cost exactly as
+  /// much wire time as a 64-byte reply; this is the honest size-aware
+  /// costing for batched and arena-backed messages.
+  [[nodiscard]] sim::SimTime control_delay(cluster::ResourceIndex from,
+                                           cluster::ResourceIndex to,
+                                           std::uint64_t bytes) const;
+
   [[nodiscard]] std::size_t sites() const noexcept { return gamma_.size(); }
   [[nodiscard]] const NetworkConfig& config() const noexcept { return cfg_; }
 

@@ -101,12 +101,23 @@ void AuctionPolicy::open_auction(core::Pending p) {
 
   p.negotiations += static_cast<std::uint32_t>(n_remote);  // remote enquiries
   const bool batched = acfg.batch_solicitations && n_remote > 0;
-  if (!batched) {
-    for (std::size_t i = 0; i < n_remote; ++i) {
-      ++p.messages;
-      ctx_.send(core::Message{core::MessageType::kCallForBids, ctx_.self(),
-                              book.solicited_list()[i], p.job});
-    }
+  if (!batched && n_remote > 0) {
+    // One multicast covers every provider (the per-job broadcast): the
+    // direct transport unrolls it into the seed's per-provider sends
+    // and returns their count; the tree transport queues one fan-out,
+    // bounded by the same slack fraction the batched flush applies, and
+    // books its shared edges in the ledger's relay counters (returns 0).
+    const sim::SimTime slack =
+        std::max(0.0, p.job.absolute_deadline() - ctx_.now());
+    const sim::SimTime not_after =
+        ctx_.now() + acfg.solicit_hold_slack_fraction * slack;
+    core::Message msg{core::MessageType::kCallForBids, ctx_.self(),
+                      ctx_.self(), p.job};
+    p.messages += ctx_.multicast(
+        std::move(msg),
+        std::span<const cluster::ResourceIndex>(
+            book.solicited_list().data(), n_remote),
+        not_after);
   }
 
   const cluster::JobId id = p.job.id;
@@ -163,12 +174,20 @@ void AuctionPolicy::flush_solicitations() {
   // keep first-seen (cheapest-first) order so the wire order stays
   // deterministic.  scratch_providers_[i] is the provider of
   // scratch_buckets_[i]; the buckets are members so flushes reuse their
-  // capacity instead of reallocating.
+  // capacity instead of reallocating.  The same pass derives the
+  // transport's fan-out bound: the tree transport may batch the
+  // call-for-bids further, but never past the slack fraction this
+  // policy applies to its own hold.
   scratch_providers_.clear();
   for (auto& bucket : scratch_buckets_) bucket.clear();
+  sim::SimTime not_after = sim::kTimeInfinity;
   for (const cluster::JobId id : solicit_queue_) {
     const auto it = auctions_.find(id);
     if (it == auctions_.end()) continue;  // cleared while queued
+    const sim::SimTime slack = std::max(
+        0.0, it->second.pending.job.absolute_deadline() - ctx_.now());
+    not_after = std::min(
+        not_after, ctx_.now() + acfg.solicit_hold_slack_fraction * slack);
     for (const cluster::ResourceIndex r : it->second.book.solicited_list()) {
       if (r == ctx_.self()) continue;
       const auto pos = std::find(scratch_providers_.begin(),
@@ -184,19 +203,39 @@ void AuctionPolicy::flush_solicitations() {
       scratch_buckets_[bucket].push_back(&it->second.pending.job);
     }
   }
-  for (std::size_t i = 0; i < scratch_providers_.size(); ++i) {
+  // Emit one multicast per maximal run of providers sharing a job
+  // bucket.  With the default full-book solicitation every provider
+  // shares one bucket, so the flush writes the job list into the arena
+  // ONCE and all 50 provider messages view it — no per-provider Job
+  // copies.  A provider with held awards is carved into its own message
+  // (its payload differs), preserving the per-provider wire order.
+  std::shared_ptr<transport::MessageArena> arena;
+  std::size_t i = 0;
+  while (i < scratch_providers_.size()) {
+    const auto has_award = [this](cluster::ResourceIndex provider) {
+      for (const auto& held : held_awards_) {
+        if (!held.dispatched && held.target == provider) return true;
+      }
+      return false;
+    };
+    std::size_t j = i + 1;
+    if (!has_award(scratch_providers_[i])) {
+      while (j < scratch_providers_.size() &&
+             !has_award(scratch_providers_[j]) &&
+             scratch_buckets_[j] == scratch_buckets_[i]) {
+        ++j;
+      }
+    }
+    if (!arena) arena = std::make_shared<transport::MessageArena>();
     core::Message msg;
     msg.type = core::MessageType::kCallForBids;
     msg.from = ctx_.self();
-    msg.to = scratch_providers_[i];
-    msg.batch_jobs.reserve(scratch_buckets_[i].size());
-    for (const cluster::Job* job : scratch_buckets_[i]) {
-      msg.batch_jobs.push_back(*job);
-    }
+    msg.batch_jobs = arena->append(scratch_buckets_[i]);
+    msg.arena = arena;
     msg.job = msg.batch_jobs.front();
-    // Awards held for this provider ride the flush for free: their text
-    // joins this message and the Pending parks without a wire message of
-    // its own (the reply still counts).
+    // Awards held for this run's (single) provider ride the flush for
+    // free: their text joins this message and the Pending parks without
+    // a wire message of its own (the reply still counts).
     for (auto& held : held_awards_) {
       if (held.dispatched || held.target != scratch_providers_[i]) continue;
       msg.batch_awards.push_back(
@@ -205,10 +244,24 @@ void AuctionPolicy::flush_solicitations() {
       held.dispatched = true;
       ctx_.park_award(std::move(held.pending), held.target);
     }
-    // One wire message for the whole batch: attribute it to the first
-    // job so the per-job counters still sum to the ledger total.
-    ++auctions_.find(msg.batch_jobs.front().id)->second.pending.messages;
-    ctx_.send(std::move(msg));
+    // Attribute the run's wire cost to the batch's first job so the
+    // per-job counters still sum to the ledger total (on the direct
+    // transport; the tree's shared edge messages return 0 and live in
+    // the ledger's relay counters instead).  A run carrying piggybacked
+    // awards must leave NOW: an award is an admission re-check whose
+    // reply timeout is already armed, so the transport gets no room to
+    // hold it back (the epoch hold that is fine for solicitations would
+    // systematically expire awards).
+    const cluster::JobId front_id = msg.job.id;
+    const sim::SimTime run_not_after =
+        msg.batch_awards.empty() ? not_after : ctx_.now();
+    const std::uint64_t wire = ctx_.multicast(
+        std::move(msg),
+        std::span<const cluster::ResourceIndex>(
+            scratch_providers_.data() + i, j - i),
+        run_not_after);
+    auctions_.find(front_id)->second.pending.messages += wire;
+    i = j;
   }
   // Held awards whose provider saw no solicitation after all (its
   // auctions cleared while the award waited) go out standalone: every
@@ -427,18 +480,23 @@ void AuctionPolicy::on_call_for_bids(const core::Message& msg) {
 void AuctionPolicy::on_bid(const core::Message& msg) {
   if (!msg.batch_bids.empty()) {
     // One wire message, several books: count it once (toward the first
-    // still-open auction it feeds) and enter every ask.
-    bool counted = false;
+    // still-open auction it feeds) and enter every ask.  A bid that
+    // rode the overlay was already booked by the transport as shared
+    // edge messages (ledger relay counters) — not per job.
+    bool counted = msg.via_overlay;
     for (const core::BatchedBid& entry : msg.batch_bids) {
       const auto it = auctions_.find(entry.job);
       if (it == auctions_.end()) continue;  // cleared at the timeout: stale
-      if (!counted) {
+      // The book rejects duplicates (a re-delivered wire message), so
+      // the message only counts once it actually enters a book.
+      const bool entered =
+          it->second.book.add(market::Bid{msg.from, entry.ask,
+                                          entry.completion_estimate,
+                                          entry.feasible});
+      if (entered && !counted) {
         ++it->second.pending.messages;
         counted = true;
       }
-      it->second.book.add(market::Bid{msg.from, entry.ask,
-                                      entry.completion_estimate,
-                                      entry.feasible});
       if (it->second.book.complete()) clear_auction(entry.job);
     }
     return;
@@ -446,9 +504,9 @@ void AuctionPolicy::on_bid(const core::Message& msg) {
   const auto it = auctions_.find(msg.job.id);
   if (it == auctions_.end()) return;  // book cleared at the timeout: stale bid
   OpenAuction& auction = it->second;
-  ++auction.pending.messages;
-  auction.book.add(market::Bid{msg.from, msg.price, msg.completion_estimate,
-                               msg.accept});
+  const bool entered = auction.book.add(
+      market::Bid{msg.from, msg.price, msg.completion_estimate, msg.accept});
+  if (entered && !msg.via_overlay) ++auction.pending.messages;
   if (auction.book.complete()) clear_auction(msg.job.id);
 }
 

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 
 #include "cluster/job.hpp"
 #include "cluster/lrms.hpp"
@@ -89,6 +90,14 @@ class SchedulerContext {
   // -- raw protocol services ----------------------------------------------
   /// Routes one message through the host (ledger + latency applied).
   virtual void send(core::Message msg) = 0;
+  /// Routes one payload to every target through the host's transport
+  /// (msg.to overwritten per target; `not_after` bounds transport-level
+  /// fan-out batching).  Returns the wire messages charged immediately —
+  /// see core::GfaHost::multicast.
+  virtual std::uint64_t multicast(core::Message msg,
+                                  std::span<const cluster::ResourceIndex>
+                                      targets,
+                                  sim::SimTime not_after) = 0;
   /// Provider-side admission for an enquiry delivered out of band (a
   /// piggybacked kAward): exact estimate, reserve, answer with a kReply.
   virtual void admit_enquiry(const core::Message& msg) = 0;

@@ -1,0 +1,14 @@
+#include "transport/message_arena.hpp"
+
+namespace gridfed::transport {
+
+std::span<const cluster::Job> MessageArena::append(
+    std::span<const cluster::Job* const> jobs) {
+  std::vector<cluster::Job>& block = blocks_.emplace_back();
+  block.reserve(jobs.size());
+  for (const cluster::Job* job : jobs) block.push_back(*job);
+  size_ += block.size();
+  return {block.data(), block.size()};
+}
+
+}  // namespace gridfed::transport

@@ -1,0 +1,48 @@
+#pragma once
+// Arena backing the batched call-for-bids payload.  A solicitation flush
+// used to copy every queued Job into each provider's Message — 50
+// providers meant 50 copies of the same job list.  Instead the flush
+// writes each *distinct* job list into one shared MessageArena and every
+// Message carries a span view plus a shared_ptr keep-alive, so payload
+// construction is O(jobs) per flush instead of O(jobs x providers) and
+// the storage dies exactly when the last in-flight copy of the message
+// does (delivery events, drop paths and duplicated deliveries included —
+// the ASan suite leans on this).
+//
+// Spans stay valid as the arena grows because each append gets its own
+// fixed-size block; nothing is ever moved after it is written.
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cluster/job.hpp"
+
+namespace gridfed::transport {
+
+/// Stable-address job storage for one solicitation flush.
+class MessageArena {
+ public:
+  MessageArena() = default;
+  MessageArena(const MessageArena&) = delete;
+  MessageArena& operator=(const MessageArena&) = delete;
+
+  /// Copies `jobs` (given as pointers, the flush's bucket form) into a
+  /// fresh block and returns the contiguous view.  The view outlives any
+  /// later append (blocks never reallocate).
+  [[nodiscard]] std::span<const cluster::Job> append(
+      std::span<const cluster::Job* const> jobs);
+
+  /// Jobs stored across every block (tests / diagnostics).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  std::vector<std::vector<cluster::Job>> blocks_;  // each filled once
+  std::size_t size_ = 0;
+};
+
+/// Shared handle messages carry: copies of a batched Message share one
+/// arena; the storage is freed when the last copy is destroyed.
+using ArenaHandle = std::shared_ptr<const MessageArena>;
+
+}  // namespace gridfed::transport

@@ -1,0 +1,52 @@
+#include "transport/transport.hpp"
+
+#include <utility>
+
+#include "transport/direct_transport.hpp"
+#include "transport/tree_transport.hpp"
+
+namespace gridfed::transport {
+
+sim::SimTime Transport::delay_for(const core::Message& msg) const {
+  const auto& cfg = ctx_.config();
+  if (!wan_) return cfg.network_latency;
+  if (msg.type == core::MessageType::kJobSubmission) {
+    // The job payload additionally ships Eq. 1's data volume.
+    return wan_->transfer_time(
+        msg.from, msg.to,
+        cluster::data_transferred(msg.job, ctx_.spec_of(msg.job.origin)));
+  }
+  return wan_->control_delay(msg.from, msg.to, core::wire_bytes(msg));
+}
+
+void Transport::schedule_delivery(core::Message msg, sim::SimTime delay) {
+  TransportContext* ctx = &ctx_;
+  ctx_.sim().schedule_in(delay, sim::EventPriority::kMessage,
+                         [ctx, msg = std::move(msg)] { ctx->deliver(msg); });
+}
+
+void Transport::direct_unicast(core::Message msg) {
+  ctx_.ledger().record(msg);
+  if (lost(msg.type)) return;
+  const sim::SimTime delay = delay_for(msg);
+  if (duplicated(msg.type)) {
+    // The network delivered twice: a second wire message with the same
+    // content (recorded as such), arriving at the same instant.
+    ctx_.ledger().record(msg);
+    schedule_delivery(msg, delay);
+  }
+  schedule_delivery(std::move(msg), delay);
+}
+
+std::unique_ptr<Transport> make_transport(
+    TransportContext& ctx, std::optional<network::LatencyModel> wan) {
+  switch (ctx.config().transport.kind) {
+    case TransportKind::kDirect:
+      return std::make_unique<DirectTransport>(ctx, std::move(wan));
+    case TransportKind::kTree:
+      return std::make_unique<TreeTransport>(ctx, std::move(wan));
+  }
+  __builtin_unreachable();
+}
+
+}  // namespace gridfed::transport

@@ -1,0 +1,73 @@
+#pragma once
+// Configuration of the message-delivery substrate (see transport.hpp for
+// the layer itself).  Kept dependency-free so core/config.hpp can embed a
+// TransportOptions without pulling the transport implementations in.
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace gridfed::transport {
+
+/// Which delivery substrate couples the GFAs.
+enum class TransportKind : std::uint8_t {
+  kDirect,  ///< point-to-point unicast per message (the paper's model)
+  kTree,    ///< k-ary overlay tree: epoch-batched call-for-bids fan-out
+            ///< with convergecast-aggregated bids
+};
+
+[[nodiscard]] constexpr const char* to_string(TransportKind kind) noexcept {
+  // Exhaustive: -Wswitch flags any kind added without a name here.
+  switch (kind) {
+    case TransportKind::kDirect:
+      return "direct";
+    case TransportKind::kTree:
+      return "tree";
+  }
+  __builtin_unreachable();
+}
+
+/// Knobs of the delivery substrate.  Only `kind` matters for kDirect.
+struct TransportOptions {
+  TransportKind kind = TransportKind::kDirect;
+
+  /// Branching factor of the dissemination tree (kTree).  The tree is a
+  /// k-ary heap layout over the federation's overlay ring keys
+  /// (overlay::ring_hash of the resource names), so it is deterministic,
+  /// balanced, and every node's degree is at most fanout + 1.
+  std::uint32_t tree_fanout = 4;
+
+  /// Fan-out batching epoch (kTree): queued call-for-bids multicasts are
+  /// released at epoch boundaries, so floods from *different origins*
+  /// share tree-edge wire messages — the cross-origin aggregation that
+  /// per-(origin, provider) batching cannot reach.  A job's solicitation
+  /// is still never held past the slack bound its origin passes with the
+  /// multicast (Transport::multicast's not_after).  0 collapses the
+  /// epoch to same-instant coalescing only.
+  sim::SimTime tree_epoch = 120.0;
+
+  /// Failure injection: probability that an idempotent acknowledgement
+  /// (kReply or kBid) is delivered twice.  Those two legs are safe to
+  /// duplicate by construction — a second reply finds its enquiry gone,
+  /// a second bid is rejected by the book — which is exactly the claim
+  /// the transport-seam duplication tests pin down.
+  double duplicate_rate = 0.0;
+};
+
+/// Depth of the k-ary heap tree over `n` nodes (0 for a single node).
+/// The single source of topology truth shared by TreeTransport's layout
+/// (parent(i) = (i-1)/k over the ring order) and the federation's
+/// timeout sanity bounds — a relayed round trip crosses up to 4 * depth
+/// edges (each leg climbs to the LCA and back down).
+[[nodiscard]] constexpr std::uint32_t tree_depth(std::size_t n,
+                                                 std::uint32_t fanout)
+    noexcept {
+  const std::uint32_t k = fanout < 1 ? 1 : fanout;
+  std::uint32_t depth = 0;
+  for (std::size_t pos = n > 0 ? n - 1 : 0; pos > 0; pos = (pos - 1) / k) {
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace gridfed::transport

@@ -1,0 +1,243 @@
+#include "transport/tree_transport.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "overlay/node_id.hpp"
+#include "sim/check.hpp"
+
+namespace gridfed::transport {
+
+TreeTransport::TreeTransport(TransportContext& ctx,
+                             std::optional<network::LatencyModel> wan)
+    : Transport(ctx, std::move(wan)) {
+  const std::size_t n = ctx_.sites();
+  GF_EXPECTS(n > 0);
+  fanout_ = std::max<std::uint32_t>(1, ctx_.config().transport.tree_fanout);
+  // The tree is the k-ary heap layout over the overlay ring order: sort
+  // by (ring key, index) — the same ids a ChordRing would assign the
+  // directory peers — so the topology is deterministic and independent
+  // of construction order.
+  std::vector<std::pair<overlay::RingKey, cluster::ResourceIndex>> keyed;
+  keyed.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto index = static_cast<cluster::ResourceIndex>(i);
+    keyed.emplace_back(overlay::ring_hash(ctx_.spec_of(index).name), index);
+  }
+  std::sort(keyed.begin(), keyed.end());
+  owner_at_.resize(n);
+  pos_of_.resize(n);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    owner_at_[pos] = keyed[pos].second;
+    pos_of_[keyed[pos].second] = static_cast<std::uint32_t>(pos);
+  }
+}
+
+cluster::ResourceIndex TreeTransport::parent_of(
+    cluster::ResourceIndex owner) const {
+  GF_EXPECTS(owner < pos_of_.size());
+  const std::uint32_t pos = pos_of_[owner];
+  return pos == 0 ? owner : owner_at_[parent_pos(pos)];
+}
+
+std::uint32_t TreeTransport::path_hops(cluster::ResourceIndex from,
+                                       cluster::ResourceIndex to) const {
+  GF_EXPECTS(from < pos_of_.size() && to < pos_of_.size());
+  std::vector<std::uint32_t> path;
+  path_positions(pos_of_[from], pos_of_[to], path);
+  return static_cast<std::uint32_t>(path.size() - 1);
+}
+
+void TreeTransport::path_positions(std::uint32_t a, std::uint32_t b,
+                                   std::vector<std::uint32_t>& out) const {
+  // Heap indices decrease strictly toward the root, so climbing the
+  // numerically larger endpoint converges on the lowest common ancestor
+  // without precomputing depths.
+  out.clear();
+  scratch_up_.clear();
+  std::uint32_t x = a;
+  std::uint32_t y = b;
+  while (x != y) {
+    if (x > y) {
+      out.push_back(x);
+      x = parent_pos(x);
+    } else {
+      scratch_up_.push_back(y);
+      y = parent_pos(y);
+    }
+  }
+  out.push_back(x);  // the LCA
+  out.insert(out.end(), scratch_up_.rbegin(), scratch_up_.rend());
+}
+
+void TreeTransport::unicast(core::Message msg) {
+  switch (msg.type) {
+    case core::MessageType::kBid: {
+      convergecast_queue_.push_back(std::move(msg));
+      if (!convergecast_armed_) {
+        convergecast_armed_ = true;
+        // Runs after every delivery of this instant, so all bids the
+        // instant produces share the flush.
+        ctx_.sim().schedule_at(ctx_.sim().now(), sim::EventPriority::kControl,
+                               [this] { flush_convergecast(); });
+      }
+      return;
+    }
+    default:
+      // Latency-critical admission legs and payload transfers stay
+      // point-to-point (see file comment in tree_transport.hpp).
+      direct_unicast(std::move(msg));
+      return;
+  }
+}
+
+std::uint64_t TreeTransport::multicast(
+    core::Message msg, std::span<const cluster::ResourceIndex> targets,
+    sim::SimTime not_after) {
+  if (targets.empty()) return 0;
+  fanout_queue_.push_back(
+      PendingFanout{std::move(msg), {targets.begin(), targets.end()}});
+  schedule_fanout_wake(not_after);
+  return 0;  // shared edge cost lands in the ledger's relay counters
+}
+
+void TreeTransport::schedule_fanout_wake(sim::SimTime not_after) {
+  const sim::SimTime now = ctx_.sim().now();
+  const sim::SimTime epoch = ctx_.config().transport.tree_epoch;
+  sim::SimTime boundary = now;
+  if (epoch > 0.0) boundary = std::ceil(now / epoch) * epoch;
+  // Release at the epoch boundary, earlier when the caller's slack
+  // bound demands it, and never in the past.
+  const sim::SimTime due = std::max(now, std::min(boundary, not_after));
+  if (due < fanout_due_) fanout_due_ = due;
+  ctx_.sim().schedule_at(due, sim::EventPriority::kControl,
+                         [this] { maybe_flush_fanout(); });
+}
+
+void TreeTransport::maybe_flush_fanout() {
+  // Every queued fan-out arms its own wake; only the one at the
+  // earliest due time flushes (stale wakes find the queue empty or the
+  // deadline moved), mirroring the policy-level flush pattern.
+  if (fanout_queue_.empty()) return;
+  if (ctx_.sim().now() < fanout_due_) return;
+  flush_fanout();
+}
+
+void TreeTransport::flush_fanout() {
+  std::vector<PendingFanout> queue = std::move(fanout_queue_);
+  fanout_queue_.clear();
+  fanout_due_ = sim::kTimeInfinity;
+  scratch_items_.clear();
+  for (std::size_t p = 0; p < queue.size(); ++p) {
+    const PendingFanout& entry = queue[p];
+    for (const cluster::ResourceIndex target : entry.targets) {
+      if (target == entry.msg.from) continue;  // self needs no wire
+      scratch_items_.push_back(
+          RelayItem{&entry.msg, target, static_cast<std::uint32_t>(p + 1)});
+    }
+  }
+  relay(scratch_items_, core::MessageType::kCallForBids);
+}
+
+void TreeTransport::flush_convergecast() {
+  convergecast_armed_ = false;
+  std::vector<core::Message> queue = std::move(convergecast_queue_);
+  convergecast_queue_.clear();
+  scratch_items_.clear();
+  scratch_items_.reserve(queue.size());
+  for (std::size_t p = 0; p < queue.size(); ++p) {
+    scratch_items_.push_back(RelayItem{&queue[p], queue[p].to,
+                                       static_cast<std::uint32_t>(p + 1)});
+  }
+  relay(scratch_items_, core::MessageType::kBid);
+}
+
+void TreeTransport::relay(std::span<const RelayItem> items,
+                          core::MessageType type) {
+  if (items.empty()) return;
+  const std::size_t n = owner_at_.size();
+  scratch_edges_.clear();
+  scratch_edge_index_.clear();
+
+  // Pass 1 — edge usage.  A payload crosses each edge of the union of
+  // its target paths once, however many targets sit behind it, so byte
+  // booking dedups per (payload, edge) via the last_payload marker.
+  for (const RelayItem& item : items) {
+    const std::uint32_t payload_id = item.payload_id;
+    const std::uint64_t bytes = core::wire_bytes(*item.payload);
+    path_positions(pos_of_[item.payload->from], pos_of_[item.target],
+                   scratch_path_);
+    for (std::size_t h = 0; h + 1 < scratch_path_.size(); ++h) {
+      const std::uint64_t key =
+          static_cast<std::uint64_t>(scratch_path_[h]) * n +
+          scratch_path_[h + 1];
+      auto [it, inserted] = scratch_edge_index_.emplace(
+          key, static_cast<std::uint32_t>(scratch_edges_.size()));
+      if (inserted) {
+        scratch_edges_.push_back(
+            EdgeUse{scratch_path_[h], scratch_path_[h + 1], 0, 0, true});
+      }
+      EdgeUse& edge = scratch_edges_[it->second];
+      // Same payload, same edge (shared subpath of two targets): the
+      // payload's bytes cross once.
+      const bool first_touch = edge.last_payload != payload_id;
+      edge.last_payload = payload_id;
+      if (first_touch) edge.bytes += bytes;
+    }
+  }
+
+  // Pass 2 — one wire message per directed edge, booked in first-touch
+  // order (deterministic), each drawing its own loss verdict.  Lost
+  // edge messages are still recorded: a lost send costs its send, as in
+  // the point-to-point seed.
+  for (EdgeUse& edge : scratch_edges_) {
+    ctx_.ledger().record_relay(owner_at_[edge.from_pos],
+                               owner_at_[edge.to_pos], type, edge.bytes);
+    edge.alive = !lost(type);  // loss lottery per wire message
+  }
+
+  // Pass 3 — deliver every payload whose whole path survived, after the
+  // summed per-hop control delay (size-aware under the WAN model, like
+  // every direct leg: a relayed payload pays its own transmission time
+  // on each store-and-forward hop).
+  for (const RelayItem& item : items) {
+    const std::uint64_t bytes = core::wire_bytes(*item.payload);
+    path_positions(pos_of_[item.payload->from], pos_of_[item.target],
+                   scratch_path_);
+    bool alive = true;
+    sim::SimTime delay = 0.0;
+    for (std::size_t h = 0; h + 1 < scratch_path_.size(); ++h) {
+      const std::uint64_t key =
+          static_cast<std::uint64_t>(scratch_path_[h]) * n +
+          scratch_path_[h + 1];
+      const EdgeUse& edge = scratch_edges_[scratch_edge_index_.at(key)];
+      if (!edge.alive) {
+        alive = false;
+        break;
+      }
+      const cluster::ResourceIndex a = owner_at_[scratch_path_[h]];
+      const cluster::ResourceIndex b = owner_at_[scratch_path_[h + 1]];
+      delay += wan_ ? wan_->control_delay(a, b, bytes)
+                    : ctx_.config().network_latency;
+    }
+    if (!alive) continue;
+    core::Message out = *item.payload;
+    out.to = item.target;
+    out.via_overlay = true;
+    if (duplicated(out.type)) {
+      // The final hop delivered twice: one extra edge message.
+      const std::size_t last = scratch_path_.size() - 1;
+      const cluster::ResourceIndex hop_from =
+          owner_at_[scratch_path_[last > 0 ? last - 1 : 0]];
+      if (hop_from != item.target) {
+        ctx_.ledger().record_relay(hop_from, item.target, type,
+                                   core::wire_bytes(out));
+      }
+      schedule_delivery(out, delay);
+    }
+    schedule_delivery(std::move(out), delay);
+  }
+}
+
+}  // namespace gridfed::transport

@@ -1,0 +1,135 @@
+#pragma once
+// Overlay-tree delivery: the call-for-bids fan-out rides a k-ary
+// dissemination tree built over the federation's Chord ring keys, and
+// the bid replies aggregate on the convergecast path — the
+// "gossip/tree overlay for the call-for-bids fan-out itself" scale
+// follow-on from the ROADMAP.
+//
+// Why a tree reduces *wire messages* when every provider must still
+// receive every solicitation: per-(origin, provider) batching (PR 2)
+// cannot merge traffic from different origins, so at 50 clusters each
+// flush still costs ~2 messages per (origin, provider) pair.  The tree
+// gives all origins one shared edge set (N-1 edges, degree <= k+1), and
+// the transport releases queued fan-outs at epoch boundaries
+// (TransportOptions::tree_epoch): every payload crossing a tree edge in
+// the same instant shares one wire message, so an epoch's whole
+// federation-wide solicitation load costs O(edges), not O(origins x
+// providers).  Replies come back the same way: all bids for an epoch's
+// solicitations leave their providers in the same instant, and relays
+// coalesce them per edge-direction on the paths back to their origins.
+//
+// Topology: nodes are ordered by (overlay::ring_hash(name), index) —
+// the ChordRing's node ids — and the tree is the k-ary heap layout over
+// that order: parent(i) = (i-1)/k.  Deterministic, balanced (depth
+// ceil(log_k n)), and rebuilt trivially because federation membership
+// is quasi-static per run (as in the paper's experiments).
+//
+// Every other protocol leg (negotiate, reply, award, the job payload
+// and its completion) stays point-to-point: those are latency-critical
+// admission messages, and delaying them is exactly the anticipatory
+// holding PR 3 measured to destroy acceptance.
+//
+// Accounting: edge messages carry payloads of many origins, so they are
+// booked through MessageLedger::record_relay (counted once
+// federation-wide, relay load at both endpoints) and delivered payloads
+// are flagged via_overlay so per-job policy counters do not double-book
+// them.  Loss injection applies per *edge message*: a lost edge loses
+// the whole subtree behind it, exactly as a real overlay would.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "transport/transport.hpp"
+
+namespace gridfed::transport {
+
+class TreeTransport final : public Transport {
+ public:
+  TreeTransport(TransportContext& ctx,
+                std::optional<network::LatencyModel> wan);
+
+  /// kBid joins the same-instant convergecast; everything else goes
+  /// point-to-point.  (The call-for-bids fan-out always arrives through
+  /// multicast() — both the batched flush and the per-job broadcast —
+  /// so a unicast kCallForBids would simply be delivered directly.)
+  void unicast(core::Message msg) override;
+
+  /// Queues the fan-out for the next epoch boundary (never past
+  /// `not_after`).  Returns 0: the shared edge messages land in the
+  /// ledger's relay counters at flush time.
+  std::uint64_t multicast(core::Message msg,
+                          std::span<const cluster::ResourceIndex> targets,
+                          sim::SimTime not_after) override;
+
+  // ---- topology introspection (tests, diagnostics) -----------------------
+  /// Tree parent of `owner` (the root returns itself).
+  [[nodiscard]] cluster::ResourceIndex parent_of(
+      cluster::ResourceIndex owner) const;
+  /// Edges on the unique tree path between two nodes.
+  [[nodiscard]] std::uint32_t path_hops(cluster::ResourceIndex from,
+                                        cluster::ResourceIndex to) const;
+  [[nodiscard]] cluster::ResourceIndex root() const { return owner_at_[0]; }
+
+ private:
+  /// One queued fan-out awaiting the epoch flush.
+  struct PendingFanout {
+    core::Message msg;
+    std::vector<cluster::ResourceIndex> targets;
+  };
+  /// One payload-to-destination segment of a relay flush.  Segments of
+  /// one fan-out payload share a payload_id: the payload crosses a
+  /// shared edge once however many targets sit behind it.
+  struct RelayItem {
+    const core::Message* payload = nullptr;
+    cluster::ResourceIndex target = cluster::kNoResource;
+    std::uint32_t payload_id = 0;
+  };
+  /// One directed tree edge touched by the current relay flush.
+  struct EdgeUse {
+    std::uint32_t from_pos = 0;
+    std::uint32_t to_pos = 0;
+    std::uint64_t bytes = 0;
+    std::uint32_t last_payload = 0;  ///< dedups per-payload byte booking
+    bool alive = true;
+  };
+
+  [[nodiscard]] std::uint32_t parent_pos(std::uint32_t pos) const noexcept {
+    return (pos - 1) / fanout_;
+  }
+  /// Node-position sequence of the unique tree path a -> b (inclusive).
+  void path_positions(std::uint32_t a, std::uint32_t b,
+                      std::vector<std::uint32_t>& out) const;
+
+  void schedule_fanout_wake(sim::SimTime not_after);
+  void maybe_flush_fanout();
+  void flush_fanout();
+  void flush_convergecast();
+
+  /// The shared relay machinery: books one wire message per directed
+  /// edge used this flush (loss lottery per edge), then delivers every
+  /// payload whose whole path survived, after the summed per-hop
+  /// latency.
+  void relay(std::span<const RelayItem> items, core::MessageType type);
+
+  std::uint32_t fanout_ = 4;
+  std::vector<cluster::ResourceIndex> owner_at_;  ///< position -> resource
+  std::vector<std::uint32_t> pos_of_;             ///< resource -> position
+
+  std::vector<PendingFanout> fanout_queue_;
+  sim::SimTime fanout_due_ = sim::kTimeInfinity;
+
+  std::vector<core::Message> convergecast_queue_;
+  bool convergecast_armed_ = false;
+
+  // Scratch reused across flushes (hot path at 50 clusters).
+  std::vector<RelayItem> scratch_items_;
+  std::vector<EdgeUse> scratch_edges_;
+  std::unordered_map<std::uint64_t, std::uint32_t> scratch_edge_index_;
+  std::vector<std::uint32_t> scratch_path_;
+  /// path_positions is logically const (path_hops introspection).
+  mutable std::vector<std::uint32_t> scratch_up_;
+};
+
+}  // namespace gridfed::transport

@@ -1,0 +1,387 @@
+// Transport-layer suite.  The delivery-path extraction moved the old
+// Federation::send() seam behind transport::Transport; these tests pin
+//
+//  * DirectTransport to the seed implementation's per-job outcomes
+//    bit-identically (same golden FNV digests as tests/test_policy.cpp),
+//    for all four scheduling modes;
+//  * TreeTransport's topology invariants, determinism under seed
+//    replay, and its headline property: fewer wire messages than the
+//    batched direct baseline at scale, with every bid still delivered;
+//  * failure injection through the transport seam: loss on the enquiry
+//    channel (tree edge messages included) and duplication of the
+//    idempotent acknowledgement legs (kReply/kBid), which must be
+//    outcome-invisible by construction;
+//  * MessageArena lifetime: batched payload storage must outlive every
+//    in-flight copy — dropped, duplicated or delayed (the CI sanitize
+//    job runs this suite under ASan+UBSan).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/catalog.hpp"
+#include "core/experiment.hpp"
+#include "sim/hash.hpp"
+#include "transport/message_arena.hpp"
+#include "transport/tree_transport.hpp"
+#include "workload/synthetic.hpp"
+
+namespace gridfed {
+namespace {
+
+template <typename T>
+std::uint64_t mix(std::uint64_t h, T value) {
+  return sim::fnv1a_mix(h, value);
+}
+
+std::uint64_t outcome_hash(const std::vector<core::JobOutcome>& outcomes) {
+  std::vector<const core::JobOutcome*> sorted;
+  sorted.reserve(outcomes.size());
+  for (const auto& o : outcomes) sorted.push_back(&o);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const core::JobOutcome* a, const core::JobOutcome* b) {
+              return a->job.id < b->job.id;
+            });
+  std::uint64_t h = sim::kFnvOffsetBasis;
+  for (const core::JobOutcome* o : sorted) {
+    h = mix(h, o->job.id);
+    h = mix(h, static_cast<std::uint64_t>(o->accepted));
+    h = mix(h, static_cast<std::uint64_t>(o->executed_on));
+    h = mix(h, o->start);
+    h = mix(h, o->completion);
+    h = mix(h, o->cost);
+    h = mix(h, static_cast<std::uint64_t>(o->negotiations));
+    h = mix(h, o->messages);
+  }
+  return h;
+}
+
+struct RunDigest {
+  std::uint64_t hash = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t relays = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  stats::AuctionStats auctions;
+};
+
+RunDigest digest(const core::FederationConfig& cfg, std::uint32_t oft,
+                 std::size_t n_resources = 8) {
+  auto specs = cluster::replicated_specs(n_resources);
+  core::Federation fed(cfg, specs);
+  const auto traces =
+      workload::generate_federation_workload(specs, cfg.window, cfg.seed);
+  std::optional<workload::PopulationProfile> profile;
+  if (cfg.mode == core::SchedulingMode::kEconomy ||
+      cfg.mode == core::SchedulingMode::kAuction) {
+    profile = workload::PopulationProfile{oft};
+  }
+  fed.load_workload(traces, profile);
+  const auto result = fed.run();
+  return RunDigest{outcome_hash(fed.outcomes()), result.total_messages,
+                   result.total_message_bytes,
+                   result.overlay_relay_messages, fed.messages_dropped(),
+                   result.total_accepted, result.total_rejected,
+                   result.auctions};
+}
+
+core::FederationConfig tree_config(core::SchedulingMode mode) {
+  auto cfg = core::make_config(mode);
+  cfg.transport.kind = transport::TransportKind::kTree;
+  return cfg;
+}
+
+// ---- DirectTransport: parity with the pre-transport seam --------------------
+// Golden digests captured from the pre-refactor tree (the hard-wired
+// Federation::send() at commit "PR 3"); identical to test_policy.cpp.
+
+TEST(DirectTransport, IndependentReproducesSeed) {
+  auto cfg = core::make_config(core::SchedulingMode::kIndependent);
+  cfg.transport.kind = transport::TransportKind::kDirect;  // explicit
+  const auto d = digest(cfg, 0);
+  EXPECT_EQ(d.hash, 0x6ec2c1006e3a08ebULL);
+  EXPECT_EQ(d.messages, 0u);
+}
+
+TEST(DirectTransport, NoEconomyReproducesSeed) {
+  const auto d =
+      digest(core::make_config(core::SchedulingMode::kFederationNoEconomy), 0);
+  EXPECT_EQ(d.hash, 0xbaf2d890e647929cULL);
+  EXPECT_EQ(d.messages, 5138u);
+}
+
+TEST(DirectTransport, DbcReproducesSeed) {
+  const auto d = digest(core::make_config(core::SchedulingMode::kEconomy), 30);
+  EXPECT_EQ(d.hash, 0x2514c40b32638affULL);
+  EXPECT_EQ(d.messages, 14758u);
+}
+
+TEST(DirectTransport, AuctionReproducesSeed) {
+  const auto d = digest(core::make_config(core::SchedulingMode::kAuction), 30);
+  EXPECT_EQ(d.hash, 0xade2c15285cc51f7ULL);
+  EXPECT_EQ(d.messages, 45550u);
+}
+
+TEST(DirectTransport, BatchedAuctionReproducesSeed) {
+  auto cfg = core::make_config(core::SchedulingMode::kAuction);
+  cfg.auction.batch_solicitations = true;
+  cfg.auction.solicit_batch_window = 300.0;
+  const auto d = digest(cfg, 30);
+  EXPECT_EQ(d.hash, 0xce9c52fe69546cbcULL);
+  EXPECT_EQ(d.messages, 27796u);
+  EXPECT_EQ(d.relays, 0u);  // no overlay on the direct transport
+}
+
+// ---- tree topology ----------------------------------------------------------
+
+TEST(TreeTopology, HeapLayoutInvariants) {
+  const auto cfg = tree_config(core::SchedulingMode::kAuction);
+  auto specs = cluster::replicated_specs(50);
+  core::Federation fed(cfg, specs);
+  const auto* tree =
+      dynamic_cast<const transport::TreeTransport*>(&fed.transport());
+  ASSERT_NE(tree, nullptr);
+
+  const cluster::ResourceIndex root = tree->root();
+  EXPECT_EQ(tree->parent_of(root), root);
+  for (cluster::ResourceIndex r = 0; r < 50; ++r) {
+    // Every node reaches the root by climbing parents (no cycles), in
+    // at most ceil(log_k n) steps for k = 4, n = 50 -> depth <= 3.
+    cluster::ResourceIndex at = r;
+    std::uint32_t climbs = 0;
+    while (at != root) {
+      at = tree->parent_of(at);
+      ASSERT_LE(++climbs, 3u);
+    }
+    EXPECT_EQ(tree->path_hops(root, r), climbs);
+    EXPECT_EQ(tree->path_hops(r, root), climbs);
+    EXPECT_EQ(tree->path_hops(r, r), 0u);
+  }
+  // Path length is symmetric and bounded by twice the depth.
+  for (cluster::ResourceIndex a = 0; a < 50; a += 7) {
+    for (cluster::ResourceIndex b = 0; b < 50; b += 11) {
+      EXPECT_EQ(tree->path_hops(a, b), tree->path_hops(b, a));
+      EXPECT_LE(tree->path_hops(a, b), 6u);
+    }
+  }
+}
+
+// ---- tree transport: behaviour ---------------------------------------------
+
+TEST(TreeTransport, DeterministicUnderSeedReplay) {
+  auto cfg = tree_config(core::SchedulingMode::kAuction);
+  cfg.auction.batch_solicitations = true;
+  cfg.auction.solicit_batch_window = 300.0;
+  const auto a = digest(cfg, 30);
+  const auto b = digest(cfg, 30);
+  EXPECT_EQ(a.hash, b.hash);
+  EXPECT_EQ(a.messages, b.messages);
+  EXPECT_EQ(a.relays, b.relays);
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_GT(a.relays, 0u);  // the fan-out actually rode the overlay
+  // Every job resolved.
+  EXPECT_EQ(a.accepted + a.rejected, 2662u);
+}
+
+TEST(TreeTransport, EveryBidStillReachesItsBook) {
+  // The overlay delays and aggregates but must not lose anything under
+  // a lossless network: books stay as thick as on the direct transport.
+  auto direct = core::make_config(core::SchedulingMode::kAuction);
+  direct.auction.batch_solicitations = true;
+  direct.auction.solicit_batch_window = 300.0;
+  auto tree = direct;
+  tree.transport.kind = transport::TransportKind::kTree;
+  const auto d = digest(direct, 30, 20);
+  const auto t = digest(tree, 30, 20);
+  EXPECT_EQ(t.auctions.held, d.auctions.held);
+  EXPECT_DOUBLE_EQ(t.auctions.bids_per_auction.mean(),
+                   d.auctions.bids_per_auction.mean());
+  EXPECT_DOUBLE_EQ(t.auctions.solicited_per_auction.mean(),
+                   d.auctions.solicited_per_auction.mean());
+}
+
+TEST(TreeTransport, CutsWireMessagesVersusBatchedDirectAtScale) {
+  // The headline property at 20 clusters (fig10 extends this to 50):
+  // epoch-shared tree edges must cut total wire messages well below the
+  // per-(origin, provider) batched baseline without losing jobs.
+  auto direct = core::make_config(core::SchedulingMode::kAuction);
+  direct.auction.batch_solicitations = true;
+  direct.auction.solicit_batch_window = 300.0;
+  auto tree = direct;
+  tree.transport.kind = transport::TransportKind::kTree;
+  const auto d = digest(direct, 30, 20);
+  const auto t = digest(tree, 30, 20);
+  EXPECT_LT(static_cast<double>(t.messages),
+            0.75 * static_cast<double>(d.messages));
+  EXPECT_EQ(t.accepted + t.rejected, d.accepted + d.rejected);
+  // Acceptance must not pay for the message win (within 1%).
+  EXPECT_GE(static_cast<double>(t.accepted),
+            0.99 * static_cast<double>(d.accepted));
+}
+
+TEST(TreeTransport, LossInjectionThroughTheSeam) {
+  // A lost tree edge loses the whole subtree behind it; timeouts must
+  // still resolve every job.
+  auto cfg = tree_config(core::SchedulingMode::kAuction);
+  cfg.auction.batch_solicitations = true;
+  cfg.auction.solicit_batch_window = 300.0;
+  cfg.message_drop_rate = 0.2;
+  cfg.negotiate_timeout = 30.0;
+  cfg.network_latency = 1.0;
+  cfg.auction.bid_timeout = 200.0;  // > 2 * latency + tree_epoch (120)
+  const auto d = digest(cfg, 30);
+  EXPECT_GT(d.dropped, 0u);
+  EXPECT_EQ(d.accepted + d.rejected, 2662u);
+  const auto replay = digest(cfg, 30);
+  EXPECT_EQ(replay.hash, d.hash);
+  EXPECT_EQ(replay.dropped, d.dropped);
+}
+
+// ---- duplication injection --------------------------------------------------
+
+TEST(Duplication, IdempotentLegsAreOutcomeInvisibleOnDirect) {
+  // kReply and kBid are safe to deliver twice by construction: a second
+  // reply finds its enquiry resolved, a duplicate bid is rejected by
+  // the book.  Outcomes must be bit-identical to the duplication-free
+  // run; only the ledger sees the extra wire messages.
+  auto cfg = core::make_config(core::SchedulingMode::kAuction);
+  cfg.network_latency = 1.0;
+  const auto clean = digest(cfg, 30);
+  cfg.transport.duplicate_rate = 0.3;
+  const auto dup = digest(cfg, 30);
+  EXPECT_EQ(dup.hash, clean.hash);
+  EXPECT_GT(dup.messages, clean.messages);
+  EXPECT_EQ(dup.accepted, clean.accepted);
+  EXPECT_EQ(dup.rejected, clean.rejected);
+}
+
+TEST(Duplication, OutcomeInvisibleOnTree) {
+  auto cfg = tree_config(core::SchedulingMode::kAuction);
+  cfg.auction.batch_solicitations = true;
+  cfg.auction.solicit_batch_window = 300.0;
+  const auto clean = digest(cfg, 30);
+  cfg.transport.duplicate_rate = 0.3;
+  const auto dup = digest(cfg, 30);
+  EXPECT_EQ(dup.hash, clean.hash);
+  EXPECT_GT(dup.messages, clean.messages);
+}
+
+TEST(Duplication, DbcRepliesTolerateDuplication) {
+  auto cfg = core::make_config(core::SchedulingMode::kEconomy);
+  cfg.network_latency = 1.0;
+  const auto clean = digest(cfg, 30);
+  cfg.transport.duplicate_rate = 0.5;
+  const auto dup = digest(cfg, 30);
+  EXPECT_EQ(dup.hash, clean.hash);
+  EXPECT_GT(dup.messages, clean.messages);
+}
+
+// ---- arena lifetime ---------------------------------------------------------
+
+TEST(MessageArena, SpansSurviveLaterAppends) {
+  transport::MessageArena arena;
+  cluster::Job a;
+  a.id = 1;
+  a.length_mi = 10.0;
+  cluster::Job b;
+  b.id = 2;
+  b.length_mi = 20.0;
+  const cluster::Job* first[] = {&a, &b};
+  const auto view1 = arena.append(first);
+  ASSERT_EQ(view1.size(), 2u);
+  // Force many more blocks; the first view must stay valid.
+  std::vector<cluster::Job> bulk(64);
+  std::vector<const cluster::Job*> ptrs;
+  for (auto& j : bulk) ptrs.push_back(&j);
+  for (int i = 0; i < 32; ++i) (void)arena.append(ptrs);
+  EXPECT_EQ(arena.size(), 2u + 32u * 64u);
+  EXPECT_EQ(view1[0].id, 1u);
+  EXPECT_EQ(view1[1].id, 2u);
+  EXPECT_DOUBLE_EQ(view1[1].length_mi, 20.0);
+}
+
+TEST(MessageArena, BatchedPayloadsOutliveDropsDelaysAndDuplicates) {
+  // Batched + lossy + duplicated + latency: arena-backed payloads sit in
+  // flight, get dropped, get delivered twice — the ASan CI job turns any
+  // lifetime mistake here into a hard failure.
+  auto cfg = core::make_config(core::SchedulingMode::kAuction);
+  cfg.auction.batch_solicitations = true;
+  cfg.auction.solicit_batch_window = 300.0;
+  cfg.message_drop_rate = 0.4;
+  cfg.negotiate_timeout = 30.0;
+  cfg.network_latency = 1.0;
+  cfg.auction.bid_timeout = 30.0;
+  cfg.transport.duplicate_rate = 0.4;
+  const auto d = digest(cfg, 30);
+  EXPECT_EQ(d.accepted + d.rejected, 2662u);
+  EXPECT_GT(d.dropped, 0u);
+
+  auto tree = cfg;
+  tree.transport.kind = transport::TransportKind::kTree;
+  tree.auction.bid_timeout = 300.0;  // outlast the fan-out epoch too
+  const auto t = digest(tree, 30);
+  EXPECT_EQ(t.accepted + t.rejected, 2662u);
+}
+
+// ---- per-type message/byte counters ----------------------------------------
+
+TEST(MessageBytes, PerTypeCountersSumToTotals) {
+  auto cfg = core::make_config(core::SchedulingMode::kAuction);
+  cfg.auction.batch_solicitations = true;
+  cfg.auction.solicit_batch_window = 300.0;
+  const auto result = core::run_experiment(cfg, 8, 30);
+  std::uint64_t msgs = 0;
+  std::uint64_t bytes = 0;
+  for (std::size_t t = 0; t < core::kMessageTypeCount; ++t) {
+    msgs += result.messages_by_type[t];
+    bytes += result.bytes_by_type[t];
+  }
+  EXPECT_EQ(msgs, result.total_messages);
+  EXPECT_EQ(bytes, result.total_message_bytes);
+  EXPECT_GT(bytes, 0u);
+  // A batched call-for-bids carries many jobs: its mean size must
+  // exceed a bid's.
+  const auto cfb = static_cast<std::size_t>(core::MessageType::kCallForBids);
+  const auto bid = static_cast<std::size_t>(core::MessageType::kBid);
+  ASSERT_GT(result.messages_by_type[cfb], 0u);
+  ASSERT_GT(result.messages_by_type[bid], 0u);
+  EXPECT_GT(static_cast<double>(result.bytes_by_type[cfb]) /
+                static_cast<double>(result.messages_by_type[cfb]),
+            static_cast<double>(result.bytes_by_type[bid]) /
+                static_cast<double>(result.messages_by_type[bid]));
+}
+
+TEST(MessageBytes, WireModelScalesWithBatch) {
+  core::Message msg;
+  const std::uint64_t single = core::wire_bytes(msg);
+  transport::MessageArena arena;
+  std::vector<cluster::Job> jobs(10);
+  std::vector<const cluster::Job*> ptrs;
+  for (auto& j : jobs) ptrs.push_back(&j);
+  msg.batch_jobs = arena.append(ptrs);
+  EXPECT_EQ(core::wire_bytes(msg),
+            single + 9 * core::kJobWireBytes);
+}
+
+// ---- size-aware WAN control delay ------------------------------------------
+
+TEST(ControlDelay, GrowsWithMessageSize) {
+  network::NetworkConfig cfg;
+  cfg.kind = network::LatencyKind::kConstant;
+  cfg.base_latency = 0.05;
+  const network::LatencyModel wan(cfg, cluster::table1_specs());
+  const auto small = wan.control_delay(0, 1, 64);
+  const auto large = wan.control_delay(0, 1, 64 * 1024);
+  EXPECT_GT(small, wan.latency(0, 1) - 1e-12);
+  EXPECT_GT(large, small);
+  EXPECT_DOUBLE_EQ(wan.control_delay(2, 2, 1024), 0.0);
+  // Exactly the transfer-time formula at gigabit scale.
+  EXPECT_DOUBLE_EQ(wan.control_delay(0, 1, 1'000'000'000ull / 8ull),
+                   wan.transfer_time(0, 1, 1.0));
+}
+
+}  // namespace
+}  // namespace gridfed
