@@ -127,6 +127,10 @@ struct BatchingPoint {
   /// Batched solicitation over TransportKind::kTree (default fan-out and
   /// epoch): the cross-origin overlay aggregation on top of batching.
   core::FederationResult tree;
+  /// The tree run with latency-proximity coalitions (ring buckets of
+  /// kBenchCoalitionBucket) bidding as one participant each: the
+  /// group-addressed dissemination on top of the overlay.
+  core::FederationResult coalition;
 
   [[nodiscard]] double reduction_pct() const {
     const double u = unbatched.msgs_per_job.mean();
@@ -142,6 +146,12 @@ struct BatchingPoint {
     const double u = batched.wire_msgs_per_job();
     return u > 0.0 ? 100.0 * (1.0 - tree.wire_msgs_per_job() / u) : 0.0;
   }
+  /// Coalition-vs-tree: what group-addressed dissemination saves on top
+  /// of the overlay (the PR 5 headline), on the same wire metric.
+  [[nodiscard]] double coalition_reduction_pct() const {
+    const double u = tree.wire_msgs_per_job();
+    return u > 0.0 ? 100.0 * (1.0 - coalition.wire_msgs_per_job() / u) : 0.0;
+  }
 };
 
 /// The batch window the scaling benches report (chosen so the two-day
@@ -151,6 +161,10 @@ inline constexpr double kBenchBatchWindow = 300.0;
 
 /// One-way message latency of the piggyback comparison's WAN setting.
 inline constexpr double kBenchPiggybackLatency = 1.0;
+
+/// Ring-bucket size of the coalition comparison (4 ring-adjacent
+/// clusters per coalition, the CoalitionConfig default).
+inline constexpr std::uint32_t kBenchCoalitionBucket = 4;
 
 /// Runs the auction-mode batching comparison over `sizes` at a 70/30
 /// OFC/OFT population.
@@ -169,6 +183,9 @@ inline std::vector<BatchingPoint> auction_batching_series(
     auto tree_cfg = cfg;
     tree_cfg.transport.kind = transport::TransportKind::kTree;
     point.tree = core::run_experiment(tree_cfg, n, oft_percent);
+    tree_cfg.coalitions.enabled = true;
+    tree_cfg.coalitions.bucket_size = kBenchCoalitionBucket;
+    point.coalition = core::run_experiment(tree_cfg, n, oft_percent);
     cfg.network_latency = kBenchPiggybackLatency;
     point.batched_wan = core::run_experiment(cfg, n, oft_percent);
     cfg.auction.piggyback_awards = true;

@@ -104,6 +104,32 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", tt.str().c_str());
 
+  // ---- coalitions (participant layer) on top of the tree ------------------
+  std::printf("Coalitions (ring buckets of %u bidding as one participant, "
+              "group-addressed\ndissemination through representatives) on "
+              "top of the tree overlay:\n\n",
+              bench::kBenchCoalitionBucket);
+  stats::Table ct({"System size", "Tree wire msgs/job",
+                   "Coalition wire msgs/job", "Reduction %", "Coalitions",
+                   "Local msgs", "Accept % (c)", "Resp delta %"});
+  for (const auto& p : batching) {
+    const double resp_delta =
+        p.tree.fed_response_excl.mean() > 0.0
+            ? 100.0 * (p.coalition.fed_response_excl.mean() /
+                           p.tree.fed_response_excl.mean() -
+                       1.0)
+            : 0.0;
+    ct.add_row({std::to_string(p.size),
+                stats::Table::num(p.tree.wire_msgs_per_job(), 2),
+                stats::Table::num(p.coalition.wire_msgs_per_job(), 2),
+                stats::Table::num(p.coalition_reduction_pct(), 1),
+                std::to_string(p.coalition.coalitions_formed),
+                std::to_string(p.coalition.coalition_local_messages),
+                stats::Table::num(p.coalition.acceptance_pct(), 2),
+                stats::Table::num(resp_delta, 2)});
+  }
+  std::printf("%s\n", ct.str().c_str());
+
   std::printf("Per-type wire breakdown at the largest point (batched direct "
               "vs tree):\n\n");
   {
@@ -190,6 +216,13 @@ int main(int argc, char** argv) {
           "\"tree_accept_pct\": %.2f, "
           "\"tree_mean_response_s\": %.2f, "
           "\"batched_mean_response_s\": %.2f, "
+          "\"coalition_wire_msgs_per_job\": %.4f, "
+          "\"coalition_reduction_pct\": %.2f, "
+          "\"coalitions_formed\": %zu, "
+          "\"coalition_local_messages\": %llu, "
+          "\"coalition_awards\": %llu, "
+          "\"coalition_accept_pct\": %.2f, "
+          "\"coalition_mean_response_s\": %.2f, "
           "\"wan_batched_msgs_per_job\": %.4f, "
           "\"wan_piggyback_msgs_per_job\": %.4f, "
           "\"piggyback_reduction_pct\": %.2f, "
@@ -206,6 +239,13 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(p.tree.overlay_relay_messages),
           p.tree.acceptance_pct(), p.tree.fed_response_excl.mean(),
           p.batched.fed_response_excl.mean(),
+          p.coalition.wire_msgs_per_job(), p.coalition_reduction_pct(),
+          p.coalition.coalitions_formed,
+          static_cast<unsigned long long>(
+              p.coalition.coalition_local_messages),
+          static_cast<unsigned long long>(p.coalition.coalition_awards),
+          p.coalition.acceptance_pct(),
+          p.coalition.fed_response_excl.mean(),
           p.batched_wan.msgs_per_job.mean(),
           p.piggyback.msgs_per_job.mean(), p.piggyback_reduction_pct(),
           static_cast<unsigned long long>(

@@ -4,9 +4,12 @@
 Compares a freshly measured fig10 JSON (bench_fig10_msg_per_job_scaling
 --json=...) against the checked-in BENCH_messages.json and fails when
 messages/job regressed by more than the tolerance on any point present
-in both files — on the batched direct transport AND on the tree
-transport (the PR 4 headline).  Points are matched by federation size,
-so the CI smoke run may measure only the 50-cluster point.
+in both files — on the batched direct transport, the tree transport
+(the PR 4 headline), AND the coalition mode riding the tree (the PR 5
+group-addressed dissemination).  Points are matched by federation size,
+so the CI smoke run may measure only the 50-cluster point.  A metric
+missing from the baseline (an older BENCH_messages.json) is skipped, so
+adding a mode never breaks existing baselines.
 
 Usage: check_messages.py MEASURED.json CHECKED_IN.json [tolerance_pct]
 """
@@ -22,7 +25,8 @@ def points(doc):
     return {p["size"]: p for p in fig10["auction_batching"]["points"]}
 
 
-METRICS = ("batched_msgs_per_job", "tree_wire_msgs_per_job")
+METRICS = ("batched_msgs_per_job", "tree_wire_msgs_per_job",
+           "coalition_wire_msgs_per_job")
 
 
 def main():

@@ -1,0 +1,55 @@
+#pragma once
+// Configuration of the coalition extension (see coalition_manager.hpp for
+// the layer itself).  Kept dependency-free so core/config.hpp can embed a
+// CoalitionConfig without pulling the manager in — the same pattern as
+// transport/transport_options.hpp.
+
+#include <cstdint>
+
+namespace gridfed::coalition {
+
+/// How a coalition's earnings are divided among its members.  Every rule
+/// is budget-balanced (the shares sum to the settled payment) and
+/// individually rational (the executing member never earns less than its
+/// own ask — what it would have been paid winning the same award solo
+/// under first-price — and no member's share is negative), which is what
+/// makes joining a coalition incentive-compatible (Xie et al.).
+enum class SurplusRuleKind : std::uint8_t {
+  /// The executor is paid its ask; the remaining surplus is split in
+  /// proportion to each member's contributed capacity (total MIPS).
+  kProportional,
+  /// The executor is paid its ask; the remaining surplus is split
+  /// equally among the members.
+  kEqual,
+};
+
+[[nodiscard]] constexpr const char* to_string(SurplusRuleKind rule) noexcept {
+  // Exhaustive: -Wswitch flags any rule added without a name here.
+  switch (rule) {
+    case SurplusRuleKind::kProportional:
+      return "proportional";
+    case SurplusRuleKind::kEqual:
+      return "equal";
+  }
+  __builtin_unreachable();
+}
+
+/// Knobs of the coalition extension.  Only read in auction mode; with
+/// `enabled` false every participant stays a singleton and every code
+/// path is bit-identical to the pre-participant layer.
+struct CoalitionConfig {
+  bool enabled = false;
+
+  /// Affinity rule: clusters are ordered by their overlay ring keys (the
+  /// same ChordRing order the TreeTransport builds its heap layout over)
+  /// and consecutive runs of `bucket_size` form one coalition —
+  /// ring-adjacent clusters are latency-proximate by construction, so
+  /// the intra-coalition fan-out stays on cheap local links.  A trailing
+  /// remainder of one cluster stays a singleton.  Must be >= 2.
+  std::uint32_t bucket_size = 4;
+
+  /// How the surplus of a coalition-won award is split (see above).
+  SurplusRuleKind surplus = SurplusRuleKind::kProportional;
+};
+
+}  // namespace gridfed::coalition

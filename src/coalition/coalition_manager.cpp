@@ -1,0 +1,145 @@
+#include "coalition/coalition_manager.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace gridfed::coalition {
+
+namespace {
+/// `candidate` beats `best` as the coalition's spokesbid: feasibility
+/// first, then the lower ask, then the earlier guarantee.  Iteration in
+/// ascending member order makes the index the implicit final tie-break.
+[[nodiscard]] bool better_bid(const market::Bid& candidate,
+                              const market::Bid& best) {
+  if (candidate.feasible != best.feasible) return candidate.feasible;
+  if (candidate.ask != best.ask) return candidate.ask < best.ask;
+  return candidate.completion_estimate < best.completion_estimate;
+}
+}  // namespace
+
+CoalitionManager::CoalitionManager(CoalitionContext& ctx,
+                                   const CoalitionConfig& config,
+                                   std::span<const std::uint64_t> ring_keys)
+    : ctx_(ctx), config_(config), registry_(ctx.sites()) {
+  GF_EXPECTS(config_.bucket_size >= 2);
+  GF_EXPECTS(ring_keys.size() == ctx.sites());
+  // Latency-proximity buckets: consecutive runs in the overlay ring
+  // order (ring key, then index — the TreeTransport's layout order).
+  std::vector<std::pair<std::uint64_t, cluster::ResourceIndex>> order;
+  order.reserve(ring_keys.size());
+  for (std::size_t i = 0; i < ring_keys.size(); ++i) {
+    order.emplace_back(ring_keys[i], static_cast<cluster::ResourceIndex>(i));
+  }
+  std::sort(order.begin(), order.end());
+  for (std::size_t at = 0; at + 2 <= order.size();
+       at += config_.bucket_size) {
+    const std::size_t len =
+        std::min<std::size_t>(config_.bucket_size, order.size() - at);
+    if (len < 2) break;  // a trailing loner stays a singleton
+    std::vector<cluster::ResourceIndex> members;
+    members.reserve(len);
+    for (std::size_t i = at; i < at + len; ++i) {
+      members.push_back(order[i].second);
+    }
+    // The first member in ring order speaks for the group on the wire.
+    registry_.register_coalition(std::move(members), order[at].second);
+  }
+}
+
+market::Bid CoalitionManager::joint_bid(federation::ParticipantId id,
+                                        const cluster::Job& job) {
+  GF_EXPECTS(id.is_coalition());
+  const cluster::ResourceIndex rep = registry_.representative(id);
+  market::Bid best;  // infeasible until a member enters
+  best.bidder = id;
+  bool any = false;
+  for (const cluster::ResourceIndex member : registry_.members(id)) {
+    if (member == job.origin) continue;  // the origin bids for itself
+    if (job.processors > ctx_.spec_of(member).processors) continue;
+    market::Bid entry = ctx_.member_bid(member, job);
+    if (member != rep) local_messages_ += 2;  // pricing enquiry + answer
+    entry.bidder = id;
+    if (!any || better_bid(entry, best)) best = entry;
+    any = true;
+  }
+  return best;
+}
+
+Placement CoalitionManager::place_award(federation::ParticipantId id,
+                                        const cluster::Job& job) {
+  GF_EXPECTS(id.is_coalition());
+  const cluster::ResourceIndex rep = registry_.representative(id);
+  // Re-price every member at award time (the queues moved since bidding)
+  // and admit earliest-guarantee-first; admission itself re-checks, so a
+  // member whose queue filled in this very instant simply declines and
+  // the next-best member is tried.
+  struct Candidate {
+    sim::SimTime estimate = 0.0;
+    cluster::ResourceIndex member = cluster::kNoResource;
+    double ask = 0.0;
+  };
+  std::vector<Candidate> candidates;
+  for (const cluster::ResourceIndex member : registry_.members(id)) {
+    if (member == job.origin) continue;  // matches the joint bid's scope
+    if (job.processors > ctx_.spec_of(member).processors) continue;
+    const market::Bid entry = ctx_.member_bid(member, job);
+    if (member != rep) local_messages_ += 2;
+    candidates.push_back(Candidate{entry.completion_estimate, member,
+                                   entry.ask});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.estimate != b.estimate) return a.estimate < b.estimate;
+              return a.member < b.member;
+            });
+  for (const Candidate& candidate : candidates) {
+    if (candidate.member != rep) local_messages_ += 2;  // placement RPC
+    const sim::SimTime estimate =
+        ctx_.member_admit(candidate.member, job);
+    if (estimate == sim::kTimeInfinity) continue;  // declined: next member
+    notes_.insert_or_assign(
+        job.id, AwardNote{id, candidate.member, candidate.ask});
+    return Placement{true, candidate.member, estimate};
+  }
+  return Placement{};
+}
+
+bool CoalitionManager::settle(economy::GridBank& bank, cluster::JobId job,
+                              cluster::ResourceIndex executor,
+                              cluster::ResourceIndex consumer_home,
+                              std::uint32_t user, double payment) {
+  const auto it = notes_.find(job);
+  if (it == notes_.end()) return false;
+  const AwardNote note = it->second;
+  notes_.erase(it);
+  if (note.executor != executor) {
+    // The job ultimately ran somewhere else (a lossy network abandoned
+    // the awarded enquiry and the origin re-scheduled): the note is
+    // stale and the plain solo settlement applies.
+    return false;
+  }
+  const auto members = registry_.members(note.coalition);
+  scratch_weights_.clear();
+  std::size_t executor_pos = members.size();
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    scratch_weights_.push_back(ctx_.spec_of(members[i]).total_mips());
+    if (members[i] == executor) executor_pos = i;
+  }
+  GF_EXPECTS(executor_pos < members.size());
+  std::vector<double> shares =
+      split_surplus(config_.surplus, payment, executor_pos,
+                    note.executor_ask, scratch_weights_);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (shares[i] <= 0.0) continue;  // a zero share settles nothing
+    bank.settle(economy::Settlement{job, consumer_home, members[i],
+                                    shares[i], user});
+  }
+  splits_.push_back(SplitRecord{job, note.coalition, executor,
+                                note.executor_ask, payment,
+                                std::move(shares)});
+  return true;
+}
+
+}  // namespace gridfed::coalition

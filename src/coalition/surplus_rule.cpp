@@ -1,0 +1,51 @@
+#include "coalition/surplus_rule.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace gridfed::coalition {
+
+std::vector<double> split_surplus(SurplusRuleKind rule, double payment,
+                                  std::size_t executor_pos,
+                                  double executor_ask,
+                                  std::span<const double> weights) {
+  GF_EXPECTS(!weights.empty());
+  GF_EXPECTS(executor_pos < weights.size());
+  GF_EXPECTS(payment >= 0.0);
+  const std::size_t n = weights.size();
+  const double base = std::min(std::max(0.0, executor_ask), payment);
+  const double surplus = payment - base;
+
+  std::vector<double> shares(n, 0.0);
+  double weight_sum = 0.0;
+  if (rule == SurplusRuleKind::kProportional) {
+    for (const double w : weights) {
+      GF_EXPECTS(w >= 0.0);
+      weight_sum += w;
+    }
+  }
+  if (rule == SurplusRuleKind::kEqual || weight_sum <= 0.0) {
+    // Equal split (also the proportional rule's degenerate all-zero case).
+    for (double& share : shares) {
+      share = surplus / static_cast<double>(n);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      shares[i] = surplus * weights[i] / weight_sum;
+    }
+  }
+  // The executor takes its base plus the exact remainder, so the shares
+  // sum to the payment bit-for-bit (budget balance) and the executor is
+  // never paid below its base (individual rationality): every other
+  // share is a non-negative fraction of the surplus, so the remainder is
+  // >= base up to rounding, and the clamp only absorbs that rounding.
+  double others = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i != executor_pos) others += shares[i];
+  }
+  shares[executor_pos] = std::max(0.0, payment - others);
+  return shares;
+}
+
+}  // namespace gridfed::coalition

@@ -1,0 +1,44 @@
+#pragma once
+// Surplus splitting for coalition-won awards.  A coalition clears the
+// auction as one bidder and its payment lands as one amount; this header
+// turns that amount into per-member GridBank settlements under the
+// configured SurplusRuleKind.
+//
+// Every rule shares the same skeleton (Guazzone et al.'s cooperative
+// game, simplified to the transferable-utility core of one award):
+//
+//   executor base  = min(executor's own ask, payment)   — what the member
+//                    doing the work would have earned winning the same
+//                    award solo under first-price;
+//   surplus        = payment - base  (>= 0 because clearing floors every
+//                    payment at the winning ask);
+//   member shares  = surplus split per rule (proportional to contributed
+//                    capacity, or equally), executor's base added back.
+//
+// Properties the tests pin down (tests/test_coalition.cpp):
+//   * budget balance: sum(shares) == payment exactly (the executor
+//     absorbs the floating-point remainder);
+//   * individual rationality: shares[executor] >= min(ask, payment) and
+//     every share >= 0 — no member does worse than going solo.
+
+#include <span>
+#include <vector>
+
+#include "coalition/coalition_config.hpp"
+
+namespace gridfed::coalition {
+
+/// Splits `payment` for an award executed by the member at `executor_pos`
+/// among the members described by `weights` (one non-negative capacity
+/// weight per member, proportional rule only; all-equal weights reproduce
+/// the equal split).  `executor_ask` is the executing member's own sealed
+/// ask for the job.  Returns one non-negative share per member, summing
+/// exactly to `payment`.
+[[nodiscard]] std::vector<double> split_surplus(SurplusRuleKind rule,
+                                                double payment,
+                                                std::size_t executor_pos,
+                                                double executor_ask,
+                                                std::span<const double>
+                                                    weights);
+
+}  // namespace gridfed::coalition

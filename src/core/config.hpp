@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "cluster/lrms.hpp"
+#include "coalition/coalition_config.hpp"
 #include "economy/cost_model.hpp"
 #include "economy/dynamic_pricing.hpp"
 #include "market/auction_config.hpp"
@@ -108,6 +109,12 @@ struct FederationConfig {
   /// network (message_drop_rate > 0) additionally requires
   /// auction.bid_timeout > 0 so a book missing a dropped bid still clears.
   market::AuctionConfig auction = {};
+
+  /// Coalition extension (participant layer): latency-proximity groups
+  /// of clusters bid as one participant, place awards internally and
+  /// split the surplus (only read in auction mode).  Disabled = every
+  /// participant is a singleton, bit-identical to the solo market.
+  coalition::CoalitionConfig coalitions = {};
 
   /// Delivery substrate (transport/): kDirect reproduces the paper's
   /// point-to-point messaging bit-identically; kTree rides the

@@ -1,8 +1,10 @@
 #include "core/federation.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "economy/cost_model.hpp"
+#include "overlay/node_id.hpp"
 #include "sim/check.hpp"
 
 namespace gridfed::core {
@@ -77,9 +79,29 @@ Federation::Federation(FederationConfig config,
     // subscribe: the agent joins the federation and advertises its quote.
     dir_.subscribe(directory::Quote::from_spec(index, specs_[i]));
   }
+  // The coalition extension: latency-proximity buckets over the overlay
+  // ring keys — the same ChordRing order the TreeTransport lays its heap
+  // over, so ring-adjacent (and thus coalesced) clusters are exactly the
+  // ones sharing cheap tree edges.  Only meaningful in auction mode; the
+  // registry also feeds the transports' group-addressed dissemination.
+  if (cfg_.coalitions.enabled && cfg_.mode == SchedulingMode::kAuction) {
+    std::vector<std::uint64_t> ring_keys;
+    ring_keys.reserve(specs_.size());
+    for (const auto& spec : specs_) {
+      ring_keys.push_back(overlay::ring_hash(spec.name));
+    }
+    // The base conversion must happen here (the base is private, so
+    // make_unique's forwarding could not perform it).
+    coalition::CoalitionContext& coalition_ctx = *this;
+    coalitions_ = std::make_unique<coalition::CoalitionManager>(
+        coalition_ctx, cfg_.coalitions, ring_keys);
+  }
   // The delivery substrate, wired last: it delivers into the agents and
   // owns the WAN model from here on.
   transport_ = transport::make_transport(*this, std::move(wan));
+  if (coalitions_) {
+    transport_->set_group_registry(&coalitions_->registry());
+  }
 
   if (cfg_.dynamic_pricing) {
     pricers_.reserve(specs_.size());
@@ -220,10 +242,46 @@ sim::SimTime Federation::payload_staging_time(
                                                       specs_[job.origin]));
 }
 
+market::Bid Federation::member_bid(cluster::ResourceIndex member,
+                                   const cluster::Job& job) {
+  GF_EXPECTS(member < gfas_.size());
+  return gfas_[member]->provider_bid(job);
+}
+
+sim::SimTime Federation::member_admit(cluster::ResourceIndex member,
+                                      const cluster::Job& job) {
+  GF_EXPECTS(member < gfas_.size());
+  const sim::SimTime estimate = gfas_[member]->admit_remote(job);
+  if (estimate != sim::kTimeInfinity) {
+    // The placement just reserved capacity the member's own policy never
+    // saw: drop its cached pricing so the coalition's next joint bid
+    // prices the thicker queue honestly.
+    gfas_[member]->invalidate_provider_cache();
+  }
+  return estimate;
+}
+
 void Federation::job_completed(const JobOutcome& outcome) {
-  bank_.settle(economy::Settlement{outcome.job.id, outcome.job.origin,
-                                   outcome.executed_on, outcome.cost,
-                                   outcome.job.user});
+  // A job the coalition layer placed settles as one share per member
+  // (the SurplusRule split, budget-balanced by construction); everything
+  // else settles solo.  via_coalition gates the split — a stale
+  // placement note (the origin abandoned a lossy coalition award and
+  // re-scheduled, possibly onto the very same member through a solo
+  // path) must not divert a solo settlement — and the manager further
+  // declines jobs whose note no longer matches the executor.
+  const bool split =
+      coalitions_ != nullptr && outcome.via_coalition &&
+      coalitions_->settle(bank_, outcome.job.id, outcome.executed_on,
+                          outcome.job.origin, outcome.job.user, outcome.cost);
+  if (!split) {
+    bank_.settle(economy::Settlement{outcome.job.id, outcome.job.origin,
+                                     outcome.executed_on, outcome.cost,
+                                     outcome.job.user});
+    // A job that settled outside the coalition path may still carry a
+    // stale placement note (abandoned lossy award): drop it so notes
+    // do not accumulate over the run.
+    if (coalitions_ != nullptr) coalitions_->forget(outcome.job.id);
+  }
   outcomes_.push_back(outcome);
 }
 
@@ -234,6 +292,7 @@ void Federation::auction_report(const market::ClearingReport& report) {
 void Federation::job_rejected(const cluster::Job& job,
                               std::uint32_t negotiations,
                               std::uint64_t messages) {
+  if (coalitions_ != nullptr) coalitions_->forget(job.id);
   JobOutcome outcome;
   outcome.job = job;
   outcome.accepted = false;
@@ -316,6 +375,15 @@ FederationResult Federation::aggregate() const {
   result.directory_traffic = dir_.traffic();
   result.total_incentive = bank_.total();
   result.auctions = auction_stats_;
+  if (coalitions_) {
+    result.coalitions_formed = coalitions_->registry().coalitions();
+    result.coalition_local_messages = coalitions_->local_messages();
+    result.coalition_awards = coalitions_->splits().size();
+    for (const auto& split : coalitions_->splits()) {
+      result.coalition_surplus +=
+          split.payment - std::min(split.executor_ask, split.payment);
+    }
+  }
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cluster/lrms.hpp"
+#include "coalition/coalition_manager.hpp"
 #include "core/config.hpp"
 #include "core/gfa.hpp"
 #include "core/message.hpp"
@@ -43,7 +44,9 @@ namespace gridfed::core {
 /// Message delivery is delegated to the configured transport
 /// (config.transport.kind); the Federation is the transport's
 /// environment (transport::TransportContext) and its delivery sink.
-class Federation final : public GfaHost, private transport::TransportContext {
+class Federation final : public GfaHost,
+                         private transport::TransportContext,
+                         private coalition::CoalitionContext {
  public:
   Federation(FederationConfig config,
              std::vector<cluster::ResourceSpec> specs);
@@ -78,6 +81,18 @@ class Federation final : public GfaHost, private transport::TransportContext {
   void job_rejected(const cluster::Job& job, std::uint32_t negotiations,
                     std::uint64_t messages) override;
   void auction_report(const market::ClearingReport& report) override;
+  /// The coalition layer of this run (null with the extension disabled:
+  /// every participant is a singleton and the market runs solo,
+  /// bit-identical to the pre-participant code).
+  [[nodiscard]] coalition::CoalitionManager* coalitions() override {
+    return coalitions_.get();
+  }
+  void award_declined(federation::ParticipantId provider) override {
+    auction_stats_.record_decline(provider.value);
+  }
+  void guarantee_missed(federation::ParticipantId provider) override {
+    auction_stats_.record_miss(provider.value);
+  }
 
   // ---- introspection (examples, tests) -----------------------------------
   [[nodiscard]] std::size_t size() const noexcept { return gfas_.size(); }
@@ -129,6 +144,16 @@ class Federation final : public GfaHost, private transport::TransportContext {
   [[nodiscard]] sim::Rng& drop_rng() override { return drop_rng_; }
   [[nodiscard]] sim::Rng& duplicate_rng() override { return dup_rng_; }
 
+  // ---- coalition::CoalitionContext ---------------------------------------
+  // (sites() and spec_of() above satisfy this interface too.)  The
+  // manager reaches each member's per-cluster machinery through the
+  // owning agent: its solo pricing for joint bids, and the reserve-and-
+  // hold half of admission for internal placement.
+  [[nodiscard]] market::Bid member_bid(cluster::ResourceIndex member,
+                                       const cluster::Job& job) override;
+  sim::SimTime member_admit(cluster::ResourceIndex member,
+                            const cluster::Job& job) override;
+
   FederationConfig cfg_;
   std::vector<cluster::ResourceSpec> specs_;
   sim::Simulation sim_;
@@ -140,6 +165,10 @@ class Federation final : public GfaHost, private transport::TransportContext {
   /// The delivery substrate; owns the WAN model.  Constructed after the
   /// agents (it delivers into them).
   std::unique_ptr<transport::Transport> transport_;
+  /// The coalition extension (null unless config.coalitions.enabled in
+  /// auction mode).  Constructed after the agents (joint bids and
+  /// internal placement reach members through them).
+  std::unique_ptr<coalition::CoalitionManager> coalitions_;
   std::vector<economy::DynamicPricer> pricers_;
   std::vector<double> pricer_last_area_;
 

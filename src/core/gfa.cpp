@@ -71,6 +71,7 @@ void Gfa::park_enquiry(Pending p, cluster::ResourceIndex target,
   ++p.negotiations;
   if (on_wire) ++p.messages;  // the enquiry (piggybacked awards ride free)
   p.current_target = target;
+  p.award_in_flight = type == MessageType::kAward;
   ++p.attempt;
   const cluster::JobId id = p.job.id;
   const std::uint64_t attempt = p.attempt;
@@ -114,11 +115,50 @@ void Gfa::on_negotiate_timeout(cluster::JobId id, std::uint64_t attempt) {
   if (it->second.attempt != attempt) return;   // a later enquiry is live
   if (it->second.current_target == cluster::kNoResource) return;
   // No reply: abandon this enquiry (the remote may have reserved — its own
-  // hold timeout will release the processors) and hand the job back.
+  // hold timeout will release the processors) and hand the job back.  An
+  // award the winner never honoured counts against its reputation like
+  // an explicit decline.
   Pending p = std::move(it->second);
   pending_.erase(it);
+  if (p.award_in_flight) {
+    host_.award_declined(participant_of(p.current_target));
+  }
   p.current_target = cluster::kNoResource;
   policy_->schedule(std::move(p));
+}
+
+federation::ParticipantId Gfa::participant_of(
+    cluster::ResourceIndex resource) const {
+  return coalition::participant_of(host_.coalitions(), resource);
+}
+
+void Gfa::place_in_coalition(Pending p, federation::ParticipantId coalition,
+                             double payment) {
+  // The origin's own coalition won the auction: placement is a local
+  // fan-out over the cheap intra-coalition links (the manager counts
+  // them), never a wire enquiry.  The chosen member reserved through
+  // admit_remote, so shipping the payload directly is as safe as after
+  // an accepted kReply.
+  coalition::CoalitionManager* manager = host_.coalitions();
+  GF_EXPECTS(manager != nullptr);
+  const coalition::Placement placed = manager->place_award(coalition, p.job);
+  if (!placed.accepted) {
+    // Every member declined (queues moved since bidding): hand the job
+    // back like a declined reply — the policy tries the next award.
+    host_.award_declined(coalition);
+    policy_->schedule(std::move(p));
+    return;
+  }
+  ++p.messages;  // the payload transfer to the executing member
+  Message submission{MessageType::kJobSubmission, index_, placed.member,
+                     p.job, true, placed.estimate};
+  Awaiting info{std::move(p.job), p.negotiations, p.messages, payment,
+                placed.member};
+  info.promise = placed.estimate;
+  info.via_award = true;
+  info.via_coalition = true;
+  awaiting_.emplace(info.job.id, std::move(info));
+  host_.send(std::move(submission));
 }
 
 void Gfa::execute_here(Pending p, double price) {
@@ -170,53 +210,71 @@ void Gfa::admit_and_reply(const Message& msg) {
   // time; accept iff it honours the deadline.  On acceptance we reserve
   // immediately so the guarantee stays binding until the job payload
   // arrives.
-  const auto& cfg = host_.config();
-  const auto& own = lrms_.spec();
   const cluster::Job& job = msg.job;
-
-  bool accept = job.processors <= own.processors;
-  sim::SimTime estimate = sim::kTimeInfinity;
-  if (accept) {
-    // A lossy network can re-deliver an enquiry for a job we already
-    // hold a reservation for (our reply was lost; the origin's walk
-    // came back around).  Release the superseded reservation when it
-    // has not started yet, so the fresh estimate prices the queue
-    // honestly; a reservation that already started is sunk capacity and
-    // its completion will be swallowed by the identity check in
-    // on_lrms_completion.
-    const auto stale = holds_.find(job.id);
-    if (stale != holds_.end() && !stale->second.submitted &&
-        now() < stale->second.reservation.start) {
-      lrms_.cancel(stale->second.reservation);
-      holds_.erase(stale);
-    }
-    const sim::SimTime exec =
-        cluster::execution_time(job, host_.spec_of(job.origin), own);
-    // The job cannot start before its input data lands here (Eq. 1 volume
-    // over the WAN model; 0 under the paper's free-network assumption).
-    const sim::SimTime staged =
-        now() + host_.payload_staging_time(job, index_);
-    estimate = lrms_.estimate_completion(job, exec, staged);
-    if (cfg.enforce_deadline && estimate > job.absolute_deadline()) {
-      accept = false;
-    }
-    if (accept) {
-      const cluster::Reservation res = lrms_.submit(job, exec, staged);
-      ++remote_accepted_;
-      const std::uint64_t token = ++next_hold_token_;
-      holds_.insert_or_assign(job.id, RemoteHold{res, token, false});
-      if (cfg.negotiate_timeout > 0.0) {
-        // If the payload never arrives (reply or submission lost), release
-        // the processors.  2x the enquiry timeout comfortably covers the
-        // origin's reply wait plus the submission leg.
-        simulation().schedule_in(
-            2.0 * cfg.negotiate_timeout, sim::EventPriority::kControl,
-            [this, id = job.id, token] { on_hold_timeout(id, token); });
-      }
+  coalition::CoalitionManager* manager = host_.coalitions();
+  if (msg.type == MessageType::kAward && manager != nullptr) {
+    const federation::ParticipantId pid =
+        manager->registry().participant_of(index_);
+    if (pid.is_coalition() &&
+        manager->registry().representative(pid) == index_) {
+      // An award addressed to the coalition this cluster speaks for:
+      // internal placement picks the member with the earliest completion
+      // guarantee (that member reserves through the same admit_remote
+      // seam), and the reply names the executing member so the origin
+      // ships the payload straight to it.
+      const coalition::Placement placed = manager->place_award(pid, job);
+      Message reply{MessageType::kReply, index_, msg.from, job,
+                    placed.accepted,
+                    placed.accepted ? placed.estimate : sim::kTimeInfinity};
+      if (placed.accepted) reply.exec_site = placed.member;
+      host_.send(std::move(reply));
+      return;
     }
   }
-  host_.send(Message{MessageType::kReply, index_, msg.from, job, accept,
-                     estimate});
+  const sim::SimTime estimate = admit_remote(job);
+  host_.send(Message{MessageType::kReply, index_, msg.from, job,
+                     estimate != sim::kTimeInfinity, estimate});
+}
+
+sim::SimTime Gfa::admit_remote(const cluster::Job& job) {
+  const auto& cfg = host_.config();
+  const auto& own = lrms_.spec();
+  if (job.processors > own.processors) return sim::kTimeInfinity;
+  // A lossy network can re-deliver an enquiry for a job we already
+  // hold a reservation for (our reply was lost; the origin's walk
+  // came back around).  Release the superseded reservation when it
+  // has not started yet, so the fresh estimate prices the queue
+  // honestly; a reservation that already started is sunk capacity and
+  // its completion will be swallowed by the identity check in
+  // on_lrms_completion.
+  const auto stale = holds_.find(job.id);
+  if (stale != holds_.end() && !stale->second.submitted &&
+      now() < stale->second.reservation.start) {
+    lrms_.cancel(stale->second.reservation);
+    holds_.erase(stale);
+  }
+  const sim::SimTime exec =
+      cluster::execution_time(job, host_.spec_of(job.origin), own);
+  // The job cannot start before its input data lands here (Eq. 1 volume
+  // over the WAN model; 0 under the paper's free-network assumption).
+  const sim::SimTime staged = now() + host_.payload_staging_time(job, index_);
+  const sim::SimTime estimate = lrms_.estimate_completion(job, exec, staged);
+  if (cfg.enforce_deadline && estimate > job.absolute_deadline()) {
+    return sim::kTimeInfinity;
+  }
+  const cluster::Reservation res = lrms_.submit(job, exec, staged);
+  ++remote_accepted_;
+  const std::uint64_t token = ++next_hold_token_;
+  holds_.insert_or_assign(job.id, RemoteHold{res, token, false});
+  if (cfg.negotiate_timeout > 0.0) {
+    // If the payload never arrives (reply or submission lost), release
+    // the processors.  2x the enquiry timeout comfortably covers the
+    // origin's reply wait plus the submission leg.
+    simulation().schedule_in(
+        2.0 * cfg.negotiate_timeout, sim::EventPriority::kControl,
+        [this, id = job.id, token] { on_hold_timeout(id, token); });
+  }
+  return estimate;
 }
 
 void Gfa::on_hold_timeout(cluster::JobId id, std::uint64_t token) {
@@ -246,19 +304,29 @@ void Gfa::handle_reply(const Message& msg) {
   ++p.messages;  // the reply we just received
 
   if (!msg.accept) {
+    // An award the winner declined is a reputation signal against the
+    // awarded participant (the coalition when its representative spoke).
+    if (p.award_in_flight) host_.award_declined(participant_of(msg.from));
     policy_->schedule(std::move(p));  // continue the policy's walk
     return;
   }
   // Accepted: ship the job.  The remote reserved at enquiry time, so the
   // submission is the payload transfer the ledger must count.  What gets
   // settled is the policy's call: an auction award its cleared payment, a
-  // DBC negotiate the posted price.
+  // DBC negotiate the posted price.  A coalition representative may have
+  // accepted on behalf of another member (exec_site): the payload goes
+  // straight to the member that actually reserved.
   ++p.messages;
-  const double cost = policy_->settled_cost(p, msg.from);
-  Message submission{MessageType::kJobSubmission, index_, msg.from, p.job,
+  const cluster::ResourceIndex exec =
+      msg.exec_site == cluster::kNoResource ? msg.from : msg.exec_site;
+  const double cost = policy_->settled_cost(p, exec);
+  Message submission{MessageType::kJobSubmission, index_, exec, p.job,
                      true, msg.completion_estimate};
-  awaiting_.emplace(p.job.id, Awaiting{std::move(p.job), p.negotiations,
-                                       p.messages, cost, msg.from});
+  Awaiting info{std::move(p.job), p.negotiations, p.messages, cost, exec};
+  info.promise = msg.completion_estimate;
+  info.via_award = p.award_in_flight;
+  info.via_coalition = msg.exec_site != cluster::kNoResource;
+  awaiting_.emplace(info.job.id, std::move(info));
   host_.send(std::move(submission));
 }
 
@@ -315,6 +383,15 @@ void Gfa::finalize(cluster::JobId id, cluster::ResourceIndex exec,
   Awaiting info = std::move(it->second);
   awaiting_.erase(it);
 
+  // A completed job that blew the guarantee its provider gave at
+  // admission is the second reputation input signal.  Only awarded
+  // providers are booked (via_award), keeping AuctionStats auction-only;
+  // the tolerance absorbs floating-point drift between the admission
+  // estimate and the reservation's settled completion.
+  if (info.via_award && completion > info.promise + 1e-6) {
+    host_.guarantee_missed(participant_of(exec));
+  }
+
   JobOutcome outcome;
   outcome.job = std::move(info.job);
   outcome.accepted = true;
@@ -323,6 +400,7 @@ void Gfa::finalize(cluster::JobId id, cluster::ResourceIndex exec,
   outcome.completion = completion;
   outcome.cost = info.cost;
   outcome.negotiations = info.negotiations;
+  outcome.via_coalition = info.via_coalition;
   // A migrated job's record gains the completion message that just
   // arrived; local jobs finish without network traffic.
   outcome.messages = info.messages + (exec == index_ ? 0 : 1);

@@ -34,11 +34,13 @@
 #include <unordered_map>
 
 #include "cluster/lrms.hpp"
+#include "coalition/coalition_manager.hpp"
 #include "core/config.hpp"
 #include "core/message.hpp"
 #include "core/outcome.hpp"
 #include "core/pending.hpp"
 #include "directory/federation_directory.hpp"
+#include "federation/participant.hpp"
 #include "policy/scheduling_policy.hpp"
 #include "sim/entity.hpp"
 
@@ -89,6 +91,23 @@ class GfaHost {
   /// Auction-mode telemetry: one call per cleared book (kAuction only).
   virtual void auction_report(const market::ClearingReport& report) {
     (void)report;
+  }
+
+  /// The coalition layer of this run, or null when coalitions are off
+  /// (every participant a singleton — the solo market).
+  [[nodiscard]] virtual coalition::CoalitionManager* coalitions() {
+    return nullptr;
+  }
+
+  /// Reputation input signals (the reputation-weighted bidding
+  /// follow-on attaches to participants): an award `provider` declined
+  /// or let time out, and a completed job that missed the completion
+  /// guarantee `provider` gave at admission.
+  virtual void award_declined(federation::ParticipantId provider) {
+    (void)provider;
+  }
+  virtual void guarantee_missed(federation::ParticipantId provider) {
+    (void)provider;
   }
 };
 
@@ -150,6 +169,16 @@ class Gfa final : public sim::Entity, public policy::SchedulerContext {
     std::uint64_t messages = 0;
     double cost = 0.0;
     cluster::ResourceIndex exec = 0;
+    /// Completion guarantee given at admission (infinity when none was
+    /// promised, e.g. local execution), compared at finalize for the
+    /// guarantee-miss reputation signal.
+    sim::SimTime promise = sim::kTimeInfinity;
+    /// The promise came from an auction award (misses are booked only
+    /// against awarded providers, keeping AuctionStats auction-only).
+    bool via_award = false;
+    /// The placement went through a coalition's internal dispatch (see
+    /// JobOutcome::via_coalition — this gates the surplus split).
+    bool via_coalition = false;
   };
 
   // -- policy::SchedulerContext -------------------------------------------
@@ -191,7 +220,12 @@ class Gfa final : public sim::Entity, public policy::SchedulerContext {
   void send_award(Pending p, cluster::ResourceIndex target,
                   double payment) override;
   void park_award(Pending p, cluster::ResourceIndex target) override;
+  void place_in_coalition(Pending p, federation::ParticipantId coalition,
+                          double payment) override;
   void reject(Pending p) override;
+  [[nodiscard]] coalition::CoalitionManager* coalitions() override {
+    return host_.coalitions();
+  }
   void send(Message msg) override { host_.send(std::move(msg)); }
   std::uint64_t multicast(Message msg,
                           std::span<const cluster::ResourceIndex> targets,
@@ -223,8 +257,36 @@ class Gfa final : public sim::Entity, public policy::SchedulerContext {
   void handle_completion(const Message& msg);
 
   /// Provider-side admission shared by kNegotiate and kAward: exact LRMS
-  /// estimate, reserve on acceptance, answer with a kReply.
+  /// estimate, reserve on acceptance, answer with a kReply.  A kAward
+  /// addressed to a coalition this cluster represents instead places the
+  /// job internally (best member guarantee) and answers for the group.
   void admit_and_reply(const Message& msg);
+
+ public:
+  /// The reserve-and-hold half of admission, wire-reply-free: exact LRMS
+  /// estimate for `job`, reservation + remote hold on acceptance.
+  /// Returns the completion guarantee, or sim::kTimeInfinity on
+  /// rejection.  Called for wire enquiries by admit_and_reply and for
+  /// intra-coalition placement by the federation driver on behalf of the
+  /// coalition manager (the member-side admission of a group award).
+  sim::SimTime admit_remote(const cluster::Job& job);
+
+  /// This cluster's solo sealed bid for `job` (the policy's pricing);
+  /// the coalition manager aggregates member bids through this.
+  [[nodiscard]] market::Bid provider_bid(const cluster::Job& job) {
+    return policy_->make_bid(job);
+  }
+
+  /// Drops the policy's cached pricing after a coalition placement
+  /// reserved capacity here behind the policy's back (see
+  /// SchedulingPolicy::invalidate_bid_cache).
+  void invalidate_provider_cache() { policy_->invalidate_bid_cache(); }
+
+ private:
+  /// The participant `resource` acts as (its singleton without a
+  /// coalition layer) — reputation signals attach to participants.
+  [[nodiscard]] federation::ParticipantId participant_of(
+      cluster::ResourceIndex resource) const;
 
   void finalize(cluster::JobId id, cluster::ResourceIndex exec,
                 sim::SimTime start, sim::SimTime completion);

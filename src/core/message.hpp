@@ -127,6 +127,13 @@ struct Message {
   // origin commits to settle (kAward).
   double price = 0.0;
 
+  /// kReply payload (coalition extension): the member cluster that will
+  /// actually execute the job when a coalition's representative accepted
+  /// on the group's behalf — the origin ships the payload straight to
+  /// it.  kNoResource (the default, and always in the solo market) means
+  /// the replier itself executes.
+  cluster::ResourceIndex exec_site = cluster::kNoResource;
+
   // Batched-solicitation payloads (empty outside batched auction mode).
   /// kCallForBids: all jobs asked.  The jobs live in a shared
   /// MessageArena (one per solicitation flush, `arena` below keeps it

@@ -28,6 +28,14 @@ struct JobOutcome {
   /// (2 * negotiations [+ submission + completion when migrated]).
   std::uint64_t messages = 0;
 
+  /// The job was placed through a coalition's internal dispatch (a
+  /// representative accepted on the group's behalf, or the origin's own
+  /// coalition won).  Gates the surplus-split settlement: a job that
+  /// ultimately ran through a solo path must settle solo even when a
+  /// stale coalition placement note exists for it (lossy-network
+  /// re-schedules).  Always false in the solo market.
+  bool via_coalition = false;
+
   /// Response time experienced by the user (queue wait + execution).
   [[nodiscard]] sim::SimTime response_time() const noexcept {
     return completion - job.submit;

@@ -37,6 +37,11 @@ struct Pending {
   /// Monotone enquiry counter so a timeout only fires for its own
   /// enquiry, never a later one.
   std::uint64_t attempt = 0;
+  /// True while the parked enquiry is an auction award (not a DBC
+  /// negotiate) — the protocol engine uses it to book award declines
+  /// and guarantee misses against the awarded provider (the reputation
+  /// input signals) without inspecting policy state.
+  bool award_in_flight = false;
   /// Mode-specific extension owned by the scheduling policy (null until
   /// the policy needs one; dies with the record).
   std::unique_ptr<PolicyState> policy_state;

@@ -83,6 +83,20 @@ struct FederationResult {
   // Auction-mode aggregate (all-zero outside kAuction runs).
   stats::AuctionStats auctions;
 
+  // Coalition-mode aggregate (all-zero with the participant layer's
+  // coalition extension disabled).
+  std::size_t coalitions_formed = 0;
+  /// Intra-coalition control messages on the members' local links
+  /// (pricing enquiries and placement RPCs behind the representative);
+  /// never part of the wire ledger — this is the representative-fan-out
+  /// cost the group-addressed dissemination trades wire messages for.
+  std::uint64_t coalition_local_messages = 0;
+  /// Awards won by a coalition and settled through a surplus split.
+  std::uint64_t coalition_awards = 0;
+  /// Grid Dollars of surplus (payment above the executing member's own
+  /// ask) distributed across coalition members by the SurplusRule.
+  double coalition_surplus = 0.0;
+
   // Federation-wide user QoS.
   stats::Accumulator fed_response_excl;
   stats::Accumulator fed_budget_excl;

@@ -1,0 +1,72 @@
+#include "federation/participant.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace gridfed::federation {
+
+ParticipantRegistry::ParticipantRegistry(std::size_t n_clusters) {
+  GF_EXPECTS(n_clusters > 0 && n_clusters < kCoalitionBase);
+  identity_.resize(n_clusters);
+  participant_of_.resize(n_clusters);
+  for (std::size_t i = 0; i < n_clusters; ++i) {
+    const auto index = static_cast<cluster::ResourceIndex>(i);
+    identity_[i] = index;
+    participant_of_[i] = ParticipantId{index};
+  }
+}
+
+ParticipantId ParticipantRegistry::register_coalition(
+    std::vector<cluster::ResourceIndex> members,
+    cluster::ResourceIndex representative) {
+  GF_EXPECTS(members.size() >= 2);
+  std::sort(members.begin(), members.end());
+  GF_EXPECTS(std::adjacent_find(members.begin(), members.end()) ==
+             members.end());
+  GF_EXPECTS(std::find(members.begin(), members.end(), representative) !=
+             members.end());
+  const ParticipantId id{static_cast<cluster::ResourceIndex>(
+      kCoalitionBase + coalitions_.size())};
+  for (const cluster::ResourceIndex member : members) {
+    GF_EXPECTS(member < participant_of_.size());
+    GF_EXPECTS(!participant_of_[member].is_coalition());  // joins at most one
+    participant_of_[member] = id;
+  }
+  coalitions_.push_back(Coalition{std::move(members), representative});
+  return id;
+}
+
+ParticipantId ParticipantRegistry::participant_of(
+    cluster::ResourceIndex resource) const {
+  GF_EXPECTS(resource < participant_of_.size());
+  return participant_of_[resource];
+}
+
+cluster::ResourceIndex ParticipantRegistry::representative(
+    ParticipantId id) const {
+  if (!id.is_coalition()) return id.cluster();
+  const std::size_t slot = id.value - kCoalitionBase;
+  GF_EXPECTS(slot < coalitions_.size());
+  return coalitions_[slot].representative;
+}
+
+std::span<const cluster::ResourceIndex> ParticipantRegistry::members(
+    ParticipantId id) const {
+  if (!id.is_coalition()) {
+    GF_EXPECTS(id.cluster() < identity_.size());
+    return {identity_.data() + id.cluster(), 1};
+  }
+  const std::size_t slot = id.value - kCoalitionBase;
+  GF_EXPECTS(slot < coalitions_.size());
+  return coalitions_[slot].members;
+}
+
+std::size_t ParticipantRegistry::participants() const noexcept {
+  std::size_t grouped = 0;
+  for (const Coalition& c : coalitions_) grouped += c.members.size();
+  return identity_.size() - grouped + coalitions_.size();
+}
+
+}  // namespace gridfed::federation

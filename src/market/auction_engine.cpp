@@ -7,7 +7,7 @@
 namespace gridfed::market {
 
 AuctionBook::AuctionBook(cluster::JobId job,
-                         std::vector<cluster::ResourceIndex> solicited)
+                         std::vector<federation::ParticipantId> solicited)
     : job_(job),
       solicited_(std::move(solicited)),
       answered_(solicited_.size(), false),
@@ -16,7 +16,7 @@ AuctionBook::AuctionBook(cluster::JobId job,
 }
 
 void AuctionBook::reopen(cluster::JobId job,
-                         std::span<const cluster::ResourceIndex> solicited) {
+                         std::span<const federation::ParticipantId> solicited) {
   job_ = job;
   solicited_.assign(solicited.begin(), solicited.end());
   answered_.assign(solicited_.size(), false);
@@ -87,8 +87,10 @@ std::vector<Award> AuctionEngine::clear(const cluster::Job& job,
     feasible.push_back(Scored{bid, score(job, bid)});
   }
   // Best score wins; ties break on the lower ask, then the earlier
-  // completion guarantee, then the lower resource index — a total order,
+  // completion guarantee, then the lower participant id — a total order,
   // so clearing is deterministic for any arrival order of the bids.
+  // (Singleton ids equal their cluster index, so solo clearing orders
+  // exactly as the pre-participant engine did.)
   std::sort(feasible.begin(), feasible.end(),
             [](const Scored& a, const Scored& b) {
               if (a.score != b.score) return a.score < b.score;

@@ -51,13 +51,14 @@ class AuctionBook {
   /// An unopened book (pool storage); reopen() before use.
   AuctionBook() = default;
 
-  /// Opens the book for `job`; `solicited` lists every bidder a
+  /// Opens the book for `job`; `solicited` lists every participant a
   /// call-for-bids went to (the origin itself included when it competes).
-  AuctionBook(cluster::JobId job, std::vector<cluster::ResourceIndex> solicited);
+  AuctionBook(cluster::JobId job,
+              std::vector<federation::ParticipantId> solicited);
 
   /// Rewinds this book for a new job, reusing the existing allocations.
   void reopen(cluster::JobId job,
-              std::span<const cluster::ResourceIndex> solicited);
+              std::span<const federation::ParticipantId> solicited);
 
   /// Records a sealed bid.  Unsolicited or duplicate bids are ignored
   /// (stale answers after a timeout re-solicitation, byzantine bidders).
@@ -72,15 +73,15 @@ class AuctionBook {
   [[nodiscard]] std::size_t solicited() const noexcept {
     return solicited_.size();
   }
-  /// The solicited bidders, in solicitation order.
-  [[nodiscard]] const std::vector<cluster::ResourceIndex>& solicited_list()
-      const noexcept {
+  /// The solicited participants, in solicitation order.
+  [[nodiscard]] const std::vector<federation::ParticipantId>&
+  solicited_list() const noexcept {
     return solicited_;
   }
 
  private:
   cluster::JobId job_ = 0;
-  std::vector<cluster::ResourceIndex> solicited_;
+  std::vector<federation::ParticipantId> solicited_;
   std::vector<bool> answered_;  // parallel to solicited_
   std::size_t outstanding_ = 0;
   std::vector<Bid> bids_;
@@ -93,7 +94,7 @@ struct ClearingReport {
   std::size_t bids = 0;       ///< sealed bids in the book at clearing
   std::size_t feasible = 0;   ///< bids that survived the feasibility filter
   bool awarded = false;       ///< the ranking is non-empty
-  cluster::ResourceIndex winner = cluster::kNoResource;
+  federation::ParticipantId winner = federation::kNoParticipant;
   double winner_ask = 0.0;
   double payment = 0.0;  ///< what the top-ranked award would settle
 };

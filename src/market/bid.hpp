@@ -14,7 +14,7 @@
 
 #include <cstdint>
 
-#include "cluster/resource.hpp"
+#include "federation/participant.hpp"
 #include "sim/types.hpp"
 
 namespace gridfed::market {
@@ -64,9 +64,12 @@ enum class ScoringRule : std::uint8_t {
   return "?";
 }
 
-/// One sealed bid: a provider's ask for executing a specific job.
+/// One sealed bid: a provider's ask for executing a specific job.  The
+/// bidder is a market *participant* (federation/participant.hpp): a
+/// single cluster in the solo market, or a registered coalition bidding
+/// once for all its members (the coalition extension).
 struct Bid {
-  cluster::ResourceIndex bidder = cluster::kNoResource;
+  federation::ParticipantId bidder = federation::kNoParticipant;
   double ask = 0.0;  ///< Grid Dollars the provider wants for the job
   /// Completion instant the bidder's LRMS would guarantee (admission-style
   /// estimate at bidding time; re-verified on award).

@@ -26,7 +26,8 @@ class BookPool {
   static constexpr std::size_t kMaxPooled = 64;
 
   [[nodiscard]] AuctionBook acquire(
-      cluster::JobId job, std::span<const cluster::ResourceIndex> solicited) {
+      cluster::JobId job,
+      std::span<const federation::ParticipantId> solicited) {
     AuctionBook book;
     if (!free_.empty()) {
       book = std::move(free_.back());

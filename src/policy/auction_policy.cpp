@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "coalition/coalition_manager.hpp"
 #include "economy/cost_model.hpp"
 #include "market/bid_pricing.hpp"
 #include "sim/check.hpp"
@@ -46,6 +47,16 @@ AuctionPolicy::AuctionJobState& AuctionPolicy::ensure_state(core::Pending& p) {
     p.policy_state = std::make_unique<AuctionJobState>();
   }
   return *state_of(p);
+}
+
+federation::ParticipantId AuctionPolicy::participant_of(
+    cluster::ResourceIndex resource) {
+  return coalition::participant_of(ctx_.coalitions(), resource);
+}
+
+cluster::ResourceIndex AuctionPolicy::representative_of(
+    federation::ParticipantId participant) {
+  return coalition::representative_of(ctx_.coalitions(), participant);
 }
 
 void AuctionPolicy::schedule(core::Pending p) {
@@ -90,13 +101,40 @@ void AuctionPolicy::open_auction(core::Pending p) {
   const bool origin_enters =
       acfg.origin_bids && p.job.processors <= ctx_.lrms().spec().processors;
 
+  // One book entrant per *participant*: the first (cheapest) quoted
+  // member claims its coalition's slot, and the coalition is addressed
+  // on the wire through its representative only — the group-addressed
+  // dissemination that makes a coalition cost one delivery however many
+  // clusters it federates.  A participant the origin itself represents
+  // enters a message-free local joint bid instead.  With the coalition
+  // layer off every participant is its own singleton and this reduces
+  // exactly to the old per-cluster list.
   scratch_entrants_.clear();
+  scratch_targets_.clear();
+  bool own_group_enters = false;
   for (const directory::Quote& quote : scratch_quotes_) {
-    scratch_entrants_.push_back(quote.resource);
+    const federation::ParticipantId pid = participant_of(quote.resource);
+    if (std::find(scratch_entrants_.begin(), scratch_entrants_.end(), pid) !=
+        scratch_entrants_.end()) {
+      continue;  // this coalition already holds a book slot
+    }
+    scratch_entrants_.push_back(pid);
+    const cluster::ResourceIndex rep = representative_of(pid);
+    if (rep == ctx_.self()) {
+      own_group_enters = true;
+    } else {
+      scratch_targets_.push_back(rep);
+    }
   }
-  const std::size_t n_remote = scratch_entrants_.size();
+  const std::size_t n_remote = scratch_targets_.size();
   if (origin_enters) scratch_entrants_.push_back(ctx_.self());
   market::AuctionBook book = book_pool_.acquire(p.job.id, scratch_entrants_);
+  if (own_group_enters) {
+    // The origin speaks for a solicited coalition: the joint bid over
+    // its (sibling) members enters locally, like the origin's own bid.
+    book.add(ctx_.coalitions()->joint_bid(participant_of(ctx_.self()),
+                                          p.job));
+  }
   if (origin_enters) book.add(make_bid(p.job));  // message-free local bid
 
   p.negotiations += static_cast<std::uint32_t>(n_remote);  // remote enquiries
@@ -113,11 +151,8 @@ void AuctionPolicy::open_auction(core::Pending p) {
         ctx_.now() + acfg.solicit_hold_slack_fraction * slack;
     core::Message msg{core::MessageType::kCallForBids, ctx_.self(),
                       ctx_.self(), p.job};
-    p.messages += ctx_.multicast(
-        std::move(msg),
-        std::span<const cluster::ResourceIndex>(
-            book.solicited_list().data(), n_remote),
-        not_after);
+    p.messages += ctx_.multicast(std::move(msg), scratch_targets_,
+                                 not_after);
   }
 
   const cluster::JobId id = p.job.id;
@@ -188,7 +223,12 @@ void AuctionPolicy::flush_solicitations() {
         0.0, it->second.pending.job.absolute_deadline() - ctx_.now());
     not_after = std::min(
         not_after, ctx_.now() + acfg.solicit_hold_slack_fraction * slack);
-    for (const cluster::ResourceIndex r : it->second.book.solicited_list()) {
+    for (const federation::ParticipantId pid :
+         it->second.book.solicited_list()) {
+      // Wire address: the participant's representative; entrants the
+      // origin itself covers (its own bid, a coalition it represents)
+      // were answered locally at open time.
+      const cluster::ResourceIndex r = representative_of(pid);
       if (r == ctx_.self()) continue;
       const auto pos = std::find(scratch_providers_.begin(),
                                  scratch_providers_.end(), r);
@@ -212,20 +252,7 @@ void AuctionPolicy::flush_solicitations() {
   std::shared_ptr<transport::MessageArena> arena;
   std::size_t i = 0;
   while (i < scratch_providers_.size()) {
-    const auto has_award = [this](cluster::ResourceIndex provider) {
-      for (const auto& held : held_awards_) {
-        if (!held.dispatched && held.target == provider) return true;
-      }
-      return false;
-    };
-    std::size_t j = i + 1;
-    if (!has_award(scratch_providers_[i])) {
-      while (j < scratch_providers_.size() &&
-             !has_award(scratch_providers_[j]) &&
-             scratch_buckets_[j] == scratch_buckets_[i]) {
-        ++j;
-      }
-    }
+    const std::size_t j = solicit_run_end(i);
     if (!arena) arena = std::make_shared<transport::MessageArena>();
     core::Message msg;
     msg.type = core::MessageType::kCallForBids;
@@ -288,16 +315,38 @@ void AuctionPolicy::on_bid_timeout(cluster::JobId id) {
   clear_auction(id);
 }
 
-bool AuctionPolicy::flush_solicits(cluster::ResourceIndex provider) const {
+bool AuctionPolicy::flush_solicits(
+    federation::ParticipantId participant) const {
   for (const cluster::JobId id : solicit_queue_) {
     const auto it = auctions_.find(id);
     if (it == auctions_.end()) continue;  // cleared while queued
     const auto& list = it->second.book.solicited_list();
-    if (std::find(list.begin(), list.end(), provider) != list.end()) {
+    if (std::find(list.begin(), list.end(), participant) != list.end()) {
       return true;
     }
   }
   return false;
+}
+
+bool AuctionPolicy::has_held_award(cluster::ResourceIndex provider) const {
+  for (const HeldAward& held : held_awards_) {
+    if (!held.dispatched && held.target == provider) return true;
+  }
+  return false;
+}
+
+std::size_t AuctionPolicy::solicit_run_end(std::size_t i) const {
+  // A provider with held awards gets a message of its own (the award
+  // text joins the payload); otherwise the run extends while the job
+  // buckets stay equal and no award interrupts it.
+  std::size_t j = i + 1;
+  if (has_held_award(scratch_providers_[i])) return j;
+  while (j < scratch_providers_.size() &&
+         !has_held_award(scratch_providers_[j]) &&
+         scratch_buckets_[j] == scratch_buckets_[i]) {
+    ++j;
+  }
+  return j;
 }
 
 
@@ -353,9 +402,20 @@ void AuctionPolicy::advance_awards(core::Pending p) {
       }
       continue;  // queue filled up since bidding: next award
     }
-    // The award is an admission enquiry through the shared seam: the
-    // winner re-checks, reserves, and answers with a kReply.
+    const cluster::ResourceIndex rep = representative_of(award.bid.bidder);
     st.award_payment = award.payment;
+    if (rep == ctx_.self()) {
+      // A coalition the origin itself represents won: internal placement
+      // runs over the local links (no wire enquiry); the engine ships
+      // the payload straight to the chosen member, or hands the job back
+      // through schedule() when every member declines.
+      ctx_.place_in_coalition(std::move(p), award.bid.bidder,
+                              award.payment);
+      return;
+    }
+    // The award is an admission enquiry through the shared seam: the
+    // winner re-checks, reserves, and answers with a kReply.  A
+    // coalition winner is addressed through its representative.
     const auto& acfg = ctx_.config().auction;
     if (acfg.piggyback_awards && acfg.batch_solicitations &&
         !solicit_queue_.empty() &&
@@ -367,10 +427,10 @@ void AuctionPolicy::advance_awards(core::Pending p) {
       // coming, because delaying an admission re-check decays the
       // winner's estimate (and with it acceptance).
       held_awards_.push_back(
-          HeldAward{std::move(p), award.bid.bidder, award.payment, false});
+          HeldAward{std::move(p), rep, award.payment, false});
       return;
     }
-    ctx_.send_award(std::move(p), award.bid.bidder, award.payment);
+    ctx_.send_award(std::move(p), rep, award.payment);
     return;  // resume in the engine's reply handler (or the timeout)
   }
   fallback(std::move(p));
@@ -390,6 +450,23 @@ void AuctionPolicy::fallback(core::Pending p) {
 }
 
 // ---- provider side ----------------------------------------------------------
+
+market::Bid AuctionPolicy::participant_bid(const cluster::Job& job) {
+  coalition::CoalitionManager* manager = ctx_.coalitions();
+  if (manager != nullptr) {
+    const federation::ParticipantId pid =
+        manager->registry().participant_of(ctx_.self());
+    if (pid.is_coalition() &&
+        manager->registry().representative(pid) == ctx_.self()) {
+      // This cluster speaks for its coalition: one joint bid aggregated
+      // over the members' pricing (fanned out on the local links; the
+      // manager counts them), bypassing the solo TTL cache — a joint
+      // quote depends on every member's queue, not just ours.
+      return manager->joint_bid(pid, job);
+    }
+  }
+  return make_bid(job);
+}
 
 market::Bid AuctionPolicy::make_bid(const cluster::Job& job) {
   const auto& cfg = ctx_.config();
@@ -463,14 +540,14 @@ void AuctionPolicy::on_call_for_bids(const core::Message& msg) {
     answer.job = msg.batch_jobs.front();
     answer.batch_bids.reserve(msg.batch_jobs.size());
     for (const cluster::Job& job : msg.batch_jobs) {
-      const market::Bid bid = make_bid(job);
+      const market::Bid bid = participant_bid(job);
       answer.batch_bids.push_back(core::BatchedBid{
           job.id, bid.ask, bid.completion_estimate, bid.feasible});
     }
     ctx_.send(std::move(answer));
     return;
   }
-  const market::Bid bid = make_bid(msg.job);
+  const market::Bid bid = participant_bid(msg.job);
   core::Message answer{core::MessageType::kBid, ctx_.self(), msg.from,
                        msg.job, bid.feasible, bid.completion_estimate};
   answer.price = bid.ask;
@@ -484,13 +561,14 @@ void AuctionPolicy::on_bid(const core::Message& msg) {
     // rode the overlay was already booked by the transport as shared
     // edge messages (ledger relay counters) — not per job.
     bool counted = msg.via_overlay;
+    const federation::ParticipantId bidder = participant_of(msg.from);
     for (const core::BatchedBid& entry : msg.batch_bids) {
       const auto it = auctions_.find(entry.job);
       if (it == auctions_.end()) continue;  // cleared at the timeout: stale
       // The book rejects duplicates (a re-delivered wire message), so
       // the message only counts once it actually enters a book.
       const bool entered =
-          it->second.book.add(market::Bid{msg.from, entry.ask,
+          it->second.book.add(market::Bid{bidder, entry.ask,
                                           entry.completion_estimate,
                                           entry.feasible});
       if (entered && !counted) {
@@ -504,8 +582,11 @@ void AuctionPolicy::on_bid(const core::Message& msg) {
   const auto it = auctions_.find(msg.job.id);
   if (it == auctions_.end()) return;  // book cleared at the timeout: stale bid
   OpenAuction& auction = it->second;
+  // A bid from a coalition's representative enters under the coalition's
+  // participant id (singletons map to themselves).
   const bool entered = auction.book.add(
-      market::Bid{msg.from, msg.price, msg.completion_estimate, msg.accept});
+      market::Bid{participant_of(msg.from), msg.price,
+                  msg.completion_estimate, msg.accept});
   if (entered && !msg.via_overlay) ++auction.pending.messages;
   if (auction.book.complete()) clear_auction(msg.job.id);
 }

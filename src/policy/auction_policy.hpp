@@ -39,10 +39,18 @@ class AuctionPolicy final : public SchedulingPolicy {
   void on_bid(const core::Message& msg) override;
   [[nodiscard]] PolicyCounters counters() const override { return counters_; }
 
-  /// This cluster's sealed bid for `job` (provider side; also the
+  /// This cluster's solo sealed bid for `job` (provider side; also the
   /// origin's own message-free local bid).  Serves same-shape jobs from
   /// the TTL cache when AuctionConfig::bid_cache_ttl is set.
-  [[nodiscard]] market::Bid make_bid(const cluster::Job& job);
+  [[nodiscard]] market::Bid make_bid(const cluster::Job& job) override;
+
+  /// The sealed bid this cluster answers a call-for-bids with: its own
+  /// make_bid() in the solo market, or — when it represents a coalition —
+  /// the coalition's joint bid aggregated over the members' pricing on
+  /// the cheap intra-coalition links.
+  [[nodiscard]] market::Bid participant_bid(const cluster::Job& job);
+
+  void invalidate_bid_cache() override { bid_cache_.clear(); }
 
  private:
   /// Auction-mode extension of a Pending (lives behind policy_state).
@@ -70,6 +78,8 @@ class AuctionPolicy final : public SchedulingPolicy {
   };
 
   /// An award waiting (bounded) for a solicitation flush to carry it.
+  /// `target` is the wire address — the winning participant's
+  /// representative cluster.
   struct HeldAward {
     core::Pending pending;
     cluster::ResourceIndex target = cluster::kNoResource;
@@ -101,6 +111,16 @@ class AuctionPolicy final : public SchedulingPolicy {
   /// Ensures `p` carries an AuctionJobState, allocating on first touch.
   static AuctionJobState& ensure_state(core::Pending& p);
 
+  /// The market participant `resource` acts as: its coalition when the
+  /// run registered one, its singleton otherwise (and always the
+  /// singleton when the coalition layer is off — the identity map the
+  /// solo-parity digests pin down).
+  [[nodiscard]] federation::ParticipantId participant_of(
+      cluster::ResourceIndex resource);
+  /// Wire address of `participant` (a singleton represents itself).
+  [[nodiscard]] cluster::ResourceIndex representative_of(
+      federation::ParticipantId participant);
+
   /// Opens the book: solicits bids from every eligible provider and
   /// enters the origin's own message-free bid when configured.
   void open_auction(core::Pending p);
@@ -118,10 +138,20 @@ class AuctionPolicy final : public SchedulingPolicy {
   /// Tries the next award in the cleared ranking; exhausted = fallback.
   void advance_awards(core::Pending p);
   void on_bid_timeout(cluster::JobId id);
-  /// True when some queued (still-open) auction solicits `provider`, so
-  /// the pending flush will actually send it a call-for-bids an award
-  /// could ride.
-  [[nodiscard]] bool flush_solicits(cluster::ResourceIndex provider) const;
+  /// True when some queued (still-open) auction solicits `participant`,
+  /// so the pending flush will actually send its representative a
+  /// call-for-bids an award could ride.
+  [[nodiscard]] bool flush_solicits(
+      federation::ParticipantId participant) const;
+  /// True when an undispatched held award targets `provider` — shared by
+  /// the flush's run grouping (a provider carrying awards is carved into
+  /// its own message) and the piggyback bookkeeping.
+  [[nodiscard]] bool has_held_award(cluster::ResourceIndex provider) const;
+  /// End of the maximal run [i, end) of flush providers that can share
+  /// one multicast: equal job buckets and no held awards (a payload with
+  /// piggybacked awards differs per provider).  The single place the
+  /// equal-bucket grouping rule lives.
+  [[nodiscard]] std::size_t solicit_run_end(std::size_t i) const;
   /// Exhausted every auction avenue: DBC walk or rejection per config.
   void fallback(core::Pending p);
 
@@ -142,7 +172,12 @@ class AuctionPolicy final : public SchedulingPolicy {
   market::BookPool book_pool_;
   // Scratch buffers reused across auctions (hot path: one per job).
   std::vector<directory::Quote> scratch_quotes_;
-  std::vector<cluster::ResourceIndex> scratch_entrants_;
+  /// Participants entering the book (wire-solicited and local entrants).
+  std::vector<federation::ParticipantId> scratch_entrants_;
+  /// Wire targets of the solicitation: one representative per remote
+  /// participant, cheapest-first order (group-addressed dissemination —
+  /// a coalition is reached through its representative only).
+  std::vector<cluster::ResourceIndex> scratch_targets_;
   std::vector<cluster::ResourceIndex> scratch_providers_;
   /// Per-provider job buckets built by flush_solicitations; parallel to
   /// scratch_providers_, capacity retained across flushes.

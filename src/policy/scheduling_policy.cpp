@@ -24,6 +24,11 @@ void SchedulingPolicy::on_bid(const core::Message& msg) {
   (void)msg;  // a stray bid at a non-auction GFA is dropped
 }
 
+market::Bid SchedulingPolicy::make_bid(const cluster::Job& job) {
+  (void)job;
+  return {};  // non-auction policies price nothing (infeasible bid)
+}
+
 std::unique_ptr<SchedulingPolicy> make_policy(core::SchedulingMode mode,
                                               SchedulerContext& ctx) {
   switch (mode) {

@@ -30,8 +30,13 @@
 #include "core/message.hpp"
 #include "core/pending.hpp"
 #include "directory/federation_directory.hpp"
+#include "federation/participant.hpp"
 #include "market/auction_engine.hpp"
 #include "sim/simulation.hpp"
+
+namespace gridfed::coalition {
+class CoalitionManager;
+}  // namespace gridfed::coalition
 
 namespace gridfed::policy {
 
@@ -61,6 +66,10 @@ class SchedulerContext {
   /// Staging delay before `job`'s input data lands at `site` (WAN model).
   [[nodiscard]] virtual sim::SimTime payload_staging_time(
       const cluster::Job& job, cluster::ResourceIndex site) const = 0;
+  /// The coalition layer of this run, or null when coalitions are
+  /// disabled — in which case every participant is a singleton and
+  /// participant_of() degenerates to the identity.
+  [[nodiscard]] virtual coalition::CoalitionManager* coalitions() = 0;
 
   // -- feasibility predicates ---------------------------------------------
   /// True when the local LRMS can complete `job` within its deadline.
@@ -84,6 +93,13 @@ class SchedulerContext {
   /// its own — the award text rides on a piggybacked solicitation the
   /// policy sends separately.  Arms the reply timeout like send_award.
   virtual void park_award(core::Pending p, cluster::ResourceIndex target) = 0;
+  /// An award won by a coalition the origin itself represents: internal
+  /// placement runs locally (no wire enquiry), then the payload ships
+  /// straight to the chosen member — or, if every member declines, `p`
+  /// is handed back through schedule() like a declined reply.
+  virtual void place_in_coalition(core::Pending p,
+                                  federation::ParticipantId coalition,
+                                  double payment) = 0;
   /// Every avenue exhausted: report the rejection.
   virtual void reject(core::Pending p) = 0;
 
@@ -130,6 +146,19 @@ class SchedulingPolicy {
   /// call-for-bids at a non-auction GFA is dropped, not a crash).
   virtual void on_call_for_bids(const core::Message& msg);
   virtual void on_bid(const core::Message& msg);
+
+  /// This cluster's solo sealed bid for `job` (provider-side pricing).
+  /// The coalition layer aggregates member bids through this seam; the
+  /// default is an unconditional infeasible bid (non-auction policies
+  /// price nothing).
+  [[nodiscard]] virtual market::Bid make_bid(const cluster::Job& job);
+
+  /// Drops any cached provider-side pricing (the auction policy's TTL
+  /// bid cache).  Called when capacity was reserved behind the policy's
+  /// back — a coalition placement admitting on this member — so later
+  /// bids price the queue honestly, mirroring the cache drop the policy
+  /// performs itself after processing piggybacked awards.
+  virtual void invalidate_bid_cache() {}
 
   /// Run counters (see PolicyCounters); default all-zero.
   [[nodiscard]] virtual PolicyCounters counters() const { return {}; }

@@ -16,4 +16,14 @@ void AuctionStats::record(const market::ClearingReport& report) {
   }
 }
 
+void AuctionStats::record_decline(std::uint32_t participant) {
+  ++award_declines[participant];
+  ++awards_declined;
+}
+
+void AuctionStats::record_miss(std::uint32_t participant) {
+  ++guarantee_misses[participant];
+  ++guarantees_missed;
+}
+
 }  // namespace gridfed::stats

@@ -5,6 +5,7 @@
 // engine's ClearingReports; surfaced in FederationResult.
 
 #include <cstdint>
+#include <map>
 
 #include "market/auction_engine.hpp"
 #include "stats/accumulator.hpp"
@@ -31,8 +32,25 @@ struct AuctionStats {
   /// of paying their own wire message (AuctionConfig::piggyback_awards).
   std::uint64_t awards_piggybacked = 0;
 
+  // Reputation input signals, keyed by the *participant* that gave the
+  // broken promise (federation::ParticipantId::value — a singleton's key
+  // equals its cluster index, a coalition's is its registered id).  The
+  // ROADMAP's reputation-weighted bidding follow-on consumes these:
+  // providers that decline awards or miss guarantees should see their
+  // future bids discounted.
+  std::map<std::uint32_t, std::uint64_t> award_declines;   ///< per provider
+  std::map<std::uint32_t, std::uint64_t> guarantee_misses; ///< per provider
+  std::uint64_t awards_declined = 0;    ///< declined or timed-out awards
+  std::uint64_t guarantees_missed = 0;  ///< completions past the promise
+
   /// Folds one cleared round in.
   void record(const market::ClearingReport& report);
+
+  /// Books one declined (or timed-out) award against `participant`.
+  void record_decline(std::uint32_t participant);
+
+  /// Books one completion-guarantee miss against `participant`.
+  void record_miss(std::uint32_t participant);
 
   /// Fraction of rounds that found a winner, in [0, 1].
   [[nodiscard]] double fill_rate() const noexcept {

@@ -1,11 +1,27 @@
 #include "transport/transport.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "transport/direct_transport.hpp"
 #include "transport/tree_transport.hpp"
 
 namespace gridfed::transport {
+
+std::span<const cluster::ResourceIndex> Transport::collapse_groups(
+    std::span<const cluster::ResourceIndex> targets) {
+  if (groups_ == nullptr) return targets;
+  group_scratch_.clear();
+  for (const cluster::ResourceIndex target : targets) {
+    const cluster::ResourceIndex rep =
+        groups_->representative(groups_->participant_of(target));
+    if (std::find(group_scratch_.begin(), group_scratch_.end(), rep) ==
+        group_scratch_.end()) {
+      group_scratch_.push_back(rep);
+    }
+  }
+  return group_scratch_;
+}
 
 sim::SimTime Transport::delay_for(const core::Message& msg) const {
   const auto& cfg = ctx_.config();

@@ -25,9 +25,11 @@
 #include <memory>
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "core/config.hpp"
 #include "core/message.hpp"
+#include "federation/participant.hpp"
 #include "network/latency_model.hpp"
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
@@ -90,6 +92,18 @@ class Transport {
     return wan_ ? &*wan_ : nullptr;
   }
 
+  /// Group-addressed dissemination: with a participant registry wired
+  /// in, every multicast target set is collapsed to ONE delivery per
+  /// participant — a coalition is reached through its representative
+  /// alone, and the intra-coalition fan-out rides the coalition layer's
+  /// local links instead of the wire.  A null registry (the solo
+  /// market, and every non-auction mode) leaves target sets untouched,
+  /// so the solo path stays bit-identical.  `registry` must outlive the
+  /// transport.
+  void set_group_registry(const federation::ParticipantRegistry* registry) {
+    groups_ = registry;
+  }
+
  protected:
   /// The best-effort enquiry channel: these legs may be lost when
   /// failure injection is on; payload transfers are reliable
@@ -141,8 +155,25 @@ class Transport {
   /// leg it does not carry over the overlay.
   void direct_unicast(core::Message msg);
 
+  /// The multicast half of group addressing: maps each target to its
+  /// participant's representative and dedups (first-seen order kept, so
+  /// the wire order stays deterministic).  Identity without a registry.
+  /// Idempotent over the AuctionPolicy's own representative mapping —
+  /// the policy addresses representatives anyway because its book slots
+  /// and piggyback targets are per-participant — so this pass normally
+  /// finds nothing to collapse; it exists so group addressing is a
+  /// property of the substrate, enforced for every caller, not a
+  /// convention each caller must re-implement.  O(targets) per
+  /// multicast, and only in coalition runs (null registry returns the
+  /// input span untouched).
+  /// The returned span views scratch storage valid until the next call.
+  [[nodiscard]] std::span<const cluster::ResourceIndex> collapse_groups(
+      std::span<const cluster::ResourceIndex> targets);
+
   TransportContext& ctx_;
   std::optional<network::LatencyModel> wan_;
+  const federation::ParticipantRegistry* groups_ = nullptr;
+  std::vector<cluster::ResourceIndex> group_scratch_;
 };
 
 /// Builds the transport `options.kind` selects (the only place the kind

@@ -95,6 +95,10 @@ void TreeTransport::unicast(core::Message msg) {
 std::uint64_t TreeTransport::multicast(
     core::Message msg, std::span<const cluster::ResourceIndex> targets,
     sim::SimTime not_after) {
+  // Group-addressed dissemination: a coalition costs one delivery to
+  // its representative — the fan-out behind it rides the coalition
+  // layer's local links, never the tree's wire edges.
+  targets = collapse_groups(targets);
   if (targets.empty()) return 0;
   fanout_queue_.push_back(
       PendingFanout{std::move(msg), {targets.begin(), targets.end()}});

@@ -564,7 +564,7 @@ TEST(AuctionMode, LossyAuctionRequiresBidTimeout) {
 TEST(AuctionBook, ReopenRewindsForTheNextJob) {
   market::AuctionBook book(7, {0, 1, 2});
   EXPECT_TRUE(book.add({0, 1.0, 10.0, true}));
-  book.reopen(9, std::vector<cluster::ResourceIndex>{3, 4});
+  book.reopen(9, std::vector<federation::ParticipantId>{3u, 4u});
   EXPECT_EQ(book.job(), 9u);
   EXPECT_EQ(book.solicited(), 2u);
   EXPECT_TRUE(book.bids().empty());
@@ -577,10 +577,10 @@ TEST(AuctionBook, ReopenRewindsForTheNextJob) {
 
 TEST(BookPool, ReusesReleasedBooks) {
   market::BookPool pool;
-  auto a = pool.acquire(1, std::vector<cluster::ResourceIndex>{0, 1});
+  auto a = pool.acquire(1, std::vector<federation::ParticipantId>{0u, 1u});
   EXPECT_EQ(pool.reuses(), 0u);
   pool.release(std::move(a));
-  auto b = pool.acquire(2, std::vector<cluster::ResourceIndex>{0, 1, 2});
+  auto b = pool.acquire(2, std::vector<federation::ParticipantId>{0u, 1u, 2u});
   EXPECT_EQ(pool.reuses(), 1u);
   EXPECT_EQ(b.job(), 2u);
   EXPECT_EQ(b.solicited(), 3u);
