@@ -53,15 +53,21 @@ inline std::string profile_label(std::uint32_t oft_percent) {
          std::to_string(oft_percent);
 }
 
+/// `--<name>=PATH` argument, or empty when absent.
+inline std::string path_arg(int argc, char** argv, const std::string& name) {
+  const std::string prefix = "--" + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return {};
+}
+
 /// `--json=PATH` argument, or empty when absent.  The fig10/fig11
 /// binaries use it to dump a machine-readable summary next to the human
 /// tables (bench/run_bench.sh collects them into BENCH_messages.json).
 inline std::string json_path(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
-  }
-  return {};
+  return path_arg(argc, argv, "json");
 }
 
 /// True when `flag` (e.g. "--auction-only") was passed.

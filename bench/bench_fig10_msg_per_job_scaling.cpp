@@ -5,11 +5,92 @@
 // Also reports the auction-mode batching comparison (messages/job with
 // and without batched solicitation) and, with --json=PATH, dumps a
 // machine-readable summary for bench/run_bench.sh.
+//
+// Observability flags (builds with GRIDFED_TRACE, the default):
+//   --trace=PATH      re-run the largest auction+coalition point with the
+//                     event tracer on and write a Perfetto-loadable
+//                     Chrome trace-event JSON
+//   --metrics=PATH    same run, metrics time-series JSON (epoch-sampled
+//                     counters/gauges/histograms + ledger columns)
+//   --forensics=PATH  same run, per-clearing auction decision ledger
+// The three flags share ONE observed run; the observed run never feeds
+// the comparison tables (observation is one-way, but keeping it separate
+// makes that visually obvious in the output too).
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "bench_common.hpp"
+#include "cluster/catalog.hpp"
+#include "core/federation.hpp"
+#include "obs/observer.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+// One observed 70/30 auction run at `size` clusters with batching, the
+// tree overlay and coalitions on — the heaviest-instrumented
+// configuration — dumping whichever artifacts were requested.
+int run_observed(std::size_t size, const std::string& trace_path,
+                 const std::string& metrics_path,
+                 const std::string& forensics_path) {
+  using namespace gridfed;
+#if GRIDFED_TRACE
+  auto cfg = core::make_config(core::SchedulingMode::kAuction);
+  cfg.auction.batch_solicitations = true;
+  cfg.auction.solicit_batch_window = bench::kBenchBatchWindow;
+  cfg.transport.kind = transport::TransportKind::kTree;
+  cfg.coalitions.enabled = true;
+  cfg.coalitions.bucket_size = bench::kBenchCoalitionBucket;
+  cfg.obs.trace = !trace_path.empty();
+  cfg.obs.metrics = !metrics_path.empty();
+  cfg.obs.forensics = !forensics_path.empty();
+
+  const auto specs = cluster::replicated_specs(size);
+  core::Federation fed(cfg, specs);
+  fed.load_workload(
+      workload::generate_federation_workload(specs, cfg.window, cfg.seed),
+      workload::PopulationProfile{30});
+  const auto result = fed.run();
+  std::printf("Observed run (%zu clusters, auction+tree+coalitions): %llu "
+              "wire msgs, %llu bytes, %.2f%% accepted\n",
+              size, static_cast<unsigned long long>(result.total_messages),
+              static_cast<unsigned long long>(result.total_message_bytes),
+              result.acceptance_pct());
+
+  const obs::Observer* obs = fed.observer();
+  const auto dump = [](const std::string& path, const char* what,
+                       auto&& write) {
+    if (path.empty()) return true;
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    write(out);
+    std::printf("%s written to %s\n", what, path.c_str());
+    return true;
+  };
+  bool ok = true;
+  ok &= dump(trace_path, "Perfetto trace",
+             [obs](std::ostream& o) { obs->trace()->write_chrome_trace(o); });
+  ok &= dump(metrics_path, "Metrics time-series",
+             [obs](std::ostream& o) { obs->metrics()->write_json(o); });
+  ok &= dump(forensics_path, "Auction forensics",
+             [obs](std::ostream& o) { obs->forensics()->write_json(o); });
+  return ok ? 0 : 1;
+#else
+  (void)size;
+  (void)trace_path;
+  (void)metrics_path;
+  (void)forensics_path;
+  std::fprintf(stderr, "observability flags need a GRIDFED_TRACE=ON build\n");
+  return 1;
+#endif
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gridfed;
@@ -86,7 +167,7 @@ int main(int argc, char** argv) {
               "messages are shared across origins):\n\n");
   stats::Table tt({"System size", "Batched wire msgs/job",
                    "Tree wire msgs/job", "Reduction %", "Relay msgs",
-                   "Accept % (t)", "Resp delta %"});
+                   "Tree KB/job", "Accept % (t)", "Resp delta %"});
   for (const auto& p : batching) {
     const double resp_delta =
         p.batched.fed_response_excl.mean() > 0.0
@@ -99,6 +180,7 @@ int main(int argc, char** argv) {
                 stats::Table::num(p.tree.wire_msgs_per_job(), 2),
                 stats::Table::num(p.tree_reduction_pct(), 1),
                 std::to_string(p.tree.overlay_relay_messages),
+                stats::Table::num(p.tree.wire_bytes_per_job() / 1024.0, 2),
                 stats::Table::num(p.tree.acceptance_pct(), 2),
                 stats::Table::num(resp_delta, 2)});
   }
@@ -111,7 +193,8 @@ int main(int argc, char** argv) {
               bench::kBenchCoalitionBucket);
   stats::Table ct({"System size", "Tree wire msgs/job",
                    "Coalition wire msgs/job", "Reduction %", "Coalitions",
-                   "Local msgs", "Accept % (c)", "Resp delta %"});
+                   "Local msgs", "Coal KB/job", "Accept % (c)",
+                   "Resp delta %"});
   for (const auto& p : batching) {
     const double resp_delta =
         p.tree.fed_response_excl.mean() > 0.0
@@ -125,6 +208,8 @@ int main(int argc, char** argv) {
                 stats::Table::num(p.coalition_reduction_pct(), 1),
                 std::to_string(p.coalition.coalitions_formed),
                 std::to_string(p.coalition.coalition_local_messages),
+                stats::Table::num(p.coalition.wire_bytes_per_job() / 1024.0,
+                                  2),
                 stats::Table::num(p.coalition.acceptance_pct(), 2),
                 stats::Table::num(resp_delta, 2)});
   }
@@ -211,6 +296,9 @@ int main(int argc, char** argv) {
           "\"batched_msgs_per_job\": %.4f, \"reduction_pct\": %.2f, "
           "\"tree_wire_msgs_per_job\": %.4f, "
           "\"batched_wire_msgs_per_job\": %.4f, "
+          "\"batched_bytes_per_job\": %.4f, "
+          "\"tree_bytes_per_job\": %.4f, "
+          "\"coalition_bytes_per_job\": %.4f, "
           "\"tree_reduction_pct\": %.2f, "
           "\"tree_relay_messages\": %llu, "
           "\"tree_accept_pct\": %.2f, "
@@ -235,6 +323,8 @@ int main(int argc, char** argv) {
           p.size, p.unbatched.msgs_per_job.mean(),
           p.batched.msgs_per_job.mean(), p.reduction_pct(),
           p.tree.wire_msgs_per_job(), p.batched.wire_msgs_per_job(),
+          p.batched.wire_bytes_per_job(), p.tree.wire_bytes_per_job(),
+          p.coalition.wire_bytes_per_job(),
           p.tree_reduction_pct(),
           static_cast<unsigned long long>(p.tree.overlay_relay_messages),
           p.tree.acceptance_pct(), p.tree.fed_response_excl.mean(),
@@ -263,6 +353,15 @@ int main(int argc, char** argv) {
     std::fprintf(f, "  ]}\n}\n");
     std::fclose(f);
     std::printf("JSON summary written to %s\n", json.c_str());
+  }
+
+  const std::string trace_path = bench::path_arg(argc, argv, "trace");
+  const std::string metrics_path = bench::path_arg(argc, argv, "metrics");
+  const std::string forensics_path = bench::path_arg(argc, argv, "forensics");
+  if (!trace_path.empty() || !metrics_path.empty() ||
+      !forensics_path.empty()) {
+    return run_observed(auction_sizes.back(), trace_path, metrics_path,
+                        forensics_path);
   }
   return 0;
 }

@@ -51,6 +51,64 @@ void BM_SimulationEventDispatch(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulationEventDispatch);
 
+#if GRIDFED_TRACE
+// The observability overhead pair: dispatch with the probe slot present
+// but null (runtime-disabled tracing — the default production state)
+// vs. a live counting probe (what the Federation installs when
+// ObsConfig::metrics is on).  The null-probe number must stay within 2%
+// of BM_SimulationEventDispatch on the pre-observability seed; see
+// bench/README.md "Observability".
+void BM_SimulationEventDispatchProbed(benchmark::State& state) {
+  const bool live = state.range(0) != 0;
+  for (auto _ : state) {
+    sim::Simulation sim;
+    std::uint64_t probed = 0;
+    if (live) {
+      sim.set_dispatch_probe(
+          [](void* ctx, sim::SimTime) {
+            ++*static_cast<std::uint64_t*>(ctx);
+          },
+          &probed);
+    }
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 10000; ++i) {
+      sim.schedule_at(static_cast<double>(i), sim::EventPriority::kControl,
+                      [&acc] { ++acc; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(acc);
+    benchmark::DoNotOptimize(probed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_SimulationEventDispatchProbed)
+    ->Arg(0)   // probe slot compiled in, runtime-off (null probe)
+    ->Arg(1);  // live counting probe
+#endif  // GRIDFED_TRACE
+
+void BM_TracedEndToEndAuction(benchmark::State& state) {
+  // Full two-day auction run with every observability facility on:
+  // the end-to-end cost of tracing a real experiment (spans + metrics +
+  // forensics), against BM_EndToEndTwoDayEconomy-style baselines.
+  auto cfg = core::make_config(core::SchedulingMode::kAuction);
+#if GRIDFED_TRACE
+  cfg.obs.trace = state.range(0) != 0;
+  cfg.obs.metrics = state.range(0) != 0;
+  cfg.obs.forensics = state.range(0) != 0;
+#endif
+  for (auto _ : state) {
+    const auto r = core::run_experiment(cfg, 8, 30);
+    benchmark::DoNotOptimize(r.total_messages);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2662);
+}
+BENCHMARK(BM_TracedEndToEndAuction)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_AvailabilityReserve(benchmark::State& state) {
   sim::Rng rng(7);
   for (auto _ : state) {

@@ -3,13 +3,15 @@
 
 Compares a freshly measured fig10 JSON (bench_fig10_msg_per_job_scaling
 --json=...) against the checked-in BENCH_messages.json and fails when
-messages/job regressed by more than the tolerance on any point present
-in both files — on the batched direct transport, the tree transport
-(the PR 4 headline), AND the coalition mode riding the tree (the PR 5
-group-addressed dissemination).  Points are matched by federation size,
-so the CI smoke run may measure only the 50-cluster point.  A metric
-missing from the baseline (an older BENCH_messages.json) is skipped, so
-adding a mode never breaks existing baselines.
+messages/job OR bytes/job regressed by more than the tolerance on any
+point present in both files — on the batched direct transport, the tree
+transport (the PR 4 headline), AND the coalition mode riding the tree
+(the PR 5 group-addressed dissemination).  The bytes/job columns gate
+the wire-size model end-to-end: a payload-bloating change that keeps
+message counts flat still fails here.  Points are matched by federation
+size, so the CI smoke run may measure only the 50-cluster point.  A
+metric missing from the baseline (an older BENCH_messages.json) is
+skipped, so adding a mode never breaks existing baselines.
 
 Usage: check_messages.py MEASURED.json CHECKED_IN.json [tolerance_pct]
 """
@@ -26,7 +28,10 @@ def points(doc):
 
 
 METRICS = ("batched_msgs_per_job", "tree_wire_msgs_per_job",
-           "coalition_wire_msgs_per_job")
+           "coalition_wire_msgs_per_job",
+           # bytes/job per transport column (wire-size model)
+           "batched_bytes_per_job", "tree_bytes_per_job",
+           "coalition_bytes_per_job")
 
 
 def main():

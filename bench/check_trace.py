@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""CI lint for exported Perfetto/Chrome trace-event JSON.
+
+Validates a trace produced by the obs::Tracer Chrome exporter
+(bench_fig10_msg_per_job_scaling --trace=PATH, or any gridfed binary
+that calls write_chrome_trace):
+
+  * the document parses as JSON and has a traceEvents list;
+  * every event carries ph/pid/tid/ts with sane types, and the phase is
+    one of the shapes the exporter emits (M metadata, b/e async span
+    boundaries, i instants);
+  * every track (pid) is labelled by exactly one process_name metadata
+    event, and no event uses pid 0 (Perfetto reserves it);
+  * timestamps are monotone in file order (the tracer appends in
+    simulation order, so an out-of-order ts means a buggy exporter or a
+    clock that ran backwards);
+  * async spans nest: every "e" closes a currently-open "b" with the
+    same (cat, id, pid) key, no span is opened twice without closing,
+    and nothing is left open at end of trace.
+
+Usage: check_trace.py TRACE.json [--min-events N]
+Exits nonzero with a description of the first violation.
+"""
+
+import json
+import sys
+
+
+SPAN_KINDS = {"job", "enquiry", "hold", "placement", "auction",
+              "solicit_flush", "bid", "fanout_epoch", "relay",
+              "convergecast", "coalition_formed", "coalition_place"}
+
+
+def fail(msg):
+    sys.exit(f"check_trace: FAIL: {msg}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        sys.exit(__doc__)
+    path = sys.argv[1]
+    min_events = 1
+    if "--min-events" in sys.argv[2:]:
+        min_events = int(sys.argv[sys.argv.index("--min-events") + 1])
+
+    try:
+        doc = json.load(open(path))
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path} is not readable JSON: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("no traceEvents list")
+
+    labelled = {}       # pid -> track name (from process_name metadata)
+    open_spans = {}     # (cat, id, pid) -> opening ts
+    last_ts = None
+    counts = {"M": 0, "b": 0, "e": 0, "i": 0}
+
+    for n, ev in enumerate(events):
+        where = f"event #{n}"
+        if not isinstance(ev, dict):
+            fail(f"{where} is not an object")
+        ph = ev.get("ph")
+        if ph not in counts:
+            fail(f"{where}: unexpected phase {ph!r}")
+        counts[ph] += 1
+        pid, tid = ev.get("pid"), ev.get("tid")
+        if not isinstance(pid, int) or not isinstance(tid, int):
+            fail(f"{where}: pid/tid missing or non-integer")
+        if pid == 0:
+            fail(f"{where}: pid 0 is reserved")
+
+        if ph == "M":
+            if ev.get("name") != "process_name":
+                fail(f"{where}: unexpected metadata {ev.get('name')!r}")
+            name = ev.get("args", {}).get("name")
+            if not name:
+                fail(f"{where}: process_name without args.name")
+            if pid in labelled:
+                fail(f"{where}: pid {pid} labelled twice")
+            labelled[pid] = name
+            continue
+
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{where}: bad ts {ts!r}")
+        if last_ts is not None and ts < last_ts:
+            fail(f"{where}: ts {ts} < preceding {last_ts} "
+                 "(append order must be simulation order)")
+        last_ts = ts
+        if pid not in labelled:
+            fail(f"{where}: pid {pid} used before its process_name")
+        cat = ev.get("cat")
+        if cat not in SPAN_KINDS:
+            fail(f"{where}: unknown category {cat!r}")
+
+        if ph in ("b", "e"):
+            span_id = ev.get("id")
+            if not isinstance(span_id, str) or not span_id.startswith("0x"):
+                fail(f"{where}: async event without a 0x… id")
+            key = (cat, span_id, pid)
+            if ph == "b":
+                if key in open_spans:
+                    fail(f"{where}: span {key} opened twice")
+                open_spans[key] = ts
+            else:
+                if key not in open_spans:
+                    fail(f"{where}: end without open begin for {key}")
+                if ts < open_spans[key]:
+                    fail(f"{where}: span {key} ends before it begins")
+                del open_spans[key]
+
+    if open_spans:
+        sample = sorted(open_spans)[:5]
+        fail(f"{len(open_spans)} span(s) left open at end of trace, "
+             f"e.g. {sample}")
+    if counts["b"] != counts["e"]:
+        fail(f"begin/end imbalance: {counts['b']} b vs {counts['e']} e")
+    payload = counts["b"] + counts["e"] + counts["i"]
+    if payload < min_events:
+        fail(f"only {payload} payload events (< {min_events}) — "
+             "was the run actually traced?")
+
+    print(f"check_trace: OK — {len(labelled)} tracks, {counts['b']} spans, "
+          f"{counts['i']} instants, ts monotone, all spans closed")
+
+
+if __name__ == "__main__":
+    main()

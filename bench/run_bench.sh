@@ -3,9 +3,12 @@
 # fig10/fig11 message-scaling benches, emitting
 #
 #   BENCH_kernel.json    — google-benchmark JSON (BM_EventQueuePushPop,
-#                          BM_SimulationEventDispatch, ...)
+#                          BM_SimulationEventDispatch, probed dispatch, ...)
 #   BENCH_messages.json  — fig10 + fig11 summaries incl. the auction
-#                          batching comparison
+#                          batching comparison (msgs/job AND bytes/job)
+#   BENCH_metrics.json   — observability metrics time-series of the
+#                          50-cluster auction+tree+coalition observed run
+#                          (epoch-sampled counters + ledger columns)
 #
 # Usage: bench/run_bench.sh [BUILD_DIR] [OUT_DIR]
 #   BUILD_DIR  defaults to ./build
@@ -26,7 +29,7 @@ fi
 echo "== kernel microbenchmarks -> $OUT_DIR/BENCH_kernel.json"
 if [[ -x "$BUILD_DIR/bench_micro_kernel" ]]; then
   "$BUILD_DIR/bench_micro_kernel" \
-    --benchmark_filter='BM_EventQueuePushPop|BM_SimulationEventDispatch|BM_DirectoryRankedQuery' \
+    --benchmark_filter='BM_EventQueuePushPop|BM_SimulationEventDispatch|BM_SimulationEventDispatchProbed|BM_DirectoryRankedQuery' \
     --benchmark_repetitions=5 \
     --benchmark_report_aggregates_only=true \
     --benchmark_out="$OUT_DIR/BENCH_kernel.json" \
@@ -38,7 +41,11 @@ fi
 echo "== fig10/fig11 message scaling -> $OUT_DIR/BENCH_messages.json"
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
+# --metrics rides the same invocation: after the comparison tables the
+# binary re-runs the largest auction+tree+coalition point with the
+# metrics registry on and dumps its epoch time-series.
 "$BUILD_DIR/bench_fig10_msg_per_job_scaling" --json="$tmpdir/fig10.json" \
+  --metrics="$OUT_DIR/BENCH_metrics.json" \
   > "$tmpdir/fig10.txt"
 "$BUILD_DIR/bench_fig11_msg_per_gfa_scaling" --json="$tmpdir/fig11.json" \
   > "$tmpdir/fig11.txt"
@@ -54,4 +61,5 @@ trap 'rm -rf "$tmpdir"' EXIT
 
 echo "== summary"
 grep -A7 'Auction mode' "$tmpdir/fig10.txt" | head -10 || true
-echo "done: $OUT_DIR/BENCH_kernel.json $OUT_DIR/BENCH_messages.json"
+echo "done: $OUT_DIR/BENCH_kernel.json $OUT_DIR/BENCH_messages.json" \
+     "$OUT_DIR/BENCH_metrics.json"

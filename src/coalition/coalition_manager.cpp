@@ -44,7 +44,12 @@ CoalitionManager::CoalitionManager(CoalitionContext& ctx,
       members.push_back(order[i].second);
     }
     // The first member in ring order speaks for the group on the wire.
-    registry_.register_coalition(std::move(members), order[at].second);
+    const cluster::ResourceIndex rep = order[at].second;
+    [[maybe_unused]] const federation::ParticipantId id =
+        registry_.register_coalition(std::move(members), rep);
+    GF_OBS(ctx_.observer(), instant(0.0, obs::SpanKind::kCoalitionFormed, rep,
+                                    id.value, len));
+    GF_OBS(ctx_.observer(), count(obs::Counter::kCoalitionsFormed));
   }
 }
 

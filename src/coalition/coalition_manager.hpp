@@ -40,6 +40,7 @@
 #include "economy/grid_bank.hpp"
 #include "federation/participant.hpp"
 #include "market/bid.hpp"
+#include "obs/observer.hpp"
 
 namespace gridfed::coalition {
 
@@ -63,6 +64,10 @@ class CoalitionContext {
   /// Returns the completion estimate, or sim::kTimeInfinity on rejection.
   virtual sim::SimTime member_admit(cluster::ResourceIndex member,
                                     const cluster::Job& job) = 0;
+
+  /// The observability umbrella, or null when disabled (GF_OBS sites
+  /// branch on it; formation/placement instants land per cluster track).
+  [[nodiscard]] virtual obs::Observer* observer() { return nullptr; }
 };
 
 /// Outcome of a coalition's internal placement for one award.

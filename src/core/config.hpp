@@ -13,6 +13,7 @@
 #include "economy/dynamic_pricing.hpp"
 #include "market/auction_config.hpp"
 #include "network/latency_model.hpp"
+#include "obs/obs_config.hpp"
 #include "sim/types.hpp"
 #include "transport/transport_options.hpp"
 #include "workload/calibration.hpp"
@@ -122,6 +123,12 @@ struct FederationConfig {
   /// dissemination and convergecast-aggregated bids.  In auction mode a
   /// nonzero bid_timeout must then also outlast the fan-out epoch.
   transport::TransportOptions transport = {};
+
+  /// Observability (src/obs/): sim-time tracing, the metrics
+  /// time-series, and the auction forensics ledger.  All off by default;
+  /// the dark path is bit-identical to a build without the subsystem
+  /// (and GRIDFED_TRACE=0 compiles the instrumentation out entirely).
+  obs::ObsConfig obs = {};
 
   /// Master seed for workload generation and population assignment.
   std::uint64_t seed = 0x9042005ULL;

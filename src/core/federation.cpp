@@ -61,6 +61,53 @@ Federation::Federation(FederationConfig config,
                    round_trip_hops * worst_latency + fanout_hold);
   }
 
+#if GRIDFED_TRACE
+  // The observability umbrella goes up before any instrumented layer is
+  // wired (the coalition manager emits formation records from its
+  // constructor).  One extra per-participant slot aggregates coalition
+  // participants, whose ids live outside the cluster index space.
+  GF_EXPECTS(!cfg_.obs.metrics || cfg_.obs.metrics_epoch > 0.0);
+  if (cfg_.obs.any()) {
+    std::vector<std::string> tracks;
+    tracks.reserve(specs_.size());
+    for (const auto& spec : specs_) tracks.push_back(spec.name);
+    observer_ = std::make_unique<obs::Observer>(cfg_.obs, std::move(tracks),
+                                                specs_.size() + 1);
+    if (obs::MetricsRegistry* metrics = observer_->metrics()) {
+      // Each sample's message/byte columns come straight from the
+      // authoritative ledger (never double-counted by instrumentation),
+      // so the closing sample equals FederationResult's totals exactly.
+      metrics->set_ledger_sampler([this](obs::MetricsSample& sample) {
+        for (std::size_t t = 0; t < kMessageTypeCount; ++t) {
+          sample.msgs_by_type[t] =
+              ledger_.count_of(static_cast<MessageType>(t));
+          sample.bytes_by_type[t] =
+              ledger_.bytes_of(static_cast<MessageType>(t));
+        }
+        sample.total_msgs = ledger_.total();
+        sample.total_bytes = ledger_.total_bytes();
+        sample.relay_msgs = ledger_.relay_total();
+        std::uint64_t open = 0;
+        std::uint64_t lookups = 0;
+        std::uint64_t hits = 0;
+        for (const auto& agent : gfas_) {
+          open += agent->scheduling_policy().open_auctions();
+          const policy::PolicyCounters counters =
+              agent->scheduling_policy().counters();
+          lookups += counters.bid_cache_lookups;
+          hits += counters.bid_cache_hits;
+        }
+        sample.gauges[static_cast<std::size_t>(obs::Gauge::kOpenBooks)] =
+            open;
+        sample.gauges[static_cast<std::size_t>(
+            obs::Gauge::kBidCacheLookups)] = lookups;
+        sample.gauges[static_cast<std::size_t>(obs::Gauge::kBidCacheHits)] =
+            hits;
+      });
+    }
+  }
+#endif
+
   lrms_.reserve(specs_.size());
   gfas_.reserve(specs_.size());
   sim::EntityId next_id = 0;
@@ -144,6 +191,21 @@ void Federation::arm_periodic_behaviours() {
     }
   }
 
+#if GRIDFED_TRACE
+  // Metrics epoch sampler.  Pure reads: the extra control events shift
+  // event sequence numbers but never reorder or perturb the existing
+  // stream, so enabled runs still reproduce the golden outcomes.  A
+  // final sample after the run drains closes the series (see run()).
+  if (observer_ && observer_->metrics() != nullptr) {
+    for (sim::SimTime t = cfg_.obs.metrics_epoch; t <= cfg_.window;
+         t += cfg_.obs.metrics_epoch) {
+      sim_.schedule_at(t, sim::EventPriority::kControl, [this] {
+        observer_->metrics()->take_sample(sim_.now());
+      });
+    }
+  }
+#endif
+
   // Dynamic-pricing extension: periodic repricing from recent load.
   if (cfg_.dynamic_pricing) {
     const sim::SimTime period = cfg_.pricing.period;
@@ -194,6 +256,20 @@ FederationResult Federation::run() {
   GF_EXPECTS(!ran_);
   ran_ = true;
   outcomes_.reserve(jobs_loaded_);
+#if GRIDFED_TRACE
+  // The kernel dispatch probe: a captureless shim forwarding to the
+  // metrics registry, so the kernel never learns about the obs layer.
+  // Installed only when metrics are on — the dark run keeps the probe
+  // null and pays one predicted branch per event.
+  if (observer_ && observer_->metrics() != nullptr) {
+    sim_.set_dispatch_probe(
+        [](void* ctx, sim::SimTime) {
+          static_cast<obs::MetricsRegistry*>(ctx)->count(
+              obs::Counter::kEventsDispatched);
+        },
+        observer_->metrics());
+  }
+#endif
   sim_.run();
   GF_ENSURES(outcomes_.size() == jobs_loaded_);
   // Fold every agent's policy counters in once, so the accessor and the
@@ -205,6 +281,13 @@ FederationResult Federation::run() {
     auction_stats_.bid_cache_hits += counters.bid_cache_hits;
     auction_stats_.awards_piggybacked += counters.awards_piggybacked;
   }
+#if GRIDFED_TRACE
+  // The closing sample: the queue has drained, so the series ends on
+  // ledger columns equal to aggregate()'s FederationResult totals.
+  if (observer_ && observer_->metrics() != nullptr) {
+    observer_->metrics()->take_sample(sim_.now());
+  }
+#endif
   return aggregate();
 }
 
@@ -273,7 +356,37 @@ void Federation::job_completed(const JobOutcome& outcome) {
       coalitions_ != nullptr && outcome.via_coalition &&
       coalitions_->settle(bank_, outcome.job.id, outcome.executed_on,
                           outcome.job.origin, outcome.job.user, outcome.cost);
-  if (!split) {
+  JobOutcome settled = outcome;
+  settled.settled_participant = outcome.executed_on;
+  settled.surplus_share = outcome.cost;
+  if (split) {
+    const coalition::SplitRecord& record = coalitions_->splits().back();
+    const auto members = coalitions_->registry().members(record.coalition);
+    settled.settled_participant = record.coalition.value;
+    for (std::size_t m = 0; m < members.size(); ++m) {
+      if (members[m] == record.executor) {
+        settled.surplus_share = record.shares[m];
+        break;
+      }
+    }
+    GF_OBS(observer(), count(obs::Counter::kCoalitionSplits));
+#if GRIDFED_TRACE
+    if (observer_ != nullptr && observer_->forensics() != nullptr) {
+      obs::SplitDecision decision;
+      decision.t = sim_.now();
+      decision.job = record.job;
+      decision.coalition = record.coalition.value;
+      decision.executor = record.executor;
+      decision.executor_ask = record.executor_ask;
+      decision.payment = record.payment;
+      decision.shares.reserve(members.size());
+      for (std::size_t m = 0; m < members.size(); ++m) {
+        decision.shares.emplace_back(members[m], record.shares[m]);
+      }
+      observer_->forensics()->record_split(std::move(decision));
+    }
+#endif
+  } else {
     bank_.settle(economy::Settlement{outcome.job.id, outcome.job.origin,
                                      outcome.executed_on, outcome.cost,
                                      outcome.job.user});
@@ -282,7 +395,8 @@ void Federation::job_completed(const JobOutcome& outcome) {
     // do not accumulate over the run.
     if (coalitions_ != nullptr) coalitions_->forget(outcome.job.id);
   }
-  outcomes_.push_back(outcome);
+  GF_OBS(observer(), count(obs::Counter::kJobsAccepted));
+  outcomes_.push_back(std::move(settled));
 }
 
 void Federation::auction_report(const market::ClearingReport& report) {
@@ -293,6 +407,7 @@ void Federation::job_rejected(const cluster::Job& job,
                               std::uint32_t negotiations,
                               std::uint64_t messages) {
   if (coalitions_ != nullptr) coalitions_->forget(job.id);
+  GF_OBS(observer(), count(obs::Counter::kJobsRejected));
   JobOutcome outcome;
   outcome.job = job;
   outcome.accepted = false;

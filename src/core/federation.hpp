@@ -30,6 +30,7 @@
 #include "directory/federation_directory.hpp"
 #include "economy/dynamic_pricing.hpp"
 #include "economy/grid_bank.hpp"
+#include "obs/observer.hpp"
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
 #include "stats/auction_stats.hpp"
@@ -89,9 +90,26 @@ class Federation final : public GfaHost,
   }
   void award_declined(federation::ParticipantId provider) override {
     auction_stats_.record_decline(provider.value);
+    GF_OBS(observer(), count_decline(provider.is_coalition()
+                                         ? sites()
+                                         : provider.value));
   }
   void guarantee_missed(federation::ParticipantId provider) override {
     auction_stats_.record_miss(provider.value);
+    GF_OBS(observer(), count_miss(provider.is_coalition()
+                                      ? sites()
+                                      : provider.value));
+  }
+  /// One Observer per run, satisfying the seam on GfaHost,
+  /// TransportContext and CoalitionContext at once.  Null when
+  /// config.obs is all-off (the dark path) or the instrumentation is
+  /// compiled out.
+  [[nodiscard]] obs::Observer* observer() override {
+#if GRIDFED_TRACE
+    return observer_.get();
+#else
+    return nullptr;
+#endif
   }
 
   // ---- introspection (examples, tests) -----------------------------------
@@ -172,6 +190,12 @@ class Federation final : public GfaHost,
   std::vector<economy::DynamicPricer> pricers_;
   std::vector<double> pricer_last_area_;
 
+#if GRIDFED_TRACE
+  /// The observability umbrella (null unless config.obs enables a
+  /// facility).  Constructed before arm_periodic_behaviours() so the
+  /// metrics sampler can be armed alongside the other periodic events.
+  std::unique_ptr<obs::Observer> observer_;
+#endif
   std::vector<JobOutcome> outcomes_;
   stats::AuctionStats auction_stats_;
   std::vector<double> util_at_window_;

@@ -33,6 +33,10 @@ Gfa::Gfa(sim::Simulation& sim, sim::EntityId id, cluster::ResourceIndex index,
 
 void Gfa::submit_local(cluster::Job job) {
   GF_EXPECTS(job.origin == index_);
+  GF_OBS(host_.observer(),
+         begin(now(), obs::SpanKind::kJob, index_, job.id, job.processors,
+               static_cast<std::uint64_t>(job.user), job.length_mi));
+  GF_OBS(host_.observer(), count(obs::Counter::kJobsSubmitted));
   Pending p;
   p.job = std::move(job);
   policy_->schedule(std::move(p));
@@ -73,6 +77,13 @@ void Gfa::park_enquiry(Pending p, cluster::ResourceIndex target,
   p.current_target = target;
   p.award_in_flight = type == MessageType::kAward;
   ++p.attempt;
+  // Enquiry span arg convention: a0 = target, a1 = 1 for an award leg.
+  // The matching end lands in handle_reply (a1 = 0 declined / 1
+  // accepted) or on_negotiate_timeout (a1 = 2), exactly once per begin.
+  GF_OBS(host_.observer(),
+         begin(now(), obs::SpanKind::kEnquiry, index_, p.job.id, target,
+               p.award_in_flight ? 1 : 0));
+  GF_OBS(host_.observer(), count(obs::Counter::kEnquiriesStarted));
   const cluster::JobId id = p.job.id;
   const std::uint64_t attempt = p.attempt;
   if (on_wire) {
@@ -120,6 +131,8 @@ void Gfa::on_negotiate_timeout(cluster::JobId id, std::uint64_t attempt) {
   // an explicit decline.
   Pending p = std::move(it->second);
   pending_.erase(it);
+  GF_OBS(host_.observer(), end(now(), obs::SpanKind::kEnquiry, index_, id,
+                               p.current_target, 2));
   if (p.award_in_flight) {
     host_.award_declined(participant_of(p.current_target));
   }
@@ -157,6 +170,13 @@ void Gfa::place_in_coalition(Pending p, federation::ParticipantId coalition,
   info.promise = placed.estimate;
   info.via_award = true;
   info.via_coalition = true;
+  GF_OBS(host_.observer(),
+         begin(now(), obs::SpanKind::kPlacement, index_, info.job.id,
+               placed.member, coalition.value));
+  GF_OBS(host_.observer(),
+         instant(now(), obs::SpanKind::kCoalitionPlace, index_, info.job.id,
+                 placed.member, coalition.value));
+  GF_OBS(host_.observer(), count(obs::Counter::kCoalitionPlacements));
   awaiting_.emplace(info.job.id, std::move(info));
   host_.send(std::move(submission));
 }
@@ -171,11 +191,15 @@ void Gfa::execute_here(Pending p, double price) {
       price >= 0.0 ? price
                    : economy::job_cost(p.job, host_.spec_of(p.job.origin),
                                        own, cfg.cost_model);
+  GF_OBS(host_.observer(), begin(now(), obs::SpanKind::kPlacement, index_,
+                                 p.job.id, index_, 0, cost));
   awaiting_.emplace(p.job.id, Awaiting{p.job, p.negotiations, p.messages,
                                        cost, index_});
 }
 
 void Gfa::reject(Pending p) {
+  GF_OBS(host_.observer(),
+         end(now(), obs::SpanKind::kJob, index_, p.job.id, 0));
   host_.job_rejected(p.job, p.negotiations, p.messages);
 }
 
@@ -223,6 +247,12 @@ void Gfa::admit_and_reply(const Message& msg) {
       // seam), and the reply names the executing member so the origin
       // ships the payload straight to it.
       const coalition::Placement placed = manager->place_award(pid, job);
+      if (placed.accepted) {
+        GF_OBS(host_.observer(),
+               instant(now(), obs::SpanKind::kCoalitionPlace, index_, job.id,
+                       placed.member, pid.value));
+        GF_OBS(host_.observer(), count(obs::Counter::kCoalitionPlacements));
+      }
       Message reply{MessageType::kReply, index_, msg.from, job,
                     placed.accepted,
                     placed.accepted ? placed.estimate : sim::kTimeInfinity};
@@ -250,6 +280,8 @@ sim::SimTime Gfa::admit_remote(const cluster::Job& job) {
   const auto stale = holds_.find(job.id);
   if (stale != holds_.end() && !stale->second.submitted &&
       now() < stale->second.reservation.start) {
+    GF_OBS(host_.observer(), end(now(), obs::SpanKind::kHold, index_,
+                                 stale->second.token, job.id, 2));
     lrms_.cancel(stale->second.reservation);
     holds_.erase(stale);
   }
@@ -265,6 +297,21 @@ sim::SimTime Gfa::admit_remote(const cluster::Job& job) {
   const cluster::Reservation res = lrms_.submit(job, exec, staged);
   ++remote_accepted_;
   const std::uint64_t token = ++next_hold_token_;
+#if GRIDFED_TRACE
+  // Hold spans are keyed by their unique token so they stay balanced
+  // through every lossy-network contortion.  A started-but-unsubmitted
+  // stale hold survives the cancel window above yet is overwritten here:
+  // its span must close as superseded (a1 = 2) before the new one opens.
+  if (obs::Observer* o = host_.observer(); o != nullptr) {
+    const auto prior = holds_.find(job.id);
+    if (prior != holds_.end()) {
+      o->end(now(), obs::SpanKind::kHold, index_, prior->second.token,
+             job.id, 2);
+    }
+    o->begin(now(), obs::SpanKind::kHold, index_, token, job.id);
+    o->count(obs::Counter::kHoldsPlaced);
+  }
+#endif
   holds_.insert_or_assign(job.id, RemoteHold{res, token, false});
   if (cfg.negotiate_timeout > 0.0) {
     // If the payload never arrives (reply or submission lost), release
@@ -289,6 +336,9 @@ void Gfa::on_hold_timeout(cluster::JobId id, std::uint64_t token) {
   // on_lrms_completion uses it to recognize the phantom and swallow the
   // completion instead of mailing output nobody is waiting for.
   if (now() < it->second.reservation.start) {
+    GF_OBS(host_.observer(), end(now(), obs::SpanKind::kHold, index_,
+                                 it->second.token, id, 1));
+    GF_OBS(host_.observer(), count(obs::Counter::kHoldsCancelled));
     lrms_.cancel(it->second.reservation);
     holds_.erase(it);
   }
@@ -302,8 +352,11 @@ void Gfa::handle_reply(const Message& msg) {
   pending_.erase(it);
   p.current_target = cluster::kNoResource;
   ++p.messages;  // the reply we just received
+  GF_OBS(host_.observer(), end(now(), obs::SpanKind::kEnquiry, index_,
+                               msg.job.id, msg.from, msg.accept ? 1 : 0));
 
   if (!msg.accept) {
+    GF_OBS(host_.observer(), count(obs::Counter::kEnquiriesDeclined));
     // An award the winner declined is a reputation signal against the
     // awarded participant (the coalition when its representative spoke).
     if (p.award_in_flight) host_.award_declined(participant_of(msg.from));
@@ -326,6 +379,8 @@ void Gfa::handle_reply(const Message& msg) {
   info.promise = msg.completion_estimate;
   info.via_award = p.award_in_flight;
   info.via_coalition = msg.exec_site != cluster::kNoResource;
+  GF_OBS(host_.observer(), begin(now(), obs::SpanKind::kPlacement, index_,
+                                 info.job.id, exec, 0, cost));
   awaiting_.emplace(info.job.id, std::move(info));
   host_.send(std::move(submission));
 }
@@ -368,6 +423,12 @@ void Gfa::on_lrms_completion(const cluster::CompletedJob& done) {
     return;
   }
   const bool phantom = !hold->second.submitted;
+  GF_OBS(host_.observer(), end(now(), obs::SpanKind::kHold, index_,
+                               hold->second.token, done.job.id,
+                               phantom ? 3 : 0));
+  if (phantom) {
+    GF_OBS(host_.observer(), count(obs::Counter::kHoldsPhantom));
+  }
   holds_.erase(hold);
   if (phantom) return;
   // Send the output home with the definite execution window.
@@ -391,6 +452,11 @@ void Gfa::finalize(cluster::JobId id, cluster::ResourceIndex exec,
   if (info.via_award && completion > info.promise + 1e-6) {
     host_.guarantee_missed(participant_of(exec));
   }
+
+  GF_OBS(host_.observer(), end(now(), obs::SpanKind::kPlacement, index_, id,
+                               exec, 0, info.cost));
+  GF_OBS(host_.observer(),
+         end(now(), obs::SpanKind::kJob, index_, id, 1, exec, info.cost));
 
   JobOutcome outcome;
   outcome.job = std::move(info.job);

@@ -41,6 +41,7 @@
 #include "core/pending.hpp"
 #include "directory/federation_directory.hpp"
 #include "federation/participant.hpp"
+#include "obs/observer.hpp"
 #include "policy/scheduling_policy.hpp"
 #include "sim/entity.hpp"
 
@@ -98,6 +99,11 @@ class GfaHost {
   [[nodiscard]] virtual coalition::CoalitionManager* coalitions() {
     return nullptr;
   }
+
+  /// The observability umbrella of this run (obs/observer.hpp), or null
+  /// when disabled.  Instrumentation goes through the GF_OBS macro, so
+  /// the null path is a single branch per site.
+  [[nodiscard]] virtual obs::Observer* observer() { return nullptr; }
 
   /// Reputation input signals (the reputation-weighted bidding
   /// follow-on attaches to participants): an award `provider` declined
@@ -235,6 +241,9 @@ class Gfa final : public sim::Entity, public policy::SchedulerContext {
   void admit_enquiry(const Message& msg) override { admit_and_reply(msg); }
   void auction_report(const market::ClearingReport& report) override {
     host_.auction_report(report);
+  }
+  [[nodiscard]] obs::Observer* observer() override {
+    return host_.observer();
   }
 
   // -- enquiry seam (DBC negotiate + auction award) -----------------------

@@ -36,6 +36,15 @@ struct JobOutcome {
   /// re-schedules).  Always false in the solo market.
   bool via_coalition = false;
 
+  /// The market participant the settlement was credited to: the
+  /// coalition's id when the payment was split across a group, otherwise
+  /// the executing cluster itself.  Filled at settlement so the outcome
+  /// CSV can be re-analyzed offline without the bank.
+  std::uint32_t settled_participant = 0;
+  /// The executing member's share of a coalition split (its ask plus its
+  /// cut of the surplus); equals `cost` for solo settlements.
+  double surplus_share = 0.0;
+
   /// Response time experienced by the user (queue wait + execution).
   [[nodiscard]] sim::SimTime response_time() const noexcept {
     return completion - job.submit;

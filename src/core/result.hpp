@@ -124,6 +124,15 @@ struct FederationResult {
                             static_cast<double>(total_jobs)
                       : 0.0;
   }
+
+  /// Ledger-based wire bytes per job under the wire-size model — the
+  /// byte-cost companion to wire_msgs_per_job(), gated per transport by
+  /// bench/check_messages.py.
+  [[nodiscard]] double wire_bytes_per_job() const noexcept {
+    return total_jobs ? static_cast<double>(total_message_bytes) /
+                            static_cast<double>(total_jobs)
+                      : 0.0;
+  }
 };
 
 }  // namespace gridfed::core

@@ -14,7 +14,8 @@ std::vector<std::string> outcome_csv_header() {
           "length_mi",   "submit",     "deadline",    "budget",
           "optimization", "accepted",  "executed_on", "start",
           "completion",  "response",   "cost",        "negotiations",
-          "messages",    "qos_satisfied"};
+          "messages",    "qos_satisfied",
+          "via_coalition", "settled_participant", "surplus_share"};
 }
 
 std::vector<std::string> outcome_csv_row(const JobOutcome& o) {
@@ -36,7 +37,10 @@ std::vector<std::string> outcome_csv_row(const JobOutcome& o) {
           o.accepted ? stats::Table::num(o.cost, 3) : "",
           std::to_string(o.negotiations),
           std::to_string(o.messages),
-          o.qos_satisfied() ? "1" : "0"};
+          o.qos_satisfied() ? "1" : "0",
+          o.via_coalition ? "1" : "0",
+          o.accepted ? std::to_string(o.settled_participant) : "",
+          o.accepted ? stats::Table::num(o.surplus_share, 3) : ""};
 }
 
 void write_outcomes_csv(std::ostream& out,

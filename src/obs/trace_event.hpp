@@ -1,0 +1,72 @@
+#pragma once
+// POD trace vocabulary shared by the Tracer and its exporters.  Records
+// are fixed-size and trivially copyable so the hot path is a bounds
+// check plus a memcpy into a pre-reserved vector — no strings, no maps,
+// no allocation once the buffer has reached its high-water mark.
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace gridfed::obs {
+
+/// What a span or instant describes.  The kind names the Perfetto
+/// category, so related spans group into one expandable category lane.
+enum class SpanKind : std::uint8_t {
+  kJob = 0,         ///< submit → finalize/reject (async span, id = job id)
+  kEnquiry,         ///< one remote negotiation attempt (id = job id)
+  kHold,            ///< provider-side admission hold (id = hold token)
+  kPlacement,       ///< award accepted → job completion (id = job id)
+  kAuction,         ///< book opened → cleared (id = job id)
+  kSolicitFlush,    ///< instant: a solicitation batch left the queue
+  kBidAnswered,     ///< instant: a provider priced a call-for-bids
+  kFanoutEpoch,     ///< tree multicast epoch: first enqueue → flush
+  kRelay,           ///< instant: an interior tree node forwarded a batch
+  kConvergecast,    ///< instant: bid aggregation flushed up the tree
+  kCoalitionFormed, ///< instant: a coalition was registered
+  kCoalitionPlace,  ///< instant: an award was routed into a coalition
+};
+inline constexpr std::uint8_t kSpanKindCount =
+    static_cast<std::uint8_t>(SpanKind::kCoalitionPlace) + 1;
+
+[[nodiscard]] constexpr const char* to_string(SpanKind kind) noexcept {
+  switch (kind) {
+    case SpanKind::kJob: return "job";
+    case SpanKind::kEnquiry: return "enquiry";
+    case SpanKind::kHold: return "hold";
+    case SpanKind::kPlacement: return "placement";
+    case SpanKind::kAuction: return "auction";
+    case SpanKind::kSolicitFlush: return "solicit_flush";
+    case SpanKind::kBidAnswered: return "bid";
+    case SpanKind::kFanoutEpoch: return "fanout_epoch";
+    case SpanKind::kRelay: return "relay";
+    case SpanKind::kConvergecast: return "convergecast";
+    case SpanKind::kCoalitionFormed: return "coalition_formed";
+    case SpanKind::kCoalitionPlace: return "coalition_place";
+  }
+  return "?";
+}
+
+enum class TracePhase : std::uint8_t {
+  kBegin = 0,  ///< async span open  ("b" in the Chrome trace format)
+  kEnd,        ///< async span close ("e")
+  kInstant,    ///< point event      ("i")
+};
+
+/// One trace record.  `track` indexes the Tracer's track table (one per
+/// cluster plus one for the transport overlay); `id` pairs begin/end
+/// records of the same async span; a0/a1/v are kind-specific arguments
+/// carried verbatim into the exported JSON.
+struct TraceRecord {
+  sim::SimTime t = 0.0;
+  TracePhase phase = TracePhase::kInstant;
+  SpanKind kind = SpanKind::kJob;
+  std::uint32_t track = 0;
+  std::uint64_t id = 0;
+  std::uint64_t a0 = 0;
+  std::uint64_t a1 = 0;
+  double v = 0.0;
+};
+static_assert(sizeof(TraceRecord) <= 48, "keep trace records lean");
+
+}  // namespace gridfed::obs

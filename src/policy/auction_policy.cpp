@@ -159,6 +159,12 @@ void AuctionPolicy::open_auction(core::Pending p) {
   const auto [it, inserted] =
       auctions_.emplace(id, OpenAuction{std::move(p), std::move(book)});
   GF_EXPECTS(inserted);  // a job runs at most one auction round
+  // The auction span opens before the synchronous-clear check so an
+  // empty book still traces as a (zero-width) round.
+  GF_OBS(ctx_.observer(),
+         begin(ctx_.now(), obs::SpanKind::kAuction, ctx_.self(), id,
+               it->second.book.solicited(), n_remote));
+  GF_OBS(ctx_.observer(), count(obs::Counter::kAuctionsOpened));
   if (it->second.book.complete()) {
     // No outstanding bidders (possibly an empty book): clear in place.
     clear_auction(id);
@@ -243,6 +249,10 @@ void AuctionPolicy::flush_solicitations() {
       scratch_buckets_[bucket].push_back(&it->second.pending.job);
     }
   }
+  GF_OBS(ctx_.observer(),
+         instant(ctx_.now(), obs::SpanKind::kSolicitFlush, ctx_.self(), 0,
+                 scratch_providers_.size(), solicit_queue_.size()));
+  GF_OBS(ctx_.observer(), count(obs::Counter::kSolicitFlushes));
   // Emit one multicast per maximal run of providers sharing a job
   // bucket.  With the default full-book solicitation every provider
   // shares one bucket, so the flush writes the job list into the arena
@@ -377,6 +387,52 @@ void AuctionPolicy::clear_auction(cluster::JobId id) {
     report.payment = st.awards.front().payment;
   }
   ctx_.auction_report(report);
+
+  GF_OBS(ctx_.observer(),
+         end(ctx_.now(), obs::SpanKind::kAuction, ctx_.self(), id,
+             report.bids, report.awarded ? 1 : 0, report.payment));
+  GF_OBS(ctx_.observer(), observe(obs::Histo::kBookDepth,
+                                  static_cast<double>(report.bids)));
+  if (report.awarded) {
+    GF_OBS(ctx_.observer(), count(obs::Counter::kAwardsCleared));
+    GF_OBS(ctx_.observer(),
+           observe(obs::Histo::kClearingPrice, report.payment));
+  }
+#if GRIDFED_TRACE
+  // Forensics: the full decision record — every bid re-scored under the
+  // active rule — built only when the ledger is on (score() re-derives
+  // the rank key; too costly for the always-on path).
+  if (obs::Observer* o = ctx_.observer(); o != nullptr && o->forensics_on()) {
+    obs::ClearingDecision decision;
+    decision.t = ctx_.now();
+    decision.job = id;
+    decision.scoring = engine.scoring();
+    decision.clearing = engine.rule();
+    decision.solicited.reserve(auction.book.solicited());
+    for (const federation::ParticipantId pid : auction.book.solicited_list()) {
+      decision.solicited.push_back(pid.value);
+    }
+    decision.bids.reserve(auction.book.bids().size());
+    for (const market::Bid& bid : auction.book.bids()) {
+      decision.bids.push_back(obs::ScoredBid{bid.bidder.value, bid.ask,
+                                             bid.completion_estimate,
+                                             bid.feasible,
+                                             engine.score(p.job, bid)});
+    }
+    decision.awarded = report.awarded;
+    if (report.awarded) {
+      decision.winner = report.winner.value;
+      decision.winner_ask = report.winner_ask;
+      decision.payment = report.payment;
+      if (st.awards.size() >= 2) {
+        decision.has_runner_up = true;
+        decision.runner_up_margin = engine.score(p.job, st.awards[1].bid) -
+                                    engine.score(p.job, st.awards[0].bid);
+      }
+    }
+    o->forensics()->record(std::move(decision));
+  }
+#endif
 
   // The book's allocations go back to the pool for the next job of the
   // same shape.
@@ -544,6 +600,12 @@ void AuctionPolicy::on_call_for_bids(const core::Message& msg) {
       answer.batch_bids.push_back(core::BatchedBid{
           job.id, bid.ask, bid.completion_estimate, bid.feasible});
     }
+    GF_OBS(ctx_.observer(),
+           instant(ctx_.now(), obs::SpanKind::kBidAnswered, ctx_.self(),
+                   msg.batch_jobs.front().id, msg.from,
+                   msg.batch_jobs.size()));
+    GF_OBS(ctx_.observer(),
+           count(obs::Counter::kBidsAnswered, msg.batch_jobs.size()));
     ctx_.send(std::move(answer));
     return;
   }
@@ -551,6 +613,10 @@ void AuctionPolicy::on_call_for_bids(const core::Message& msg) {
   core::Message answer{core::MessageType::kBid, ctx_.self(), msg.from,
                        msg.job, bid.feasible, bid.completion_estimate};
   answer.price = bid.ask;
+  GF_OBS(ctx_.observer(),
+         instant(ctx_.now(), obs::SpanKind::kBidAnswered, ctx_.self(),
+                 msg.job.id, msg.from, 1));
+  GF_OBS(ctx_.observer(), count(obs::Counter::kBidsAnswered));
   ctx_.send(std::move(answer));
 }
 

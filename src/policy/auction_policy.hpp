@@ -38,6 +38,9 @@ class AuctionPolicy final : public SchedulingPolicy {
   void on_call_for_bids(const core::Message& msg) override;
   void on_bid(const core::Message& msg) override;
   [[nodiscard]] PolicyCounters counters() const override { return counters_; }
+  [[nodiscard]] std::size_t open_auctions() const override {
+    return auctions_.size();
+  }
 
   /// This cluster's solo sealed bid for `job` (provider side; also the
   /// origin's own message-free local bid).  Serves same-shape jobs from

@@ -32,6 +32,7 @@
 #include "directory/federation_directory.hpp"
 #include "federation/participant.hpp"
 #include "market/auction_engine.hpp"
+#include "obs/observer.hpp"
 #include "sim/simulation.hpp"
 
 namespace gridfed::coalition {
@@ -119,6 +120,9 @@ class SchedulerContext {
   virtual void admit_enquiry(const core::Message& msg) = 0;
   /// Auction telemetry sink (host's ClearingReport channel).
   virtual void auction_report(const market::ClearingReport& report) = 0;
+  /// The observability umbrella, or null when disabled (GF_OBS sites
+  /// branch on it; see obs/observer.hpp).
+  [[nodiscard]] virtual obs::Observer* observer() { return nullptr; }
 };
 
 /// One scheduling mode's brain.  Constructed per GFA at wiring time; the
@@ -162,6 +166,10 @@ class SchedulingPolicy {
 
   /// Run counters (see PolicyCounters); default all-zero.
   [[nodiscard]] virtual PolicyCounters counters() const { return {}; }
+
+  /// Auction books currently open at this policy (the metrics layer's
+  /// book-depth gauge; 0 for policies without a market).
+  [[nodiscard]] virtual std::size_t open_auctions() const { return 0; }
 
  protected:
   SchedulerContext& ctx_;

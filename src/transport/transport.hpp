@@ -31,6 +31,7 @@
 #include "core/message.hpp"
 #include "federation/participant.hpp"
 #include "network/latency_model.hpp"
+#include "obs/observer.hpp"
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
 
@@ -59,6 +60,10 @@ class TransportContext {
   /// Deterministic lottery streams (loss / duplication injection).
   [[nodiscard]] virtual sim::Rng& drop_rng() = 0;
   [[nodiscard]] virtual sim::Rng& duplicate_rng() = 0;
+
+  /// The observability umbrella, or null when disabled (GF_OBS sites
+  /// branch on it; overlay records land on the tracer's transport track).
+  [[nodiscard]] virtual obs::Observer* observer() { return nullptr; }
 };
 
 /// One delivery substrate.  Constructed at federation wiring time; owns

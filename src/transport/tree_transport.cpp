@@ -100,6 +100,15 @@ std::uint64_t TreeTransport::multicast(
   // layer's local links, never the tree's wire edges.
   targets = collapse_groups(targets);
   if (targets.empty()) return 0;
+#if GRIDFED_TRACE
+  if (fanout_queue_.empty()) {
+    // First fan-out of a fresh epoch: the span runs until the flush.
+    if (obs::Observer* o = ctx_.observer(); o != nullptr) {
+      o->begin(ctx_.sim().now(), obs::SpanKind::kFanoutEpoch,
+               o->transport_track(), ++epoch_seq_);
+    }
+  }
+#endif
   fanout_queue_.push_back(
       PendingFanout{std::move(msg), {targets.begin(), targets.end()}});
   schedule_fanout_wake(not_after);
@@ -141,6 +150,15 @@ void TreeTransport::flush_fanout() {
           RelayItem{&entry.msg, target, static_cast<std::uint32_t>(p + 1)});
     }
   }
+#if GRIDFED_TRACE
+  if (obs::Observer* o = ctx_.observer(); o != nullptr) {
+    o->end(ctx_.sim().now(), obs::SpanKind::kFanoutEpoch,
+           o->transport_track(), epoch_seq_, queue.size(),
+           scratch_items_.size());
+    o->observe(obs::Histo::kFanoutTargets,
+               static_cast<double>(scratch_items_.size()));
+  }
+#endif
   relay(scratch_items_, core::MessageType::kCallForBids);
 }
 
@@ -154,6 +172,12 @@ void TreeTransport::flush_convergecast() {
     scratch_items_.push_back(RelayItem{&queue[p], queue[p].to,
                                        static_cast<std::uint32_t>(p + 1)});
   }
+#if GRIDFED_TRACE
+  if (obs::Observer* o = ctx_.observer(); o != nullptr) {
+    o->instant(ctx_.sim().now(), obs::SpanKind::kConvergecast,
+               o->transport_track(), 0, queue.size());
+  }
+#endif
   relay(scratch_items_, core::MessageType::kBid);
 }
 
@@ -200,6 +224,15 @@ void TreeTransport::relay(std::span<const RelayItem> items,
                                owner_at_[edge.to_pos], type, edge.bytes);
     edge.alive = !lost(type);  // loss lottery per wire message
   }
+#if GRIDFED_TRACE
+  if (obs::Observer* o = ctx_.observer(); o != nullptr) {
+    std::uint64_t relay_bytes = 0;
+    for (const EdgeUse& edge : scratch_edges_) relay_bytes += edge.bytes;
+    o->instant(ctx_.sim().now(), obs::SpanKind::kRelay, o->transport_track(),
+               0, scratch_edges_.size(), items.size(),
+               static_cast<double>(relay_bytes));
+  }
+#endif
 
   // Pass 3 — deliver every payload whose whole path survived, after the
   // summed per-hop control delay (size-aware under the WAN model, like

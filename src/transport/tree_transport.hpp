@@ -119,6 +119,9 @@ class TreeTransport final : public Transport {
 
   std::vector<PendingFanout> fanout_queue_;
   sim::SimTime fanout_due_ = sim::kTimeInfinity;
+  /// Trace id of the fan-out epoch currently accumulating (spans the
+  /// first queued fan-out to its flush); monotone per run.
+  std::uint64_t epoch_seq_ = 0;
 
   std::vector<core::Message> convergecast_queue_;
   bool convergecast_armed_ = false;

@@ -283,6 +283,10 @@ TEST(EventKernel, SmallCapturesScheduleWithoutHeapAllocation) {
 }
 
 TEST(EventKernel, SimulationDispatchIsAllocationFreeInSteadyState) {
+  // With GRIDFED_TRACE compiled in (the default build) the dispatch
+  // probe slot exists but is null — the runtime-disabled observability
+  // state.  That state must still be allocation-free per event: the
+  // probe is one predicted-not-taken branch, nothing more.
   Simulation sim;
   std::uint64_t acc = 0;
   std::uint64_t* ap = &acc;
@@ -303,6 +307,49 @@ TEST(EventKernel, SimulationDispatchIsAllocationFreeInSteadyState) {
   EXPECT_EQ(after - before, 0u) << "dispatch hot path allocated";
   EXPECT_EQ(acc, 512u);
 }
+
+#if GRIDFED_TRACE
+TEST(EventKernel, DispatchProbeFiresPerEventWithoutAllocating) {
+  // The enabled state: a counting probe (the same shape the Federation
+  // installs to feed kEventsDispatched) must fire exactly once per
+  // executed event and keep the hot path allocation-free — a bare
+  // function pointer call, no std::function, no capture boxing.
+  Simulation sim;
+  std::uint64_t probe_hits = 0;
+  sim.set_dispatch_probe(
+      [](void* ctx, SimTime) {
+        ++*static_cast<std::uint64_t*>(ctx);
+      },
+      &probe_hits);
+
+  std::uint64_t acc = 0;
+  std::uint64_t* ap = &acc;
+  for (int i = 0; i < 256; ++i) {
+    sim.schedule_at(static_cast<double>(i), EventPriority::kControl,
+                    [ap] { ++*ap; });
+  }
+  sim.run();  // warm-up
+  EXPECT_EQ(probe_hits, 256u);
+
+  const double base = sim.now();
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 256; ++i) {
+    sim.schedule_at(base + static_cast<double>(i), EventPriority::kControl,
+                    [ap] { ++*ap; });
+  }
+  sim.run();
+  const std::uint64_t after = g_allocations.load();
+  EXPECT_EQ(after - before, 0u) << "probed dispatch allocated";
+  EXPECT_EQ(probe_hits, 512u);
+  EXPECT_EQ(probe_hits, sim.events_executed());
+
+  // Uninstalling restores the dark path.
+  sim.set_dispatch_probe(nullptr, nullptr);
+  sim.schedule_at(sim.now() + 1.0, EventPriority::kControl, [ap] { ++*ap; });
+  sim.run();
+  EXPECT_EQ(probe_hits, 512u);
+}
+#endif  // GRIDFED_TRACE
 
 }  // namespace
 }  // namespace gridfed::sim

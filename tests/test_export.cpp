@@ -34,7 +34,29 @@ TEST(OutcomeCsv, RejectedRowsLeaveExecutionBlank) {
   EXPECT_EQ(row[10], "");
   EXPECT_EQ(row[11], "");
   EXPECT_EQ(row[14], "");
-  EXPECT_EQ(row[9], "0");  // accepted flag
+  EXPECT_EQ(row[9], "0");   // accepted flag
+  EXPECT_EQ(row[18], "0");  // via_coalition
+  EXPECT_EQ(row[19], "");   // settled_participant: blank when rejected
+  EXPECT_EQ(row[20], "");   // surplus_share
+}
+
+TEST(OutcomeCsv, CoalitionSettlementColumns) {
+  const auto header = core::outcome_csv_header();
+  EXPECT_EQ(header[18], "via_coalition");
+  EXPECT_EQ(header[19], "settled_participant");
+  EXPECT_EQ(header[20], "surplus_share");
+  core::JobOutcome o;
+  o.job.id = 9;
+  o.accepted = true;
+  o.executed_on = 2;
+  o.cost = 12.5;
+  o.via_coalition = true;
+  o.settled_participant = 0x80000000u;  // the coalition's participant id
+  o.surplus_share = 7.25;               // the executor's cut
+  const auto row = core::outcome_csv_row(o);
+  EXPECT_EQ(row[18], "1");
+  EXPECT_EQ(row[19], std::to_string(0x80000000u));
+  EXPECT_EQ(row[20], "7.250");
 }
 
 TEST(OutcomeCsv, FullFederationExportParses) {
