@@ -19,15 +19,130 @@
 
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "cluster/catalog.hpp"
 #include "core/federation.hpp"
 #include "obs/observer.hpp"
+#include "transport/tree_transport.hpp"
 #include "workload/synthetic.hpp"
 
 namespace {
+
+// ---- membership churn sweep (--churn) ---------------------------------------
+// Crashes a growing fraction of the federation mid-run (interior tree
+// relay first, then evenly spread) under the heaviest configuration
+// (auction + batching + tree + coalitions) and reports how gracefully
+// acceptance degrades against the proportional-loss bound.
+
+struct ChurnPoint {
+  double loss_pct = 0.0;          ///< fraction of clusters crashed
+  std::size_t crashed = 0;
+  double accept_pct = 0.0;
+  double degradation_pts = 0.0;   ///< vs the 0% baseline
+  double proportional_pts = 0.0;  ///< the dead clusters' fair share
+  double wire_msgs_per_job = 0.0;
+  std::uint64_t gossip_msgs = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t replayed = 0;
+  std::uint64_t reformations = 0;
+  bool sound = false;  ///< exactly-once termination + balanced bank
+};
+
+gridfed::core::FederationConfig churn_config() {
+  using namespace gridfed;
+  auto cfg = core::make_config(core::SchedulingMode::kAuction);
+  cfg.auction.batch_solicitations = true;
+  cfg.auction.solicit_batch_window = bench::kBenchBatchWindow;
+  cfg.transport.kind = transport::TransportKind::kTree;
+  cfg.coalitions.enabled = true;
+  cfg.coalitions.bucket_size = bench::kBenchCoalitionBucket;
+  // Churn needs timeouts (hop- and epoch-aware over the tree).
+  cfg.network_latency = 1.0;
+  cfg.negotiate_timeout = 200.0;
+  cfg.auction.bid_timeout = 200.0;
+  cfg.membership.enabled = true;
+  return cfg;
+}
+
+std::vector<ChurnPoint> churn_sweep(std::size_t size) {
+  using namespace gridfed;
+  const auto specs = cluster::replicated_specs(size);
+  // Probe the deterministic topology once: the first victim should be
+  // an interior relay so every sweep point exercises a tree repair.
+  cluster::ResourceIndex relay = cluster::kNoResource;
+  {
+    core::Federation probe(churn_config(), specs);
+    const auto* tree =
+        dynamic_cast<const transport::TreeTransport*>(&probe.transport());
+    for (cluster::ResourceIndex i = 0; i < size; ++i) {
+      if (tree != nullptr && tree->interior_relay(i)) {
+        relay = i;
+        break;
+      }
+    }
+  }
+
+  std::vector<ChurnPoint> points;
+  double base_accept = 0.0;
+  for (const double loss : {0.0, 0.1, 0.2}) {
+    auto cfg = churn_config();
+    const auto k = static_cast<std::size_t>(loss * static_cast<double>(size));
+    std::set<cluster::ResourceIndex> victims;
+    if (k > 0 && relay != cluster::kNoResource) victims.insert(relay);
+    for (std::size_t i = 0; victims.size() < k; ++i) {
+      victims.insert(static_cast<cluster::ResourceIndex>(
+          (i * size) / (k + 1) % size));
+    }
+    sim::SimTime when = 30000.0;
+    for (const cluster::ResourceIndex site : victims) {
+      cfg.membership.churn.events.push_back(membership::ChurnEvent{
+          when, site, membership::ChurnKind::kCrash});
+      when += 10000.0;
+    }
+
+    core::Federation fed(cfg, specs);
+    const auto traces =
+        workload::generate_federation_workload(specs, cfg.window, cfg.seed);
+    std::uint64_t loaded = 0;
+    for (const auto& t : traces) loaded += t.jobs.size();
+    fed.load_workload(traces, workload::PopulationProfile{30});
+    const auto result = fed.run();
+
+    ChurnPoint p;
+    p.loss_pct = 100.0 * loss;
+    p.crashed = victims.size();
+    p.accept_pct = result.acceptance_pct();
+    if (loss == 0.0) base_accept = p.accept_pct;
+    p.degradation_pts = base_accept - p.accept_pct;
+    p.proportional_pts =
+        100.0 * static_cast<double>(victims.size()) /
+        static_cast<double>(size);
+    p.wire_msgs_per_job = result.wire_msgs_per_job();
+    if (const membership::MembershipService* m = fed.membership()) {
+      p.gossip_msgs = m->telemetry().gossip_messages;
+    }
+    if (const auto* tree = dynamic_cast<const transport::TreeTransport*>(
+            &fed.transport())) {
+      p.repairs = tree->repairs();
+      p.replayed = tree->replayed_solicitations();
+    }
+    if (const coalition::CoalitionManager* manager = fed.coalitions()) {
+      p.reformations = manager->reformations().size();
+    }
+    std::set<cluster::JobId> seen;
+    bool once = fed.outcomes().size() == loaded;
+    for (const auto& o : fed.outcomes()) {
+      if (!seen.insert(o.job.id).second) once = false;
+    }
+    p.sound = once && fed.bank().balanced();
+    points.push_back(p);
+  }
+  return points;
+}
 
 // One observed 70/30 auction run at `size` clusters with batching, the
 // tree overlay and coalitions on — the heaviest-instrumented
@@ -235,6 +350,32 @@ int main(int argc, char** argv) {
     std::printf("%s\n", bt.str().c_str());
   }
 
+  // ---- membership churn sweep (--churn) -----------------------------------
+  std::vector<ChurnPoint> churn_points;
+  if (bench::has_flag(argc, argv, "--churn")) {
+    const std::size_t churn_size = auction_sizes.back();
+    std::printf("Membership churn at %zu clusters (auction + batching + tree "
+                "+ coalitions):\ncrashing 0/10/20%% of the federation "
+                "mid-run, interior relay first.\n\n",
+                churn_size);
+    churn_points = churn_sweep(churn_size);
+    stats::Table cht({"Loss %", "Crashed", "Accept %", "Degr. pts",
+                      "Prop. pts", "Wire msgs/job", "Gossip msgs", "Repairs",
+                      "Replayed", "Re-forms", "Sound"});
+    for (const auto& p : churn_points) {
+      cht.add_row({stats::Table::num(p.loss_pct, 0),
+                   std::to_string(p.crashed),
+                   stats::Table::num(p.accept_pct, 2),
+                   stats::Table::num(p.degradation_pts, 2),
+                   stats::Table::num(p.proportional_pts, 2),
+                   stats::Table::num(p.wire_msgs_per_job, 2),
+                   std::to_string(p.gossip_msgs), std::to_string(p.repairs),
+                   std::to_string(p.replayed), std::to_string(p.reformations),
+                   p.sound ? "yes" : "NO"});
+    }
+    std::printf("%s\n", cht.str().c_str());
+  }
+
   std::printf("Award piggybacking on a %.0f s-latency WAN (awards overlap "
               "open solicitations\nand ride the flush for free):\n\n",
               bench::kBenchPiggybackLatency);
@@ -350,7 +491,32 @@ int main(int argc, char** argv) {
       by_type("tree_by_type", p.tree);
       std::fprintf(f, "}%s\n", i + 1 < batching.size() ? "," : "");
     }
-    std::fprintf(f, "  ]}\n}\n");
+    std::fprintf(f, "  ]}%s\n", churn_points.empty() ? "" : ",");
+    if (!churn_points.empty()) {
+      std::fprintf(f, "  \"churn_sweep\": {\"size\": %zu, \"points\": [\n",
+                   auction_sizes.back());
+      for (std::size_t i = 0; i < churn_points.size(); ++i) {
+        const auto& p = churn_points[i];
+        std::fprintf(
+            f,
+            "    {\"loss_pct\": %.1f, \"crashed\": %zu, "
+            "\"accept_pct\": %.2f, \"degradation_pts\": %.2f, "
+            "\"proportional_pts\": %.2f, \"wire_msgs_per_job\": %.4f, "
+            "\"gossip_msgs\": %llu, \"tree_repairs\": %llu, "
+            "\"replayed_solicitations\": %llu, "
+            "\"coalition_reformations\": %llu, \"sound\": %s}%s\n",
+            p.loss_pct, p.crashed, p.accept_pct, p.degradation_pts,
+            p.proportional_pts, p.wire_msgs_per_job,
+            static_cast<unsigned long long>(p.gossip_msgs),
+            static_cast<unsigned long long>(p.repairs),
+            static_cast<unsigned long long>(p.replayed),
+            static_cast<unsigned long long>(p.reformations),
+            p.sound ? "true" : "false",
+            i + 1 < churn_points.size() ? "," : "");
+      }
+      std::fprintf(f, "  ]}\n");
+    }
+    std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("JSON summary written to %s\n", json.c_str());
   }

@@ -28,7 +28,8 @@ import sys
 
 SPAN_KINDS = {"job", "enquiry", "hold", "placement", "auction",
               "solicit_flush", "bid", "fanout_epoch", "relay",
-              "convergecast", "coalition_formed", "coalition_place"}
+              "convergecast", "coalition_formed", "coalition_place",
+              "churn", "suspicion", "tree_repair", "coalition_reform"}
 
 
 def fail(msg):

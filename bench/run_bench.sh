@@ -44,7 +44,10 @@ trap 'rm -rf "$tmpdir"' EXIT
 # --metrics rides the same invocation: after the comparison tables the
 # binary re-runs the largest auction+tree+coalition point with the
 # metrics registry on and dumps its epoch time-series.
+# --churn adds the membership-churn sweep (0/10/20% mid-run cluster
+# loss) and its churn_sweep columns to the JSON.
 "$BUILD_DIR/bench_fig10_msg_per_job_scaling" --json="$tmpdir/fig10.json" \
+  --churn \
   --metrics="$OUT_DIR/BENCH_metrics.json" \
   > "$tmpdir/fig10.txt"
 "$BUILD_DIR/bench_fig11_msg_per_gfa_scaling" --json="$tmpdir/fig11.json" \

@@ -1,0 +1,200 @@
+// Membership churn walkthrough: a 50-cluster auction federation over
+// the tree transport with coalitions enabled — and a hostile mid-run
+// script.  The deterministic topology is probed first so the crashes
+// hit where they hurt:
+//
+//   * an interior tree relay (its death orphans a whole subtree of the
+//     call-for-bids fan-out, forcing a self-repair and a replay of the
+//     solicitations it swallowed);
+//   * a coalition representative (its death forces a re-formation: the
+//     survivor first in ring order takes over the group's wire
+//     identity, and in-flight settlements still split over the
+//     placement-time member snapshot);
+//
+// plus a cooperative leave and, later, the relay rejoining under a
+// fresh incarnation.  Detection is epidemic: no oracle tells the
+// survivors anything — push-pull gossip digests circulate until every
+// live view confirms each death, and only then do the directory
+// eviction, the tree repair and the coalition re-formation fire.
+//
+// Exits nonzero unless every loaded job terminates exactly once, the
+// GridBank balances to the cent, both crashes are confirmed, the tree
+// replayed the lost solicitations, and every re-formation leaves an
+// individually rational split rule behind.
+
+#include <cstdio>
+#include <set>
+
+#include "cluster/catalog.hpp"
+#include "core/experiment.hpp"
+#include "core/federation.hpp"
+#include "stats/table.hpp"
+#include "transport/tree_transport.hpp"
+#include "workload/synthetic.hpp"
+
+namespace {
+
+constexpr std::size_t kClusters = 50;
+constexpr std::uint32_t kOftPercent = 30;
+
+gridfed::core::FederationConfig base_config() {
+  using namespace gridfed;
+  auto cfg = core::make_config(core::SchedulingMode::kAuction, 90210);
+  cfg.auction.clearing = market::ClearingRule::kVickrey;
+  cfg.auction.batch_solicitations = true;
+  cfg.auction.solicit_batch_window = 300.0;
+  cfg.transport.kind = transport::TransportKind::kTree;
+  cfg.coalitions.enabled = true;
+  cfg.coalitions.bucket_size = 4;
+  // Churn needs timeouts: enquiries to a dead peer must expire, and
+  // auction books holding a dead bidder's slot must close.  Both bounds
+  // are hop- and epoch-aware over the tree (see Federation's ctor).
+  cfg.network_latency = 1.0;
+  cfg.negotiate_timeout = 200.0;
+  cfg.auction.bid_timeout = 200.0;
+  return cfg;
+}
+
+struct RunOutput {
+  gridfed::core::FederationResult result;
+  bool balanced = false;
+  bool exactly_once = true;
+  std::uint64_t loaded = 0;
+  std::uint64_t repairs = 0;
+  std::uint64_t replayed = 0;
+  std::uint64_t reformations = 0;
+  bool reformations_rational = true;
+  std::uint64_t confirmations = 0;
+  std::uint64_t gossip_msgs = 0;
+};
+
+RunOutput run(const gridfed::core::FederationConfig& cfg) {
+  using namespace gridfed;
+  auto specs = cluster::replicated_specs(kClusters);
+  core::Federation fed(cfg, specs);
+  const auto traces =
+      workload::generate_federation_workload(specs, cfg.window, cfg.seed);
+  RunOutput out;
+  for (const auto& t : traces) out.loaded += t.jobs.size();
+  fed.load_workload(traces, workload::PopulationProfile{kOftPercent});
+  out.result = fed.run();
+  out.balanced = fed.bank().balanced();
+  std::set<cluster::JobId> seen;
+  for (const auto& o : fed.outcomes()) {
+    if (!seen.insert(o.job.id).second) out.exactly_once = false;
+  }
+  if (fed.outcomes().size() != out.loaded) out.exactly_once = false;
+  if (const auto* tree =
+          dynamic_cast<const transport::TreeTransport*>(&fed.transport())) {
+    out.repairs = tree->repairs();
+    out.replayed = tree->replayed_solicitations();
+  }
+  if (const coalition::CoalitionManager* manager = fed.coalitions()) {
+    out.reformations = manager->reformations().size();
+    for (const auto& r : manager->reformations()) {
+      if (!r.rational) out.reformations_rational = false;
+    }
+  }
+  if (const membership::MembershipService* m = fed.membership()) {
+    out.confirmations = m->telemetry().confirmations;
+    out.gossip_msgs = m->telemetry().gossip_messages;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gridfed;
+
+  auto cfg = base_config();
+
+  // Probe the deterministic construction for the interesting victims.
+  // The churn schedule is config, so targets must be known up front —
+  // and they are: topology and formation depend only on specs + config.
+  cluster::ResourceIndex relay = cluster::kNoResource;
+  cluster::ResourceIndex rep = cluster::kNoResource;
+  {
+    core::Federation probe(cfg, cluster::replicated_specs(kClusters));
+    const auto* tree =
+        dynamic_cast<const transport::TreeTransport*>(&probe.transport());
+    const auto& registry = probe.coalitions()->registry();
+    rep = registry.representative(
+        federation::ParticipantId{federation::kCoalitionBase});
+    for (cluster::ResourceIndex i = 0; i < kClusters; ++i) {
+      if (i != rep && tree->interior_relay(i)) {
+        relay = i;
+        break;
+      }
+    }
+  }
+  if (relay == cluster::kNoResource || rep == cluster::kNoResource) {
+    std::fprintf(stderr, "probe found no interior relay / representative\n");
+    return 1;
+  }
+
+  using membership::ChurnEvent;
+  using membership::ChurnKind;
+  const auto leaver = static_cast<cluster::ResourceIndex>(
+      (relay + 1) % kClusters == rep ? (relay + 2) % kClusters
+                                     : (relay + 1) % kClusters);
+  cfg.membership.churn.events = {
+      ChurnEvent{40000.0, relay, ChurnKind::kCrash},
+      ChurnEvent{60000.0, leaver, ChurnKind::kLeave},
+      ChurnEvent{70000.0, rep, ChurnKind::kCrash},
+      ChurnEvent{120000.0, relay, ChurnKind::kJoin},
+  };
+
+  std::printf("churn script over %zu clusters (auction + tree + "
+              "coalitions):\n"
+              "  t= 40000  CRASH cluster %u (interior tree relay)\n"
+              "  t= 60000  LEAVE cluster %u (cooperative)\n"
+              "  t= 70000  CRASH cluster %u (coalition representative)\n"
+              "  t=120000  JOIN  cluster %u (the relay, fresh incarnation)\n\n",
+              kClusters, relay, cfg.membership.churn.events[1].site, rep,
+              relay);
+
+  auto calm_cfg = base_config();
+  calm_cfg.membership.enabled = true;  // gossip on, schedule empty
+  const RunOutput calm = run(calm_cfg);
+  const RunOutput churned = run(cfg);
+
+  stats::Table t({"Metric", "Static roster", "Churned"});
+  t.add_row({"jobs loaded", std::to_string(calm.loaded),
+             std::to_string(churned.loaded)});
+  t.add_row({"acceptance %", stats::Table::num(calm.result.acceptance_pct(), 2),
+             stats::Table::num(churned.result.acceptance_pct(), 2)});
+  t.add_row({"wire msgs/job",
+             stats::Table::num(calm.result.wire_msgs_per_job(), 2),
+             stats::Table::num(churned.result.wire_msgs_per_job(), 2)});
+  t.add_row({"gossip wire messages", std::to_string(calm.gossip_msgs),
+             std::to_string(churned.gossip_msgs)});
+  t.add_row({"deaths confirmed", std::to_string(calm.confirmations),
+             std::to_string(churned.confirmations)});
+  t.add_row({"tree repairs", std::to_string(calm.repairs),
+             std::to_string(churned.repairs)});
+  t.add_row({"solicitations replayed", std::to_string(calm.replayed),
+             std::to_string(churned.replayed)});
+  t.add_row({"coalition re-formations", std::to_string(calm.reformations),
+             std::to_string(churned.reformations)});
+  t.add_row({"every job terminated once", calm.exactly_once ? "yes" : "NO",
+             churned.exactly_once ? "yes" : "NO"});
+  t.add_row({"bank balanced", calm.balanced ? "yes" : "NO",
+             churned.balanced ? "yes" : "NO"});
+  std::printf("%s\n", t.str().c_str());
+
+  const double degradation =
+      calm.result.acceptance_pct() - churned.result.acceptance_pct();
+  std::printf("losing 2 clusters + 1 leave (6%% of the federation) cost "
+              "%.2f acceptance points\n",
+              degradation);
+  std::printf("re-formations all individually rational: %s\n",
+              churned.reformations_rational ? "yes" : "NO");
+
+  const bool ok = churned.exactly_once && churned.balanced &&
+                  calm.exactly_once && calm.balanced &&
+                  churned.confirmations == 2 && churned.repairs >= 1 &&
+                  churned.replayed > 0 && churned.reformations >= 2 &&
+                  churned.reformations_rational;
+  return ok ? 0 : 1;
+}

@@ -41,6 +41,7 @@ sim::SimTime Lrms::expected_wait(std::uint32_t procs,
 
 Reservation Lrms::submit(const Job& job, sim::SimTime exec_time,
                          sim::SimTime earliest) {
+  GF_EXPECTS(!down_);  // the owning agent gates submissions while down
   GF_EXPECTS(job.processors > 0 && job.processors <= spec_.processors);
   GF_EXPECTS(exec_time >= 0.0);
 
@@ -102,6 +103,15 @@ void Lrms::on_start(std::uint64_t serial, std::uint32_t procs) {
   profile_.trim(now());
 }
 
+void Lrms::shutdown() {
+  down_ = true;
+  // Everything reserved so far dies with the machine.  The events stay
+  // scheduled — they keep queued_/running_/busy_ and the profile
+  // consistent as they fire — but on_finish never reports a killed
+  // reservation to the completion handler.
+  kill_below_ = next_serial_ + 1;
+}
+
 void Lrms::on_finish(const Job& job, const Reservation& res) {
   if (cancelled_.erase(res.serial) > 0) return;  // cancelled reservation
   GF_ENSURES(running_ > 0);
@@ -109,6 +119,13 @@ void Lrms::on_finish(const Job& job, const Reservation& res) {
   GF_ENSURES(busy_ >= res.processors);
   busy_ -= res.processors;
   util_.set_busy(now(), busy_);
+  if (res.serial < kill_below_) {
+    // Killed by shutdown(): the machine went down mid-reservation, so
+    // the output never materializes.  The origin's sweep (or its own
+    // crash drain) accounts for the job.
+    ++killed_;
+    return;
+  }
   ++completed_;
   if (on_completion_) {
     on_completion_(CompletedJob{job, res, index_});

@@ -107,6 +107,28 @@ class Lrms : public sim::Entity {
     return cancelled_count_;
   }
 
+  /// Fail-stop (membership churn): every reservation made so far —
+  /// queued or running — is killed in place.  Their already-scheduled
+  /// start/finish events still fire and keep the counters and the
+  /// availability profile consistent, but the completion handler is
+  /// never invoked for them: the machine went down, the output is lost.
+  /// New submissions are the owning agent's responsibility to gate
+  /// (submit() asserts !down()).
+  void shutdown();
+
+  /// The machine rebooted (a kJoin churn event).  Reservations from
+  /// before the shutdown stay killed; the profile still carries them
+  /// until their original completion instants — the conservative
+  /// "rebooted but the old bookings block the queue" model.
+  void restart() noexcept { down_ = false; }
+
+  [[nodiscard]] bool down() const noexcept { return down_; }
+
+  /// Reservations killed by shutdown() whose finish already fired.
+  [[nodiscard]] std::uint64_t jobs_killed() const noexcept {
+    return killed_;
+  }
+
   /// Jobs currently occupying processors.
   [[nodiscard]] std::uint32_t running_jobs() const noexcept {
     return running_;
@@ -169,6 +191,11 @@ class Lrms : public sim::Entity {
   std::uint64_t completed_ = 0;
   std::uint64_t cancelled_count_ = 0;
   std::uint64_t next_serial_ = 0;  // reservation identities (see above)
+  bool down_ = false;
+  /// Serials strictly below this were killed by shutdown(); their finish
+  /// events decrement counters but never reach the completion handler.
+  std::uint64_t kill_below_ = 0;
+  std::uint64_t killed_ = 0;
   // Reservations cancelled before start; their events no-op on firing.
   std::unordered_set<std::uint64_t> cancelled_;  // by Reservation::serial
 };

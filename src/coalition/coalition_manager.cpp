@@ -1,6 +1,7 @@
 #include "coalition/coalition_manager.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "sim/check.hpp"
@@ -22,7 +23,11 @@ namespace {
 CoalitionManager::CoalitionManager(CoalitionContext& ctx,
                                    const CoalitionConfig& config,
                                    std::span<const std::uint64_t> ring_keys)
-    : ctx_(ctx), config_(config), registry_(ctx.sites()) {
+    : ctx_(ctx),
+      config_(config),
+      registry_(ctx.sites()),
+      ring_keys_(ring_keys.begin(), ring_keys.end()),
+      home_coalition_(ctx.sites(), federation::kNoParticipant) {
   GF_EXPECTS(config_.bucket_size >= 2);
   GF_EXPECTS(ring_keys.size() == ctx.sites());
   // Latency-proximity buckets: consecutive runs in the overlay ring
@@ -45,8 +50,11 @@ CoalitionManager::CoalitionManager(CoalitionContext& ctx,
     }
     // The first member in ring order speaks for the group on the wire.
     const cluster::ResourceIndex rep = order[at].second;
-    [[maybe_unused]] const federation::ParticipantId id =
+    const federation::ParticipantId id =
         registry_.register_coalition(std::move(members), rep);
+    for (std::size_t i = at; i < at + len; ++i) {
+      home_coalition_[order[i].second] = id;
+    }
     GF_OBS(ctx_.observer(), instant(0.0, obs::SpanKind::kCoalitionFormed, rep,
                                     id.value, len));
     GF_OBS(ctx_.observer(), count(obs::Counter::kCoalitionsFormed));
@@ -104,8 +112,15 @@ Placement CoalitionManager::place_award(federation::ParticipantId id,
     const sim::SimTime estimate =
         ctx_.member_admit(candidate.member, job);
     if (estimate == sim::kTimeInfinity) continue;  // declined: next member
+    // Snapshot the member list NOW: the eventual settlement must split
+    // over the members who backed this bid, even if churn re-forms the
+    // group before the job completes.
+    const auto members = registry_.members(id);
     notes_.insert_or_assign(
-        job.id, AwardNote{id, candidate.member, candidate.ask});
+        job.id,
+        AwardNote{id, candidate.member, candidate.ask,
+                  std::vector<cluster::ResourceIndex>(members.begin(),
+                                                      members.end())});
     return Placement{true, candidate.member, estimate};
   }
   return Placement{};
@@ -117,7 +132,7 @@ bool CoalitionManager::settle(economy::GridBank& bank, cluster::JobId job,
                               std::uint32_t user, double payment) {
   const auto it = notes_.find(job);
   if (it == notes_.end()) return false;
-  const AwardNote note = it->second;
+  AwardNote note = std::move(it->second);
   notes_.erase(it);
   if (note.executor != executor) {
     // The job ultimately ran somewhere else (a lossy network abandoned
@@ -125,7 +140,11 @@ bool CoalitionManager::settle(economy::GridBank& bank, cluster::JobId job,
     // stale and the plain solo settlement applies.
     return false;
   }
-  const auto members = registry_.members(note.coalition);
+  // Split over the PLACEMENT-time snapshot, not the live registry: a
+  // member that departed mid-flight still backed this bid and is still
+  // paid its share, which is what keeps the bank balanced member-by-
+  // member before the split rule changes.
+  const std::vector<cluster::ResourceIndex>& members = note.members;
   scratch_weights_.clear();
   std::size_t executor_pos = members.size();
   for (std::size_t i = 0; i < members.size(); ++i) {
@@ -143,8 +162,104 @@ bool CoalitionManager::settle(economy::GridBank& bank, cluster::JobId job,
   }
   splits_.push_back(SplitRecord{job, note.coalition, executor,
                                 note.executor_ask, payment,
+                                std::move(note.members),
                                 std::move(shares)});
   return true;
+}
+
+// ---- membership churn -------------------------------------------------------
+
+cluster::ResourceIndex CoalitionManager::first_in_ring(
+    federation::ParticipantId id) const {
+  const auto members = registry_.members(id);
+  GF_EXPECTS(!members.empty());
+  cluster::ResourceIndex best = members.front();
+  for (const cluster::ResourceIndex m : members) {
+    if (ring_keys_[m] < ring_keys_[best] ||
+        (ring_keys_[m] == ring_keys_[best] && m < best)) {
+      best = m;
+    }
+  }
+  return best;
+}
+
+bool CoalitionManager::rational_split(federation::ParticipantId id) {
+  // Rule-level probe, independent of live queues: a unit ask against a
+  // doubled payment (surplus == ask) must split budget-balanced with no
+  // negative share and the executor recovering at least its ask — for
+  // EVERY member as the hypothetical executor.
+  constexpr double kProbeAsk = 1.0;
+  constexpr double kProbePayment = 2.0;
+  const auto members = registry_.members(id);
+  scratch_weights_.clear();
+  for (const cluster::ResourceIndex m : members) {
+    scratch_weights_.push_back(ctx_.spec_of(m).total_mips());
+  }
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    const std::vector<double> shares = split_surplus(
+        config_.surplus, kProbePayment, i, kProbeAsk, scratch_weights_);
+    double sum = 0.0;
+    for (const double s : shares) {
+      if (s < -1e-9) return false;
+      sum += s;
+    }
+    if (shares[i] + 1e-9 < kProbeAsk) return false;
+    if (std::abs(sum - kProbePayment) > 1e-6) return false;
+  }
+  return true;
+}
+
+void CoalitionManager::record_reformation(federation::ParticipantId id,
+                                          cluster::ResourceIndex member,
+                                          bool departed, sim::SimTime now) {
+  const auto members = registry_.members(id);
+  ReformationRecord record;
+  record.t = now;
+  record.coalition = id;
+  record.member = member;
+  record.departed = departed;
+  record.members_after.assign(members.begin(), members.end());
+  record.representative_after = registry_.representative(id);
+  record.rational = rational_split(id);
+  GF_OBS(ctx_.observer(),
+         instant(now, obs::SpanKind::kCoalitionReform,
+                 record.representative_after, id.value, member,
+                 departed ? 1 : 0));
+  GF_OBS(ctx_.observer(), count(obs::Counter::kCoalitionReforms));
+  reformations_.push_back(std::move(record));
+}
+
+void CoalitionManager::on_member_departed(cluster::ResourceIndex member,
+                                          sim::SimTime now) {
+  const federation::ParticipantId id = registry_.participant_of(member);
+  if (!id.is_coalition()) return;  // singletons re-form nothing
+  if (registry_.members(id).size() < 2) {
+    // The last member: keep the shell (no live directory entry resolves
+    // to it, so it is never solicited) rather than empty the group.
+    return;
+  }
+  registry_.remove_member(id, member);
+  if (registry_.representative(id) == member) {
+    // The spokescluster died: the surviving member first in ring order
+    // takes over — the same rule formation used.
+    registry_.set_representative(id, first_in_ring(id));
+  }
+  record_reformation(id, member, /*departed=*/true, now);
+}
+
+void CoalitionManager::on_member_rejoined(cluster::ResourceIndex member,
+                                          sim::SimTime now) {
+  if (registry_.participant_of(member).is_coalition()) {
+    // Still formally a member (it was the group's last): nothing moved.
+    return;
+  }
+  const federation::ParticipantId home = home_coalition_[member];
+  if (!home.is_coalition()) return;  // formed no group to rejoin
+  registry_.add_member(home, member);
+  // Bucket rule: the member first in ring order represents — a rejoiner
+  // ahead of the current representative takes the role back.
+  registry_.set_representative(home, first_in_ring(home));
+  record_reformation(home, member, /*departed=*/false, now);
 }
 
 }  // namespace gridfed::coalition

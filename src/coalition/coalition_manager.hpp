@@ -85,7 +85,26 @@ struct SplitRecord {
   cluster::ResourceIndex executor = cluster::kNoResource;
   double executor_ask = 0.0;  ///< the executor's solo ask for the job
   double payment = 0.0;       ///< the coalition's cleared payment
-  std::vector<double> shares;  ///< per member, parallel to members(id)
+  /// Member list the split ran over — snapshotted at PLACEMENT time, so
+  /// a settlement after churn pays exactly the members who backed the
+  /// bid (budget balance survives a mid-flight re-formation).
+  std::vector<cluster::ResourceIndex> members;
+  std::vector<double> shares;  ///< per member, parallel to `members`
+};
+
+/// One churn-driven re-formation of a coalition (tests pin that every
+/// re-formation leaves a rational split rule in place).
+struct ReformationRecord {
+  sim::SimTime t = 0.0;
+  federation::ParticipantId coalition = federation::kNoParticipant;
+  cluster::ResourceIndex member = cluster::kNoResource;  ///< who churned
+  bool departed = true;  ///< false: a rejoin re-entered at the bucket rule
+  std::vector<cluster::ResourceIndex> members_after;
+  cluster::ResourceIndex representative_after = cluster::kNoResource;
+  /// The individual-rationality probe held: for every member as a
+  /// hypothetical executor, the split is budget-balanced, every share is
+  /// non-negative, and the executor recovers at least its ask.
+  bool rational = true;
 };
 
 class CoalitionManager {
@@ -147,20 +166,57 @@ class CoalitionManager {
     return splits_;
   }
 
+  // -- membership churn ---------------------------------------------------
+  /// `member` left or was confirmed dead: its coalition re-forms without
+  /// it — the member reverts to its singleton, a departed representative
+  /// is replaced by the surviving member first in ring order, and the
+  /// individual-rationality probe re-runs over the survivors.  In-flight
+  /// settlements are untouched (they split over the placement-time
+  /// snapshot).  The LAST member of a group is never removed: an
+  /// all-departed coalition keeps its shell, which no live directory
+  /// entry resolves to.
+  void on_member_departed(cluster::ResourceIndex member, sim::SimTime now);
+  /// A kJoin churn event brought `member` back: it re-enters its home
+  /// coalition at the bucket rule (ascending member order, first member
+  /// in ring order represents).
+  void on_member_rejoined(cluster::ResourceIndex member, sim::SimTime now);
+  /// Every churn-driven re-formation, application order.
+  [[nodiscard]] const std::vector<ReformationRecord>& reformations()
+      const noexcept {
+    return reformations_;
+  }
+
  private:
   /// Pending settlement noted at placement time.
   struct AwardNote {
     federation::ParticipantId coalition = federation::kNoParticipant;
     cluster::ResourceIndex executor = cluster::kNoResource;
     double executor_ask = 0.0;
+    /// Member snapshot backing the eventual split (see SplitRecord).
+    std::vector<cluster::ResourceIndex> members;
   };
+
+  /// The surviving member first in ring order (formation's layout rule).
+  [[nodiscard]] cluster::ResourceIndex first_in_ring(
+      federation::ParticipantId id) const;
+  /// The individual-rationality probe of ReformationRecord::rational.
+  [[nodiscard]] bool rational_split(federation::ParticipantId id);
+  void record_reformation(federation::ParticipantId id,
+                          cluster::ResourceIndex member, bool departed,
+                          sim::SimTime now);
 
   CoalitionContext& ctx_;
   CoalitionConfig config_;
   federation::ParticipantRegistry registry_;
   std::unordered_map<cluster::JobId, AwardNote> notes_;
   std::vector<SplitRecord> splits_;
+  std::vector<ReformationRecord> reformations_;
   std::uint64_t local_messages_ = 0;
+  /// Ring key per cluster (formation order; re-formation reuses it).
+  std::vector<std::uint64_t> ring_keys_;
+  /// Each cluster's formation-time coalition (kNoParticipant when it
+  /// formed none) — the home a rejoiner re-enters.
+  std::vector<federation::ParticipantId> home_coalition_;
   // Scratch reused across placements/settlements.
   std::vector<double> scratch_weights_;
 };

@@ -12,6 +12,7 @@
 #include "economy/cost_model.hpp"
 #include "economy/dynamic_pricing.hpp"
 #include "market/auction_config.hpp"
+#include "membership/membership_config.hpp"
 #include "network/latency_model.hpp"
 #include "obs/obs_config.hpp"
 #include "sim/types.hpp"
@@ -123,6 +124,15 @@ struct FederationConfig {
   /// dissemination and convergecast-aggregated bids.  In auction mode a
   /// nonzero bid_timeout must then also outlast the fan-out epoch.
   transport::TransportOptions transport = {};
+
+  /// Dynamic membership (src/membership/): a gossip failure detector
+  /// plus a scripted ChurnSchedule injecting join/leave/crash events
+  /// mid-run.  Inactive (the default) keeps the static-roster path
+  /// bit-identical to the seed: no gossip events, no extra RNG draws.
+  /// When active, negotiate_timeout must be nonzero outside
+  /// kIndependent (and auction.bid_timeout nonzero in auction mode):
+  /// dead-provider recovery rides the timeout machinery.
+  membership::MembershipOptions membership = {};
 
   /// Observability (src/obs/): sim-time tracing, the metrics
   /// time-series, and the auction forensics ledger.  All off by default;

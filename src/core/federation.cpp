@@ -45,8 +45,16 @@ Federation::Federation(FederationConfig config,
       1u, transport::tree_depth(specs_.size(), cfg_.transport.tree_fanout)));
   const bool auction = cfg_.mode == SchedulingMode::kAuction;
   const double enquiry_hops = auction && tree ? 2.0 * tree_depth + 1.0 : 2.0;
+  // On the tree in auction mode a piggybacked award's enquiry can also
+  // sit out a full fan-out epoch before the relay flushes it, so the
+  // timeout must clear the hold ON TOP of the hop round trip — a
+  // timeout inside the epoch would systematically expire every held
+  // enquiry before it even left the origin.
+  const sim::SimTime enquiry_hold =
+      auction && tree ? cfg_.transport.tree_epoch : 0.0;
   GF_EXPECTS(cfg_.negotiate_timeout == 0.0 ||
-             cfg_.negotiate_timeout > enquiry_hops * worst_latency);
+             cfg_.negotiate_timeout >
+                 enquiry_hops * worst_latency + enquiry_hold);
   // Auction books close on completeness; a dropped bid would hold one open
   // forever unless the bid timeout clears it.  A nonzero timeout must also
   // outlast a call-for-bids + bid round trip — including the tree
@@ -149,6 +157,28 @@ Federation::Federation(FederationConfig config,
   if (coalitions_) {
     transport_->set_group_registry(&coalitions_->registry());
   }
+  // The membership runtime (gossip dissemination + scripted churn).
+  // Dynamic membership needs timeouts to make progress the same way a
+  // lossy network does: an enquiry parked on a crashed peer is only
+  // ever resolved by its negotiate timeout, and an auction book
+  // soliciting one only closes on its bid timeout.
+  if (cfg_.membership.active()) {
+    GF_EXPECTS(cfg_.membership.gossip_period > 0.0);
+    GF_EXPECTS(cfg_.membership.gossip_fanout >= 1);
+    GF_EXPECTS(cfg_.membership.suspect_after >= 1);
+    GF_EXPECTS(cfg_.membership.dead_after >= 1);
+    for (const membership::ChurnEvent& ev : cfg_.membership.churn.events) {
+      GF_EXPECTS(ev.site < specs_.size());
+      GF_EXPECTS(ev.time > 0.0);
+    }
+    GF_EXPECTS(cfg_.mode == SchedulingMode::kIndependent ||
+               cfg_.negotiate_timeout > 0.0);
+    if (auction) GF_EXPECTS(cfg_.auction.bid_timeout > 0.0);
+    membership::MembershipContext& membership_ctx = *this;
+    membership_ =
+        std::make_unique<membership::MembershipService>(membership_ctx);
+    membership_->start();
+  }
 
   if (cfg_.dynamic_pricing) {
     pricers_.reserve(specs_.size());
@@ -181,12 +211,17 @@ void Federation::arm_periodic_behaviours() {
     }
   });
 
-  // Coordination extension: periodic load-hint refresh.
+  // Coordination extension: periodic load-hint refresh.  Members that
+  // crashed or left stop publishing (and may already be unsubscribed).
   if (cfg_.use_load_hints) {
     for (sim::SimTime t = cfg_.load_hint_period; t <= cfg_.window;
          t += cfg_.load_hint_period) {
       sim_.schedule_at(t, sim::EventPriority::kControl, [this] {
-        for (auto& agent : gfas_) agent->publish_load_hint();
+        for (std::size_t i = 0; i < gfas_.size(); ++i) {
+          const auto index = static_cast<cluster::ResourceIndex>(i);
+          if (membership_ && !membership_->live(index)) continue;
+          gfas_[i]->publish_load_hint();
+        }
       });
     }
   }
@@ -212,6 +247,10 @@ void Federation::arm_periodic_behaviours() {
     for (sim::SimTime t = period; t <= cfg_.window; t += period) {
       sim_.schedule_at(t, sim::EventPriority::kControl, [this, period] {
         for (std::size_t i = 0; i < lrms_.size(); ++i) {
+          if (membership_ &&
+              !membership_->live(static_cast<cluster::ResourceIndex>(i))) {
+            continue;  // a gone member republishes nothing
+          }
           const double area = lrms_[i]->utilization().busy_area(sim_.now());
           const double window_area =
               static_cast<double>(specs_[i].processors) * period;
@@ -307,6 +346,16 @@ std::uint64_t Federation::multicast(
 
 void Federation::deliver(const Message& msg) {
   GF_EXPECTS(msg.to < gfas_.size());
+  if (membership_ != nullptr) {
+    // A crashed destination receives nothing — the bytes were charged
+    // (they crossed the wire) but they land in the void.  Left members
+    // keep receiving: their in-flight work drains gracefully.
+    if (membership_->crashed(msg.to)) return;
+    if (msg.type == MessageType::kGossip) {
+      membership_->on_gossip(msg);
+      return;
+    }
+  }
   gfas_[msg.to]->receive(msg);
 }
 
@@ -328,12 +377,20 @@ sim::SimTime Federation::payload_staging_time(
 market::Bid Federation::member_bid(cluster::ResourceIndex member,
                                    const cluster::Job& job) {
   GF_EXPECTS(member < gfas_.size());
+  if (membership_ != nullptr && !membership_->live(member)) {
+    market::Bid bid;  // a gone member prices nothing: infeasible
+    bid.bidder = member;
+    return bid;
+  }
   return gfas_[member]->provider_bid(job);
 }
 
 sim::SimTime Federation::member_admit(cluster::ResourceIndex member,
                                       const cluster::Job& job) {
   GF_EXPECTS(member < gfas_.size());
+  if (membership_ != nullptr && !membership_->live(member)) {
+    return sim::kTimeInfinity;  // a gone member admits nothing
+  }
   const sim::SimTime estimate = gfas_[member]->admit_remote(job);
   if (estimate != sim::kTimeInfinity) {
     // The placement just reserved capacity the member's own policy never
@@ -342,6 +399,59 @@ sim::SimTime Federation::member_admit(cluster::ResourceIndex member,
     gfas_[member]->invalidate_provider_cache();
   }
   return estimate;
+}
+
+// ---- membership::MembershipContext ------------------------------------------
+
+void Federation::gossip_send(Message msg) {
+  GF_EXPECTS(msg.to < gfas_.size());
+  transport_->unicast(std::move(msg));
+}
+
+void Federation::churn_crash(cluster::ResourceIndex site) {
+  // Fail-stop, applied the instant the event fires: the agent drains its
+  // in-flight state (each of its jobs still terminates exactly once) and
+  // the LRMS kills every reservation in place.  Directory eviction and
+  // the peers' orphan sweeps wait for the failure detector — until
+  // confirmation, peers keep soliciting the dead site and eat the
+  // timeouts, which is exactly the degradation the churn sweep measures.
+  gfas_[site]->on_crash();
+  lrms_[site]->shutdown();
+}
+
+void Federation::churn_leave(cluster::ResourceIndex site) {
+  // Graceful departure: announced, so the consequences apply at once —
+  // no advertisement, no coalition seat, no relay duty.  In-flight work
+  // involving the leaver drains normally (it stays a reachable
+  // endpoint).
+  gfas_[site]->on_leave();
+  dir_.unsubscribe(site);
+  if (coalitions_) coalitions_->on_member_departed(site, sim_.now());
+  transport_->on_member_left(site);
+}
+
+void Federation::churn_join(cluster::ResourceIndex site) {
+  lrms_[site]->restart();
+  gfas_[site]->on_rejoin();
+  dir_.subscribe(directory::Quote::from_spec(site, specs_[site]));
+  if (coalitions_) coalitions_->on_member_rejoined(site, sim_.now());
+  transport_->on_member_joined(site);
+}
+
+void Federation::member_confirmed_dead(cluster::ResourceIndex site) {
+  // Detection converged on a genuine crash: evict the advertisement,
+  // repair the overlay (replaying the solicitations the dead relay ate),
+  // re-form its coalition, and let every live peer sweep the work it had
+  // parked on the corpse.  Ascending peer order keeps the sweep
+  // deterministic.
+  if (!membership_->left(site)) dir_.unsubscribe(site);
+  transport_->on_member_dead(site);
+  if (coalitions_) coalitions_->on_member_departed(site, sim_.now());
+  for (std::size_t i = 0; i < gfas_.size(); ++i) {
+    const auto peer = static_cast<cluster::ResourceIndex>(i);
+    if (peer == site) continue;
+    gfas_[i]->on_peer_dead(site);
+  }
 }
 
 void Federation::job_completed(const JobOutcome& outcome) {
@@ -361,7 +471,9 @@ void Federation::job_completed(const JobOutcome& outcome) {
   settled.surplus_share = outcome.cost;
   if (split) {
     const coalition::SplitRecord& record = coalitions_->splits().back();
-    const auto members = coalitions_->registry().members(record.coalition);
+    // The record's own member snapshot, NOT the live registry: churn may
+    // have re-formed the coalition between placement and settlement.
+    const auto& members = record.members;
     settled.settled_participant = record.coalition.value;
     for (std::size_t m = 0; m < members.size(); ++m) {
       if (members[m] == record.executor) {

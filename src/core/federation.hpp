@@ -30,6 +30,7 @@
 #include "directory/federation_directory.hpp"
 #include "economy/dynamic_pricing.hpp"
 #include "economy/grid_bank.hpp"
+#include "membership/membership_service.hpp"
 #include "obs/observer.hpp"
 #include "sim/random.hpp"
 #include "sim/simulation.hpp"
@@ -47,7 +48,8 @@ namespace gridfed::core {
 /// environment (transport::TransportContext) and its delivery sink.
 class Federation final : public GfaHost,
                          private transport::TransportContext,
-                         private coalition::CoalitionContext {
+                         private coalition::CoalitionContext,
+                         private membership::MembershipContext {
  public:
   Federation(FederationConfig config,
              std::vector<cluster::ResourceSpec> specs);
@@ -148,6 +150,14 @@ class Federation final : public GfaHost,
     return auction_stats_;
   }
 
+  /// The membership runtime of this run, or null when
+  /// config.membership.active() is false (static membership — the
+  /// bit-identical golden path).
+  [[nodiscard]] const membership::MembershipService* membership()
+      const noexcept {
+    return membership_.get();
+  }
+
  private:
   void arm_periodic_behaviours();
   [[nodiscard]] FederationResult aggregate() const;
@@ -161,6 +171,23 @@ class Federation final : public GfaHost,
   void message_dropped() override { ++messages_dropped_; }
   [[nodiscard]] sim::Rng& drop_rng() override { return drop_rng_; }
   [[nodiscard]] sim::Rng& duplicate_rng() override { return dup_rng_; }
+  /// Ground truth for the transports: a crashed site's edges are down.
+  /// Left members stay reachable endpoints (their in-flight work drains
+  /// gracefully); membership off degenerates to the base's constant true.
+  [[nodiscard]] bool site_up(cluster::ResourceIndex i) const override {
+    return membership_ == nullptr || !membership_->crashed(i);
+  }
+
+  // ---- membership::MembershipContext --------------------------------------
+  // (config(), sim(), sites() and observer() above satisfy this interface
+  // too.)  The churn hooks apply ground truth the instant an event fires;
+  // member_confirmed_dead applies the detection-driven consequences when
+  // the gossip views converge on a genuine crash.
+  void gossip_send(Message msg) override;
+  void churn_join(cluster::ResourceIndex site) override;
+  void churn_leave(cluster::ResourceIndex site) override;
+  void churn_crash(cluster::ResourceIndex site) override;
+  void member_confirmed_dead(cluster::ResourceIndex site) override;
 
   // ---- coalition::CoalitionContext ---------------------------------------
   // (sites() and spec_of() above satisfy this interface too.)  The
@@ -187,6 +214,9 @@ class Federation final : public GfaHost,
   /// auction mode).  Constructed after the agents (joint bids and
   /// internal placement reach members through them).
   std::unique_ptr<coalition::CoalitionManager> coalitions_;
+  /// The membership runtime (null when config.membership is inactive).
+  /// Constructed after the transport — gossip rides its unicast legs.
+  std::unique_ptr<membership::MembershipService> membership_;
   std::vector<economy::DynamicPricer> pricers_;
   std::vector<double> pricer_last_area_;
 

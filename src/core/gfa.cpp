@@ -1,6 +1,8 @@
 #include "core/gfa.hpp"
 
+#include <algorithm>
 #include <utility>
+#include <vector>
 
 #include "economy/cost_model.hpp"
 #include "sim/check.hpp"
@@ -39,6 +41,12 @@ void Gfa::submit_local(cluster::Job job) {
   GF_OBS(host_.observer(), count(obs::Counter::kJobsSubmitted));
   Pending p;
   p.job = std::move(job);
+  if (down_ || leaving_) {
+    // The cluster is gone (or winding down): its users' jobs bounce, but
+    // each still produces exactly one outcome.
+    reject(std::move(p));
+    return;
+  }
   policy_->schedule(std::move(p));
 }
 
@@ -225,6 +233,10 @@ void Gfa::receive(const Message& msg) {
     case MessageType::kBid:
       policy_->on_bid(msg);
       break;
+    case MessageType::kGossip:
+      // Membership gossip is intercepted by the Federation's router and
+      // handed to the MembershipService; it never reaches a GFA.
+      break;
   }
 }
 
@@ -269,6 +281,10 @@ void Gfa::admit_and_reply(const Message& msg) {
 sim::SimTime Gfa::admit_remote(const cluster::Job& job) {
   const auto& cfg = host_.config();
   const auto& own = lrms_.spec();
+  // A crashed or departing cluster admits nothing new.  (A crashed one
+  // should never even be asked — the router suppresses its deliveries —
+  // but coalition-internal placement reaches members directly.)
+  if (down_ || leaving_) return sim::kTimeInfinity;
   if (job.processors > own.processors) return sim::kTimeInfinity;
   // A lossy network can re-deliver an enquiry for a job we already
   // hold a reservation for (our reply was lost; the origin's walk
@@ -440,7 +456,14 @@ void Gfa::on_lrms_completion(const cluster::CompletedJob& done) {
 void Gfa::finalize(cluster::JobId id, cluster::ResourceIndex exec,
                    sim::SimTime start, sim::SimTime completion) {
   const auto it = awaiting_.find(id);
-  GF_EXPECTS(it != awaiting_.end());
+  if (it == awaiting_.end()) {
+    // Only reachable under churn: on_peer_dead swept this placement (the
+    // executor was confirmed dead while the completion was already in
+    // flight home) and the job was re-scheduled — its outcome is
+    // accounted on the replacement path, so this late copy is swallowed.
+    GF_EXPECTS(host_.config().membership.active());
+    return;
+  }
   Awaiting info = std::move(it->second);
   awaiting_.erase(it);
 
@@ -471,6 +494,117 @@ void Gfa::finalize(cluster::JobId id, cluster::ResourceIndex exec,
   // arrived; local jobs finish without network traffic.
   outcome.messages = info.messages + (exec == index_ ? 0 : 1);
   host_.job_completed(outcome);
+}
+
+// ---- membership churn -------------------------------------------------------
+
+namespace {
+/// Sorted snapshot of a job-keyed map's ids: the engine's maps are
+/// unordered, and every churn drain must replay in identical order run
+/// to run (outcome order feeds the digests).
+template <typename Map>
+std::vector<cluster::JobId> sorted_ids(const Map& map) {
+  std::vector<cluster::JobId> ids;
+  ids.reserve(map.size());
+  for (const auto& [id, value] : map) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+}  // namespace
+
+void Gfa::on_crash() {
+  if (down_) return;
+  down_ = true;
+  // Enquiries on the wire: nobody is left to handle the reply.  End the
+  // enquiry span (a1 = 3: origin died) and bounce the job.
+  for (const cluster::JobId id : sorted_ids(pending_)) {
+    const auto it = pending_.find(id);
+    Pending p = std::move(it->second);
+    pending_.erase(it);
+    if (p.current_target != cluster::kNoResource) {
+      GF_OBS(host_.observer(), end(now(), obs::SpanKind::kEnquiry, index_,
+                                   id, p.current_target, 3));
+    }
+    reject(std::move(p));
+  }
+  // Open auction books and undispatched held awards die with us; their
+  // armed bid timeouts and flush wake-ups find nothing afterwards.
+  policy_->drain_in_flight([this](Pending p) { reject(std::move(p)); });
+  // Placed jobs: a local placement's completion was killed by the LRMS
+  // shutdown, a remote one's completion message will be addressed to a
+  // dead site and suppressed.  Either way the outcome lands now.
+  for (const cluster::JobId id : sorted_ids(awaiting_)) {
+    const auto it = awaiting_.find(id);
+    Awaiting info = std::move(it->second);
+    awaiting_.erase(it);
+    GF_OBS(host_.observer(), end(now(), obs::SpanKind::kPlacement, index_,
+                                 id, info.exec, 3, info.cost));
+    GF_OBS(host_.observer(),
+           end(now(), obs::SpanKind::kJob, index_, id, 0));
+    host_.job_rejected(info.job, info.negotiations, info.messages);
+  }
+  // Remote holds: the reservations themselves were killed by the LRMS
+  // shutdown (their finish events fire silently); close the books here.
+  // Their origins re-place through on_peer_dead at confirmation.
+  for (const cluster::JobId id : sorted_ids(holds_)) {
+    GF_OBS(host_.observer(), end(now(), obs::SpanKind::kHold, index_,
+                                 holds_.find(id)->second.token, id, 4));
+  }
+  holds_.clear();
+}
+
+void Gfa::on_leave() { leaving_ = true; }
+
+void Gfa::on_rejoin() {
+  down_ = false;
+  leaving_ = false;
+}
+
+void Gfa::on_peer_dead(cluster::ResourceIndex peer) {
+  GF_EXPECTS(peer != index_);
+  if (down_) return;
+  // Enquiries parked on the dead peer will never be answered: abandon
+  // them like a negotiate timeout (a1 = 3 distinguishes the cause) and
+  // resume the policy walk — the directory dropped the peer already.
+  std::vector<cluster::JobId> ids;
+  for (const auto& [id, p] : pending_) {
+    if (p.current_target == peer) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const cluster::JobId id : ids) {
+    const auto it = pending_.find(id);
+    // Re-check: an earlier drain's re-schedule may have moved this job.
+    if (it == pending_.end() || it->second.current_target != peer) continue;
+    Pending p = std::move(it->second);
+    pending_.erase(it);
+    GF_OBS(host_.observer(), end(now(), obs::SpanKind::kEnquiry, index_,
+                                 id, peer, 3));
+    if (p.award_in_flight) host_.award_declined(participant_of(peer));
+    p.current_target = cluster::kNoResource;
+    policy_->schedule(std::move(p));
+  }
+  // Jobs placed on the dead peer: its LRMS killed them, no completion is
+  // coming.  Re-enter the scheduling walk with the accounting carried
+  // over — the job terminates exactly once, just somewhere else.
+  ids.clear();
+  for (const auto& [id, info] : awaiting_) {
+    if (info.exec == peer) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  for (const cluster::JobId id : ids) {
+    const auto it = awaiting_.find(id);
+    if (it == awaiting_.end() || it->second.exec != peer) continue;
+    Awaiting info = std::move(it->second);
+    awaiting_.erase(it);
+    GF_OBS(host_.observer(), end(now(), obs::SpanKind::kPlacement, index_,
+                                 id, peer, 3, info.cost));
+    GF_OBS(host_.observer(), count(obs::Counter::kJobsOrphaned));
+    Pending p;
+    p.job = std::move(info.job);
+    p.negotiations = info.negotiations;
+    p.messages = info.messages;
+    policy_->schedule(std::move(p));
+  }
 }
 
 void Gfa::publish_load_hint() {

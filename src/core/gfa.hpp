@@ -150,6 +150,28 @@ class Gfa final : public sim::Entity, public policy::SchedulerContext {
     return remote_accepted_;
   }
 
+  // -- membership churn (driven by the Federation's churn hooks) ----------
+  /// Fail-stop: this cluster crashed.  Every job the engine holds in
+  /// flight dies with the machine — pending enquiries, open policy state
+  /// (auction books, held awards), placed-and-awaiting jobs, and remote
+  /// holds — and each of OUR origin jobs still produces exactly one
+  /// (rejected) outcome; the run-level outcome accounting depends on it.
+  /// Later arrivals from this cluster's users bounce until a rejoin.
+  void on_crash();
+  /// Graceful departure: in-flight work runs to completion, but new local
+  /// submissions bounce and new remote admissions are refused.
+  void on_leave();
+  /// A kJoin churn event brought the cluster back (after a crash or a
+  /// leave): lift the gates.  The engine's maps were drained at crash
+  /// time, so the rejoin starts clean.
+  void on_rejoin();
+  /// The failure detector confirmed `peer` dead: abandon enquiries parked
+  /// on it (the job resumes its policy walk) and re-schedule jobs placed
+  /// there whose completion will never come (kJobsOrphaned).
+  void on_peer_dead(cluster::ResourceIndex peer);
+  [[nodiscard]] bool down() const noexcept { return down_; }
+  [[nodiscard]] bool leaving() const noexcept { return leaving_; }
+
   /// The policy scheduling this agent's jobs (telemetry, tests).
   [[nodiscard]] const policy::SchedulingPolicy& scheduling_policy()
       const noexcept {
@@ -313,6 +335,8 @@ class Gfa final : public sim::Entity, public policy::SchedulerContext {
   std::unordered_map<cluster::JobId, RemoteHold> holds_;
   std::uint64_t next_hold_token_ = 0;
   std::uint64_t remote_accepted_ = 0;
+  bool down_ = false;     ///< crashed (kCrash churn); lifts on rejoin
+  bool leaving_ = false;  ///< departing gracefully (kLeave churn)
 };
 
 }  // namespace gridfed::core

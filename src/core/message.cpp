@@ -7,6 +7,11 @@
 namespace gridfed::core {
 
 std::uint64_t wire_bytes(const Message& msg) noexcept {
+  if (msg.type == MessageType::kGossip) {
+    // A digest carries no job payload: header + one record per member.
+    return kMessageHeaderBytes +
+           membership::kGossipRecordBytes * msg.gossip.size();
+  }
   return kMessageHeaderBytes +
          kJobWireBytes *
              std::max<std::uint64_t>(1, msg.batch_jobs.size()) +

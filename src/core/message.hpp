@@ -22,6 +22,7 @@
 
 #include "cluster/job.hpp"
 #include "cluster/resource.hpp"
+#include "membership/gossip.hpp"
 #include "sim/types.hpp"
 #include "transport/message_arena.hpp"
 
@@ -40,12 +41,13 @@ enum class MessageType : std::uint8_t {
   kCallForBids,    ///< auction: solicitation broadcast to providers
   kBid,            ///< auction: sealed ask + completion estimate
   kAward,          ///< auction: winner notification (admission re-check)
+  kGossip,         ///< membership: push-pull anti-entropy digest
 };
 
 /// Number of MessageType values (sizes the per-type counters).  Derived
 /// from the last enumerator so it cannot drift from the enum.
 inline constexpr std::size_t kMessageTypeCount =
-    static_cast<std::size_t>(MessageType::kAward) + 1;
+    static_cast<std::size_t>(MessageType::kGossip) + 1;
 
 [[nodiscard]] constexpr const char* to_string(MessageType t) noexcept {
   switch (t) {
@@ -63,6 +65,8 @@ inline constexpr std::size_t kMessageTypeCount =
       return "bid";
     case MessageType::kAward:
       return "award";
+    case MessageType::kGossip:
+      return "gossip";
   }
   return "?";
 }
@@ -147,6 +151,11 @@ struct Message {
   /// kCallForBids: awards to this provider riding the flush for free
   /// (AuctionConfig::piggyback_awards); processed before the bids.
   std::vector<PiggybackedAward> batch_awards;
+
+  /// kGossip: the sender's full membership digest (empty otherwise).
+  /// `accept` doubles as the push-pull flag — true marks the answering
+  /// pull leg, which is not answered again.
+  std::vector<membership::GossipRecord> gossip;
 
   /// Set on payloads delivered through an overlay relay (TreeTransport):
   /// the wire cost was booked by the transport as shared edge messages,

@@ -38,6 +38,43 @@ ParticipantId ParticipantRegistry::register_coalition(
   return id;
 }
 
+void ParticipantRegistry::remove_member(ParticipantId id,
+                                        cluster::ResourceIndex member) {
+  GF_EXPECTS(id.is_coalition());
+  const std::size_t slot = id.value - kCoalitionBase;
+  GF_EXPECTS(slot < coalitions_.size());
+  auto& members = coalitions_[slot].members;
+  const auto it = std::find(members.begin(), members.end(), member);
+  GF_EXPECTS(it != members.end());
+  GF_EXPECTS(members.size() >= 2);  // a coalition never empties
+  members.erase(it);
+  participant_of_[member] = ParticipantId{member};
+}
+
+void ParticipantRegistry::add_member(ParticipantId id,
+                                     cluster::ResourceIndex member) {
+  GF_EXPECTS(id.is_coalition());
+  GF_EXPECTS(member < participant_of_.size());
+  GF_EXPECTS(!participant_of_[member].is_coalition());
+  const std::size_t slot = id.value - kCoalitionBase;
+  GF_EXPECTS(slot < coalitions_.size());
+  auto& members = coalitions_[slot].members;
+  members.insert(std::lower_bound(members.begin(), members.end(), member),
+                 member);
+  participant_of_[member] = id;
+}
+
+void ParticipantRegistry::set_representative(ParticipantId id,
+                                             cluster::ResourceIndex member) {
+  GF_EXPECTS(id.is_coalition());
+  const std::size_t slot = id.value - kCoalitionBase;
+  GF_EXPECTS(slot < coalitions_.size());
+  const auto& members = coalitions_[slot].members;
+  GF_EXPECTS(std::find(members.begin(), members.end(), member) !=
+             members.end());
+  coalitions_[slot].representative = member;
+}
+
 ParticipantId ParticipantRegistry::participant_of(
     cluster::ResourceIndex resource) const {
   GF_EXPECTS(resource < participant_of_.size());

@@ -72,8 +72,9 @@ inline constexpr ParticipantId kNoParticipant{};
 
 /// Who participates in the market: every cluster starts as its own
 /// singleton; register_coalition() groups clusters under one id.  The
-/// registry is immutable once the run starts (federation membership is
-/// quasi-static per run, as in the paper's experiments).
+/// grouping is quasi-static — it only changes through the membership
+/// layer's churn hooks (remove_member/add_member/set_representative),
+/// never mid-protocol on its own.
 class ParticipantRegistry {
  public:
   explicit ParticipantRegistry(std::size_t n_clusters);
@@ -83,6 +84,20 @@ class ParticipantRegistry {
   /// speaking for it on the wire.  Returns the new id.
   ParticipantId register_coalition(std::vector<cluster::ResourceIndex> members,
                                    cluster::ResourceIndex representative);
+
+  // -- membership churn ---------------------------------------------------
+  /// Removes `member` from coalition `id`; the member reverts to its
+  /// singleton.  Precondition: the coalition has at least one OTHER
+  /// member — a coalition never empties (callers leave the last member
+  /// in place; an all-departed group is never solicited anyway).  A
+  /// removed representative must be replaced via set_representative()
+  /// before the group's next wire interaction.
+  void remove_member(ParticipantId id, cluster::ResourceIndex member);
+  /// Re-admits `member` (currently a singleton) into coalition `id`,
+  /// keeping ascending member order.
+  void add_member(ParticipantId id, cluster::ResourceIndex member);
+  /// Re-points the coalition's wire representative (must be a member).
+  void set_representative(ParticipantId id, cluster::ResourceIndex member);
 
   /// The participant `resource` belongs to (its singleton when it joined
   /// no coalition).

@@ -1,0 +1,63 @@
+#pragma once
+// The gossip wire record.  A digest is one GossipRecord per federation
+// member: (incarnation, heartbeat, status).  Incarnations are monotonic
+// per member and only the member itself bumps them — which is what makes
+// merging commutative and rumors refutable (membership_view.hpp).
+
+#include <cstdint>
+
+#include "cluster/resource.hpp"
+
+namespace gridfed::membership {
+
+enum class MemberStatus : std::uint8_t {
+  kAlive = 0,
+  kSuspect = 1,  ///< locally stale; refutable by a fresher heartbeat
+  kDead = 2,     ///< failure-detector verdict; sticky per incarnation
+  kLeft = 3,     ///< cooperative departure, announced by the member
+};
+
+[[nodiscard]] constexpr const char* to_string(MemberStatus status) noexcept {
+  switch (status) {
+    case MemberStatus::kAlive:
+      return "alive";
+    case MemberStatus::kSuspect:
+      return "suspect";
+    case MemberStatus::kDead:
+      return "dead";
+    case MemberStatus::kLeft:
+      return "left";
+  }
+  return "?";
+}
+
+/// Merge precedence at equal incarnation: dead > left > suspect > alive.
+/// Terminal states win ties so a rumor of death cannot be undone by a
+/// stale alive record — only a higher incarnation (the member itself
+/// refuting, or rejoining) overrides.
+[[nodiscard]] constexpr int status_rank(MemberStatus status) noexcept {
+  switch (status) {
+    case MemberStatus::kAlive:
+      return 0;
+    case MemberStatus::kSuspect:
+      return 1;
+    case MemberStatus::kLeft:
+      return 2;
+    case MemberStatus::kDead:
+      return 3;
+  }
+  return 0;
+}
+
+struct GossipRecord {
+  cluster::ResourceIndex site = 0;
+  std::uint32_t incarnation = 0;
+  std::uint64_t heartbeat = 0;
+  MemberStatus status = MemberStatus::kAlive;
+};
+
+/// Modeled wire size of one digest record: site (4) + incarnation (4) +
+/// heartbeat (8) + status and padding (8).
+inline constexpr std::uint64_t kGossipRecordBytes = 24;
+
+}  // namespace gridfed::membership

@@ -1,0 +1,159 @@
+#include "membership/membership_view.hpp"
+
+#include <algorithm>
+
+#include "sim/check.hpp"
+
+namespace gridfed::membership {
+
+MembershipView::MembershipView(std::size_t sites,
+                               cluster::ResourceIndex self)
+    : states_(sites), self_(self) {
+  GF_EXPECTS(self < sites);
+}
+
+void MembershipView::beat(std::uint64_t round) {
+  MemberState& self = states_[self_];
+  ++self.heartbeat;
+  self.heard_round = round;
+}
+
+void MembershipView::advance(std::uint64_t round,
+                             std::uint32_t suspect_after,
+                             std::uint32_t dead_after,
+                             std::vector<Transition>& transitions) {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    if (i == self_) continue;
+    MemberState& state = states_[i];
+    if (state.status == MemberStatus::kDead ||
+        state.status == MemberStatus::kLeft) {
+      continue;
+    }
+    const std::uint64_t stale =
+        round - std::min(round, state.heard_round);
+    const auto subject = static_cast<cluster::ResourceIndex>(i);
+    if (state.status == MemberStatus::kAlive && stale > suspect_after) {
+      state.status = MemberStatus::kSuspect;
+      transitions.emplace_back(subject, MemberStatus::kSuspect);
+    } else if (state.status == MemberStatus::kSuspect &&
+               stale > static_cast<std::uint64_t>(suspect_after) +
+                           dead_after) {
+      state.status = MemberStatus::kDead;
+      transitions.emplace_back(subject, MemberStatus::kDead);
+    }
+  }
+}
+
+bool MembershipView::merge_record(const GossipRecord& record,
+                                  std::uint64_t round,
+                                  std::vector<Transition>& transitions) {
+  GF_EXPECTS(record.site < states_.size());
+  MemberState& state = states_[record.site];
+  if (record.site == self_) {
+    // A rumor of our own suspicion or death while we are demonstrably
+    // running: refute with a higher incarnation (the SWIM alive).
+    if (state.status == MemberStatus::kAlive &&
+        record.status != MemberStatus::kAlive &&
+        record.incarnation >= state.incarnation) {
+      state.incarnation = record.incarnation + 1;
+      ++state.heartbeat;
+      state.heard_round = round;
+      return true;
+    }
+    return false;
+  }
+  const MemberStatus before = state.status;
+  bool advanced = false;
+  if (record.incarnation > state.incarnation) {
+    // A fresh incarnation resets the entry outright: only the member
+    // itself bumps incarnations, so this is first-hand news.
+    state.incarnation = record.incarnation;
+    state.heartbeat = record.heartbeat;
+    state.status = record.status;
+    state.heard_round = round;
+    advanced = true;
+  } else if (record.incarnation == state.incarnation) {
+    if (status_rank(record.status) > status_rank(state.status)) {
+      state.status = record.status;
+      advanced = true;
+    }
+    if (record.heartbeat > state.heartbeat) {
+      state.heartbeat = record.heartbeat;
+      state.heard_round = round;
+      // A fresher heartbeat at the same incarnation lifts a local
+      // staleness suspicion — but never a terminal verdict.
+      if (state.status == MemberStatus::kSuspect &&
+          record.status == MemberStatus::kAlive) {
+        state.status = MemberStatus::kAlive;
+      }
+      advanced = true;
+    }
+  }
+  if (state.status != before && (state.status == MemberStatus::kSuspect ||
+                                 state.status == MemberStatus::kDead)) {
+    transitions.emplace_back(record.site, state.status);
+  }
+  return advanced;
+}
+
+std::size_t MembershipView::merge(std::span<const GossipRecord> records,
+                                  std::uint64_t round,
+                                  std::vector<Transition>& transitions) {
+  std::size_t advanced = 0;
+  for (const GossipRecord& record : records) {
+    if (merge_record(record, round, transitions)) ++advanced;
+  }
+  return advanced;
+}
+
+void MembershipView::fill_digest(std::vector<GossipRecord>& out) const {
+  out.clear();
+  out.reserve(states_.size());
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    const MemberState& state = states_[i];
+    out.push_back(GossipRecord{static_cast<cluster::ResourceIndex>(i),
+                               state.incarnation, state.heartbeat,
+                               state.status});
+  }
+}
+
+void MembershipView::declare_left() {
+  MemberState& self = states_[self_];
+  ++self.incarnation;
+  self.status = MemberStatus::kLeft;
+}
+
+void MembershipView::resurrect(std::uint32_t incarnation,
+                               std::uint64_t round) {
+  MemberState& self = states_[self_];
+  GF_EXPECTS(incarnation > self.incarnation);
+  self.incarnation = incarnation;
+  self.status = MemberStatus::kAlive;
+  ++self.heartbeat;
+  self.heard_round = round;
+}
+
+MemberStatus MembershipView::status(cluster::ResourceIndex i) const {
+  GF_EXPECTS(i < states_.size());
+  return states_[i].status;
+}
+
+std::uint32_t MembershipView::incarnation(cluster::ResourceIndex i) const {
+  GF_EXPECTS(i < states_.size());
+  return states_[i].incarnation;
+}
+
+std::uint64_t MembershipView::heartbeat(cluster::ResourceIndex i) const {
+  GF_EXPECTS(i < states_.size());
+  return states_[i].heartbeat;
+}
+
+std::size_t MembershipView::alive_count() const {
+  std::size_t n = 0;
+  for (const MemberState& state : states_) {
+    if (state.status == MemberStatus::kAlive) ++n;
+  }
+  return n;
+}
+
+}  // namespace gridfed::membership

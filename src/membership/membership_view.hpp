@@ -1,0 +1,86 @@
+#pragma once
+// One member's local belief about the whole roster — the SWIM-flavoured
+// half of the membership subsystem.  Each view tracks, per member, a
+// (incarnation, heartbeat, status) triple plus the last gossip round the
+// heartbeat moved.  Detection is purely local: a member whose heartbeat
+// goes stale for suspect_after rounds becomes a suspect, and dead_after
+// further stale rounds make the verdict terminal — no oracle, so even a
+// run where every gossip message is dropped still converges on a crash
+// (each survivor's own staleness clock trips).
+//
+// Merge rules (commutative, idempotent):
+//   * higher incarnation wins outright — the member itself is the only
+//     writer of its incarnation, so this is the refutation channel;
+//   * at equal incarnation, status_rank breaks ties (dead/left sticky),
+//     and a fresher heartbeat refreshes the staleness clock, lifting a
+//     *local* suspicion but never a disseminated terminal verdict;
+//   * a member that hears a rumor of its own demise while demonstrably
+//     running refutes by bumping its incarnation.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "cluster/resource.hpp"
+#include "membership/gossip.hpp"
+
+namespace gridfed::membership {
+
+struct MemberState {
+  std::uint32_t incarnation = 0;
+  std::uint64_t heartbeat = 0;
+  std::uint64_t heard_round = 0;  ///< round the heartbeat last advanced
+  MemberStatus status = MemberStatus::kAlive;
+};
+
+class MembershipView {
+ public:
+  /// (subject, new status) — emitted whenever a member's status changes
+  /// to suspect or dead, so the service can meter and confirm.
+  using Transition = std::pair<cluster::ResourceIndex, MemberStatus>;
+
+  MembershipView(std::size_t sites, cluster::ResourceIndex self);
+
+  /// Self heartbeat for this round.
+  void beat(std::uint64_t round);
+
+  /// Staleness sweep: suspect / declare dead members whose heartbeat
+  /// stopped moving.  Appends transitions.
+  void advance(std::uint64_t round, std::uint32_t suspect_after,
+               std::uint32_t dead_after,
+               std::vector<Transition>& transitions);
+
+  /// Merges one record; returns true when it changed the entry.
+  bool merge_record(const GossipRecord& record, std::uint64_t round,
+                    std::vector<Transition>& transitions);
+
+  /// Merges a full digest; returns the number of entries advanced.
+  std::size_t merge(std::span<const GossipRecord> records,
+                    std::uint64_t round,
+                    std::vector<Transition>& transitions);
+
+  /// Fills `out` (cleared first) with this view's full digest.
+  void fill_digest(std::vector<GossipRecord>& out) const;
+
+  /// Cooperative self-departure: bumps the incarnation so the kLeft
+  /// record beats every circulating alive record.
+  void declare_left();
+
+  /// Self-rejoin under a fresh incarnation (strictly above anything the
+  /// federation has seen for this member).
+  void resurrect(std::uint32_t incarnation, std::uint64_t round);
+
+  [[nodiscard]] MemberStatus status(cluster::ResourceIndex i) const;
+  [[nodiscard]] std::uint32_t incarnation(cluster::ResourceIndex i) const;
+  [[nodiscard]] std::uint64_t heartbeat(cluster::ResourceIndex i) const;
+  [[nodiscard]] std::size_t alive_count() const;
+  [[nodiscard]] cluster::ResourceIndex self() const noexcept { return self_; }
+  [[nodiscard]] std::size_t size() const noexcept { return states_.size(); }
+
+ private:
+  std::vector<MemberState> states_;
+  cluster::ResourceIndex self_;
+};
+
+}  // namespace gridfed::membership

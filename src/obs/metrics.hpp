@@ -40,6 +40,14 @@ enum class Counter : std::uint8_t {
   kCoalitionsFormed,
   kCoalitionPlacements,
   kCoalitionSplits,
+  kChurnEvents,            ///< scripted join/leave/crash applied
+  kGossipRounds,           ///< anti-entropy rounds run
+  kSuspicions,             ///< view transitions to suspect or dead
+  kDeadConfirmed,          ///< crashes confirmed by the failure detector
+  kTreeRepairs,            ///< dead relays excised from the overlay
+  kReplayedSolicitations,  ///< call-for-bids segments replayed by repair
+  kCoalitionReforms,       ///< coalitions re-formed after churn
+  kJobsOrphaned,           ///< placements swept off a confirmed-dead peer
   kCount,
 };
 inline constexpr std::size_t kCounterCount =
@@ -63,6 +71,14 @@ inline constexpr std::size_t kCounterCount =
     case Counter::kCoalitionsFormed: return "coalitions_formed";
     case Counter::kCoalitionPlacements: return "coalition_placements";
     case Counter::kCoalitionSplits: return "coalition_splits";
+    case Counter::kChurnEvents: return "churn_events";
+    case Counter::kGossipRounds: return "gossip_rounds";
+    case Counter::kSuspicions: return "suspicions";
+    case Counter::kDeadConfirmed: return "dead_confirmed";
+    case Counter::kTreeRepairs: return "tree_repairs";
+    case Counter::kReplayedSolicitations: return "replayed_solicitations";
+    case Counter::kCoalitionReforms: return "coalition_reforms";
+    case Counter::kJobsOrphaned: return "jobs_orphaned";
     case Counter::kCount: break;
   }
   return "?";

@@ -25,9 +25,13 @@ enum class SpanKind : std::uint8_t {
   kConvergecast,    ///< instant: bid aggregation flushed up the tree
   kCoalitionFormed, ///< instant: a coalition was registered
   kCoalitionPlace,  ///< instant: an award was routed into a coalition
+  kChurn,           ///< instant: a scripted join/leave/crash applied
+  kSuspicion,       ///< instant: a view's suspect→dead transition
+  kTreeRepair,      ///< instant: a dead relay excised, losses replayed
+  kCoalitionReform, ///< instant: a coalition re-formed after churn
 };
 inline constexpr std::uint8_t kSpanKindCount =
-    static_cast<std::uint8_t>(SpanKind::kCoalitionPlace) + 1;
+    static_cast<std::uint8_t>(SpanKind::kCoalitionReform) + 1;
 
 [[nodiscard]] constexpr const char* to_string(SpanKind kind) noexcept {
   switch (kind) {
@@ -43,6 +47,10 @@ inline constexpr std::uint8_t kSpanKindCount =
     case SpanKind::kConvergecast: return "convergecast";
     case SpanKind::kCoalitionFormed: return "coalition_formed";
     case SpanKind::kCoalitionPlace: return "coalition_place";
+    case SpanKind::kChurn: return "churn";
+    case SpanKind::kSuspicion: return "suspicion";
+    case SpanKind::kTreeRepair: return "tree_repair";
+    case SpanKind::kCoalitionReform: return "coalition_reform";
   }
   return "?";
 }

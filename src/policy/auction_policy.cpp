@@ -492,6 +492,39 @@ void AuctionPolicy::advance_awards(core::Pending p) {
   fallback(std::move(p));
 }
 
+void AuctionPolicy::drain_in_flight(
+    const std::function<void(core::Pending)>& sink) {
+  // Deterministic drain order: auctions_ is an unordered map, so walk the
+  // open books sorted by job id — the sink records outcomes, and their
+  // order must replay identically run to run.
+  std::vector<cluster::JobId> open;
+  open.reserve(auctions_.size());
+  for (const auto& [id, auction] : auctions_) open.push_back(id);
+  std::sort(open.begin(), open.end());
+  for (const cluster::JobId id : open) {
+    const auto it = auctions_.find(id);
+    OpenAuction auction = std::move(it->second);
+    auctions_.erase(it);
+    // Close the trace span the open started; 0 bids, not awarded.
+    GF_OBS(ctx_.observer(),
+           end(ctx_.now(), obs::SpanKind::kAuction, ctx_.self(), id, 0, 0));
+    book_pool_.release(std::move(auction.book));
+    sink(std::move(auction.pending));
+  }
+  // Queued solicitations referenced the books just drained; armed flush
+  // wake-ups and bid timeouts now find nothing.
+  solicit_queue_.clear();
+  flush_deadline_ = sim::kTimeInfinity;
+  // Undispatched held awards still own their Pending; dispatched ones
+  // were parked with the engine and are drained there.
+  for (HeldAward& held : held_awards_) {
+    if (held.dispatched) continue;
+    sink(std::move(held.pending));
+  }
+  held_awards_.clear();
+  bid_cache_.clear();
+}
+
 void AuctionPolicy::fallback(core::Pending p) {
   if (ctx_.config().auction.fallback_to_dbc) {
     AuctionJobState& st = ensure_state(p);

@@ -55,6 +55,13 @@ class AuctionPolicy final : public SchedulingPolicy {
 
   void invalidate_bid_cache() override { bid_cache_.clear(); }
 
+  /// Crash drain (membership churn): hands back the jobs in every open
+  /// book and every undispatched held award, empties the solicitation
+  /// queue, and drops the bid cache.  Armed bid timeouts and flush wakes
+  /// find nothing to act on afterwards.
+  void drain_in_flight(
+      const std::function<void(core::Pending)>& sink) override;
+
  private:
   /// Auction-mode extension of a Pending (lives behind policy_state).
   struct AuctionJobState final : core::PolicyState {

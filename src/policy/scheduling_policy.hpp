@@ -21,6 +21,7 @@
 // state behind Pending::policy_state (core/pending.hpp).
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 
@@ -163,6 +164,17 @@ class SchedulingPolicy {
   /// bids price the queue honestly, mirroring the cache drop the policy
   /// performs itself after processing piggybacked awards.
   virtual void invalidate_bid_cache() {}
+
+  /// Membership churn: this GFA's cluster crashed.  Hand every job the
+  /// policy is holding in flight (open auction books, undispatched held
+  /// awards) to `sink` and drop the machinery around them — armed
+  /// timeouts must find nothing to act on afterwards.  Policies without
+  /// job-holding state need nothing (the engine drains its own pending
+  /// enquiries separately).
+  virtual void drain_in_flight(
+      const std::function<void(core::Pending)>& sink) {
+    (void)sink;
+  }
 
   /// Run counters (see PolicyCounters); default all-zero.
   [[nodiscard]] virtual PolicyCounters counters() const { return {}; }

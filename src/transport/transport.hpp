@@ -64,6 +64,15 @@ class TransportContext {
   /// The observability umbrella, or null when disabled (GF_OBS sites
   /// branch on it; overlay records land on the tracer's transport track).
   [[nodiscard]] virtual obs::Observer* observer() { return nullptr; }
+
+  /// Ground-truth liveness: false once `index` has crashed (membership
+  /// churn).  A relay through a crashed site physically fails even
+  /// before the failure detector confirms the death.  Always true in
+  /// static-roster runs.
+  [[nodiscard]] virtual bool site_up(cluster::ResourceIndex index) const {
+    (void)index;
+    return true;
+  }
 };
 
 /// One delivery substrate.  Constructed at federation wiring time; owns
@@ -109,6 +118,21 @@ class Transport {
     groups_ = registry;
   }
 
+  // ---- membership churn hooks (no-ops for topology-free transports) ---------
+
+  /// The failure detector confirmed `index` dead: route around it and
+  /// replay any in-flight dissemination it swallowed.
+  virtual void on_member_dead(cluster::ResourceIndex index) { (void)index; }
+
+  /// `index` departed cooperatively: stop routing through it (it stays
+  /// reachable for its own in-flight legs, so nothing needs replay).
+  virtual void on_member_left(cluster::ResourceIndex index) { (void)index; }
+
+  /// `index` rejoined: restore it to the topology.
+  virtual void on_member_joined(cluster::ResourceIndex index) {
+    (void)index;
+  }
+
  protected:
   /// The best-effort enquiry channel: these legs may be lost when
   /// failure injection is on; payload transfers are reliable
@@ -118,7 +142,8 @@ class Transport {
            type == core::MessageType::kReply ||
            type == core::MessageType::kCallForBids ||
            type == core::MessageType::kBid ||
-           type == core::MessageType::kAward;
+           type == core::MessageType::kAward ||
+           type == core::MessageType::kGossip;
   }
 
   /// Idempotent acknowledgement legs safe to deliver twice: a second

@@ -32,6 +32,15 @@ TreeTransport::TreeTransport(TransportContext& ctx,
     owner_at_[pos] = keyed[pos].second;
     pos_of_[keyed[pos].second] = static_cast<std::uint32_t>(pos);
   }
+  dead_pos_.assign(n, 0);
+}
+
+bool TreeTransport::interior_relay(cluster::ResourceIndex owner) const {
+  GF_EXPECTS(owner < pos_of_.size());
+  const std::uint32_t pos = pos_of_[owner];
+  const std::uint64_t first_child =
+      static_cast<std::uint64_t>(pos) * fanout_ + 1;
+  return pos != 0 && first_child < owner_at_.size();
 }
 
 cluster::ResourceIndex TreeTransport::parent_of(
@@ -69,6 +78,92 @@ void TreeTransport::path_positions(std::uint32_t a, std::uint32_t b,
   }
   out.push_back(x);  // the LCA
   out.insert(out.end(), scratch_up_.rbegin(), scratch_up_.rend());
+}
+
+void TreeTransport::relay_path(std::uint32_t a, std::uint32_t b,
+                               std::vector<std::uint32_t>& out) const {
+  path_positions(a, b, out);
+  if (!any_dead_) return;
+  // Excise confirmed-dead interior relays; endpoints stay (a dead
+  // endpoint's delivery is suppressed at the sink, not rerouted).
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < out.size(); ++r) {
+    const bool endpoint = r == 0 || r + 1 == out.size();
+    if (!endpoint && dead_pos_[out[r]] != 0) continue;
+    out[w++] = out[r];
+  }
+  out.resize(w);
+}
+
+void TreeTransport::prune_retained() {
+  if (retained_losses_.empty()) return;
+  const sim::SimTime cutoff =
+      ctx_.sim().now() - ctx_.config().membership.confirmation_bound();
+  std::erase_if(retained_losses_, [cutoff](const LostSolicitation& entry) {
+    return entry.at < cutoff;
+  });
+}
+
+void TreeTransport::on_member_dead(cluster::ResourceIndex index) {
+  GF_EXPECTS(index < pos_of_.size());
+  const std::uint32_t pos = pos_of_[index];
+  if (dead_pos_[pos] != 0) return;
+  dead_pos_[pos] = 1;
+  any_dead_ = true;
+  ++repairs_;
+  // Replay everything an unconfirmed-dead relay swallowed.  Entries
+  // whose path crossed a *different* still-unconfirmed crash die on that
+  // edge again and are re-retained by relay() for that member's own
+  // confirmation, so nothing from a live origin is ever dropped.
+  replay_storage_.clear();
+  for (LostSolicitation& entry : retained_losses_) {
+    if (!ctx_.site_up(entry.msg.from) || !ctx_.site_up(entry.msg.to)) {
+      continue;  // origin or target itself is gone — nobody to serve
+    }
+    replay_storage_.push_back(std::move(entry.msg));
+  }
+  retained_losses_.clear();
+  const std::uint64_t replayed_now = replay_storage_.size();
+  if (replayed_now > 0) {
+    std::vector<RelayItem> items;
+    items.reserve(replay_storage_.size());
+    for (std::size_t i = 0; i < replay_storage_.size(); ++i) {
+      items.push_back(RelayItem{&replay_storage_[i], replay_storage_[i].to,
+                                static_cast<std::uint32_t>(i + 1)});
+    }
+    const std::uint64_t relays_before = ctx_.ledger().relay_total();
+    relay(items, core::MessageType::kCallForBids);
+    repair_relay_msgs_ += ctx_.ledger().relay_total() - relays_before;
+    replayed_ += replayed_now;
+  }
+#if GRIDFED_TRACE
+  if (obs::Observer* o = ctx_.observer(); o != nullptr) {
+    o->instant(ctx_.sim().now(), obs::SpanKind::kTreeRepair,
+               o->transport_track(), index, pos, replayed_now);
+    o->count(obs::Counter::kTreeRepairs);
+    if (replayed_now > 0) {
+      o->count(obs::Counter::kReplayedSolicitations, replayed_now);
+    }
+  }
+#endif
+}
+
+void TreeTransport::on_member_left(cluster::ResourceIndex index) {
+  GF_EXPECTS(index < pos_of_.size());
+  dead_pos_[pos_of_[index]] = 1;
+  any_dead_ = true;
+}
+
+void TreeTransport::on_member_joined(cluster::ResourceIndex index) {
+  GF_EXPECTS(index < pos_of_.size());
+  dead_pos_[pos_of_[index]] = 0;
+  any_dead_ = false;
+  for (const std::uint8_t dead : dead_pos_) {
+    if (dead != 0) {
+      any_dead_ = true;
+      break;
+    }
+  }
 }
 
 void TreeTransport::unicast(core::Message msg) {
@@ -138,6 +233,7 @@ void TreeTransport::maybe_flush_fanout() {
 }
 
 void TreeTransport::flush_fanout() {
+  prune_retained();
   std::vector<PendingFanout> queue = std::move(fanout_queue_);
   fanout_queue_.clear();
   fanout_due_ = sim::kTimeInfinity;
@@ -194,8 +290,8 @@ void TreeTransport::relay(std::span<const RelayItem> items,
   for (const RelayItem& item : items) {
     const std::uint32_t payload_id = item.payload_id;
     const std::uint64_t bytes = core::wire_bytes(*item.payload);
-    path_positions(pos_of_[item.payload->from], pos_of_[item.target],
-                   scratch_path_);
+    relay_path(pos_of_[item.payload->from], pos_of_[item.target],
+               scratch_path_);
     for (std::size_t h = 0; h + 1 < scratch_path_.size(); ++h) {
       const std::uint64_t key =
           static_cast<std::uint64_t>(scratch_path_[h]) * n +
@@ -203,8 +299,9 @@ void TreeTransport::relay(std::span<const RelayItem> items,
       auto [it, inserted] = scratch_edge_index_.emplace(
           key, static_cast<std::uint32_t>(scratch_edges_.size()));
       if (inserted) {
-        scratch_edges_.push_back(
-            EdgeUse{scratch_path_[h], scratch_path_[h + 1], 0, 0, true});
+        scratch_edges_.push_back(EdgeUse{scratch_path_[h],
+                                         scratch_path_[h + 1], 0, 0, true,
+                                         false});
       }
       EdgeUse& edge = scratch_edges_[it->second];
       // Same payload, same edge (shared subpath of two targets): the
@@ -223,6 +320,14 @@ void TreeTransport::relay(std::span<const RelayItem> items,
     ctx_.ledger().record_relay(owner_at_[edge.from_pos],
                                owner_at_[edge.to_pos], type, edge.bytes);
     edge.alive = !lost(type);  // loss lottery per wire message
+    // Ground-truth churn: a crashed endpoint physically fails the edge
+    // even before the failure detector confirms it.  Checked after the
+    // lottery so the drop-RNG sequence is unchanged when churn is off.
+    if (edge.alive && (!ctx_.site_up(owner_at_[edge.from_pos]) ||
+                       !ctx_.site_up(owner_at_[edge.to_pos]))) {
+      edge.alive = false;
+      edge.down = true;
+    }
   }
 #if GRIDFED_TRACE
   if (obs::Observer* o = ctx_.observer(); o != nullptr) {
@@ -240,9 +345,10 @@ void TreeTransport::relay(std::span<const RelayItem> items,
   // on each store-and-forward hop).
   for (const RelayItem& item : items) {
     const std::uint64_t bytes = core::wire_bytes(*item.payload);
-    path_positions(pos_of_[item.payload->from], pos_of_[item.target],
-                   scratch_path_);
+    relay_path(pos_of_[item.payload->from], pos_of_[item.target],
+               scratch_path_);
     bool alive = true;
+    bool died_down = false;
     sim::SimTime delay = 0.0;
     for (std::size_t h = 0; h + 1 < scratch_path_.size(); ++h) {
       const std::uint64_t key =
@@ -251,6 +357,7 @@ void TreeTransport::relay(std::span<const RelayItem> items,
       const EdgeUse& edge = scratch_edges_[scratch_edge_index_.at(key)];
       if (!edge.alive) {
         alive = false;
+        died_down = edge.down;
         break;
       }
       const cluster::ResourceIndex a = owner_at_[scratch_path_[h]];
@@ -258,7 +365,21 @@ void TreeTransport::relay(std::span<const RelayItem> items,
       delay += wan_ ? wan_->control_delay(a, b, bytes)
                     : ctx_.config().network_latency;
     }
-    if (!alive) continue;
+    if (!alive) {
+      // A solicitation swallowed by a crashed (not yet confirmed) relay
+      // is retained for replay at confirmation — but only when both the
+      // origin and the target are themselves still up: there is nobody
+      // to serve otherwise.  Lottery losses keep the seed's semantics.
+      if (died_down && type == core::MessageType::kCallForBids &&
+          ctx_.config().membership.active() && ctx_.site_up(item.target) &&
+          ctx_.site_up(item.payload->from)) {
+        core::Message copy = *item.payload;
+        copy.to = item.target;
+        retained_losses_.push_back(
+            LostSolicitation{ctx_.sim().now(), std::move(copy)});
+      }
+      continue;
+    }
     core::Message out = *item.payload;
     out.to = item.target;
     out.via_overlay = true;

@@ -63,6 +63,18 @@ class TreeTransport final : public Transport {
                           std::span<const cluster::ResourceIndex> targets,
                           sim::SimTime not_after) override;
 
+  // ---- membership churn: self-repair -------------------------------------
+  /// Confirmed death of a relay: excise its position (orphaned subtrees
+  /// re-parent on the ring order — consecutive survivors on each path
+  /// become the repaired edges) and replay every retained solicitation
+  /// the dead relay swallowed, so no call-for-bids from a live origin is
+  /// silently lost.
+  void on_member_dead(cluster::ResourceIndex index) override;
+  /// Cooperative departure: stop routing through the member.  Its own
+  /// in-flight relays completed normally, so nothing needs replay.
+  void on_member_left(cluster::ResourceIndex index) override;
+  void on_member_joined(cluster::ResourceIndex index) override;
+
   // ---- topology introspection (tests, diagnostics) -----------------------
   /// Tree parent of `owner` (the root returns itself).
   [[nodiscard]] cluster::ResourceIndex parent_of(
@@ -71,6 +83,20 @@ class TreeTransport final : public Transport {
   [[nodiscard]] std::uint32_t path_hops(cluster::ResourceIndex from,
                                         cluster::ResourceIndex to) const;
   [[nodiscard]] cluster::ResourceIndex root() const { return owner_at_[0]; }
+  /// True when `owner` relays for a subtree without being the root —
+  /// the interesting crash target for repair tests.
+  [[nodiscard]] bool interior_relay(cluster::ResourceIndex owner) const;
+
+  // ---- repair telemetry ----------------------------------------------------
+  [[nodiscard]] std::uint64_t repairs() const noexcept { return repairs_; }
+  [[nodiscard]] std::uint64_t replayed_solicitations() const noexcept {
+    return replayed_;
+  }
+  /// Wire (relay edge) messages spent on replays — the repair cost the
+  /// bench reports and test_membership.cpp reconciles with the ledger.
+  [[nodiscard]] std::uint64_t repair_relay_messages() const noexcept {
+    return repair_relay_msgs_;
+  }
 
  private:
   /// One queued fan-out awaiting the epoch flush.
@@ -93,6 +119,14 @@ class TreeTransport final : public Transport {
     std::uint64_t bytes = 0;
     std::uint32_t last_payload = 0;  ///< dedups per-payload byte booking
     bool alive = true;
+    bool down = false;  ///< dead because an endpoint crashed (not lottery)
+  };
+  /// One solicitation segment a crashed-but-unconfirmed relay swallowed,
+  /// retained until the failure detector confirms the death and
+  /// on_member_dead replays it over the repaired topology.
+  struct LostSolicitation {
+    sim::SimTime at = 0.0;
+    core::Message msg;  ///< .to already set to the final target
   };
 
   [[nodiscard]] std::uint32_t parent_pos(std::uint32_t pos) const noexcept {
@@ -101,6 +135,15 @@ class TreeTransport final : public Transport {
   /// Node-position sequence of the unique tree path a -> b (inclusive).
   void path_positions(std::uint32_t a, std::uint32_t b,
                       std::vector<std::uint32_t>& out) const;
+  /// path_positions with confirmed-dead interior relays excised:
+  /// consecutive survivors form the repaired edges (a dead parent's
+  /// children are adopted by the grandparent on the ring order).
+  /// Identical to path_positions while no member is dead.
+  void relay_path(std::uint32_t a, std::uint32_t b,
+                  std::vector<std::uint32_t>& out) const;
+  /// Drops retained losses older than the confirmation bound (their
+  /// relay's death would have been confirmed and replayed by now).
+  void prune_retained();
 
   void schedule_fanout_wake(sim::SimTime not_after);
   void maybe_flush_fanout();
@@ -116,6 +159,15 @@ class TreeTransport final : public Transport {
   std::uint32_t fanout_ = 4;
   std::vector<cluster::ResourceIndex> owner_at_;  ///< position -> resource
   std::vector<std::uint32_t> pos_of_;             ///< resource -> position
+
+  // Membership churn state (all empty/false in static-roster runs).
+  std::vector<std::uint8_t> dead_pos_;  ///< positions routed around
+  bool any_dead_ = false;
+  std::vector<LostSolicitation> retained_losses_;
+  std::vector<core::Message> replay_storage_;
+  std::uint64_t repairs_ = 0;
+  std::uint64_t replayed_ = 0;
+  std::uint64_t repair_relay_msgs_ = 0;
 
   std::vector<PendingFanout> fanout_queue_;
   sim::SimTime fanout_due_ = sim::kTimeInfinity;

@@ -339,7 +339,7 @@ TEST(CoalitionMarket, LossyRunSplitsOnlyCoalitionPlacedJobs) {
   // a job that actually ran through the coalition placement.
   auto cfg = coalition_config(true);
   cfg.message_drop_rate = 0.1;
-  cfg.negotiate_timeout = 30.0;
+  cfg.negotiate_timeout = 200.0;  // > relayed hops + tree epoch hold
   cfg.network_latency = 1.0;
   cfg.auction.bid_timeout = 200.0;  // > round trip + tree epoch hold
   auto specs = cluster::replicated_specs(20);
@@ -403,7 +403,7 @@ TEST(ReputationSignals, PerProviderCountersSumToTotals) {
 TEST(ReputationSignals, CoalitionDeclinesBookAgainstTheCoalition) {
   auto cfg = coalition_config(true);
   cfg.message_drop_rate = 0.05;
-  cfg.negotiate_timeout = 30.0;
+  cfg.negotiate_timeout = 200.0;  // > relayed hops + tree epoch hold
   cfg.network_latency = 1.0;
   cfg.auction.bid_timeout = 200.0;  // > round trip + tree epoch hold
   const auto run = coalition_run(cfg, 20, 30);

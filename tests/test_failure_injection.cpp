@@ -144,6 +144,55 @@ TEST(FailureInjection, CleanRunHasNoCancellations) {
   }
 }
 
+// ---- whole-cluster loss -----------------------------------------------------
+// Message loss takes single wire legs; membership churn takes entire
+// clusters.  The same soundness contract must hold: no stuck jobs, a
+// balanced bank, every job terminating exactly once — and acceptance
+// degrading monotonically as more of the federation disappears.
+
+TEST(WholeClusterLoss, SoundnessSurvivesAndAcceptanceDegradesMonotonically) {
+  std::vector<double> acceptance;
+  std::uint64_t prev_loaded = 0;
+  for (int k = 0; k <= 2; ++k) {
+    auto cfg = lossy_config(0.0, 0x9042005ULL);
+    for (int c = 0; c < k; ++c) {
+      cfg.membership.churn.events.push_back(membership::ChurnEvent{
+          40000.0 + 40000.0 * c, static_cast<cluster::ResourceIndex>(2 + 3 * c),
+          membership::ChurnKind::kCrash});
+    }
+    auto specs = cluster::table1_specs();
+    Federation fed(cfg, specs);
+    const auto traces =
+        workload::generate_federation_workload(specs, cfg.window, cfg.seed);
+    std::uint64_t loaded = 0;
+    for (const auto& t : traces) loaded += t.jobs.size();
+    fed.load_workload(traces, workload::PopulationProfile{50});
+    const auto result = fed.run();
+
+    // No stuck jobs: the run terminated (we are here) with every loaded
+    // job resolved, each exactly once.
+    EXPECT_EQ(result.total_accepted + result.total_rejected, loaded)
+        << "k=" << k;
+    std::set<cluster::JobId> seen;
+    for (const auto& o : fed.outcomes()) {
+      EXPECT_TRUE(seen.insert(o.job.id).second)
+          << "k=" << k << " job " << o.job.id;
+    }
+    EXPECT_TRUE(fed.bank().balanced()) << "k=" << k;
+    if (k > 0) {
+      EXPECT_EQ(prev_loaded, loaded);  // same workload, fewer survivors
+      EXPECT_TRUE(fed.lrms(2).down()) << "k=" << k;  // fail-stop is final
+    }
+    prev_loaded = loaded;
+    acceptance.push_back(100.0 * static_cast<double>(result.total_accepted) /
+                         static_cast<double>(loaded));
+  }
+  // Monotone degradation: each extra dead cluster can only cost
+  // acceptance (never gain it).
+  EXPECT_LT(acceptance[1], acceptance[0]);
+  EXPECT_LT(acceptance[2], acceptance[1]);
+}
+
 TEST(FailureInjection, TimeoutAloneIsHarmlessWhenLossless) {
   // Arming timeouts without loss must not change outcomes: replies always
   // beat the timeout (latency << timeout).

@@ -229,7 +229,7 @@ TEST(TreeTransport, LossInjectionThroughTheSeam) {
   cfg.auction.batch_solicitations = true;
   cfg.auction.solicit_batch_window = 300.0;
   cfg.message_drop_rate = 0.2;
-  cfg.negotiate_timeout = 30.0;
+  cfg.negotiate_timeout = 200.0;  // > relayed hops + tree_epoch (120)
   cfg.network_latency = 1.0;
   cfg.auction.bid_timeout = 200.0;  // > 2 * latency + tree_epoch (120)
   const auto d = digest(cfg, 30);
@@ -321,6 +321,7 @@ TEST(MessageArena, BatchedPayloadsOutliveDropsDelaysAndDuplicates) {
 
   auto tree = cfg;
   tree.transport.kind = transport::TransportKind::kTree;
+  tree.negotiate_timeout = 200.0;    // > relayed hops + tree_epoch
   tree.auction.bid_timeout = 300.0;  // outlast the fan-out epoch too
   const auto t = digest(tree, 30);
   EXPECT_EQ(t.accepted + t.rejected, 2662u);
