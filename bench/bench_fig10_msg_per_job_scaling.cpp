@@ -282,7 +282,22 @@ int main(int argc, char** argv) {
               "messages are shared across origins):\n\n");
   stats::Table tt({"System size", "Batched wire msgs/job",
                    "Tree wire msgs/job", "Reduction %", "Relay msgs",
-                   "Tree KB/job", "Accept % (t)", "Resp delta %"});
+                   "Tree KB/job", "Bid KB/job", "Bids pruned", "Prune %",
+                   "Accept % (t)", "Resp delta %"});
+  const auto bid_kb_per_job = [](const core::FederationResult& r) {
+    const auto t = static_cast<std::size_t>(core::MessageType::kBid);
+    return r.total_jobs ? static_cast<double>(r.bytes_by_type[t]) / 1024.0 /
+                              static_cast<double>(r.total_jobs)
+                        : 0.0;
+  };
+  // Prune ratio: tombstoned entries over all bid answers the books saw
+  // (entered + tombstoned — report.bids counts both).
+  const auto prune_pct = [](const core::FederationResult& r) {
+    const double answers = r.auctions.bids_per_auction.sum();
+    return answers > 0.0
+               ? 100.0 * static_cast<double>(r.bids_pruned) / answers
+               : 0.0;
+  };
   for (const auto& p : batching) {
     const double resp_delta =
         p.batched.fed_response_excl.mean() > 0.0
@@ -296,6 +311,9 @@ int main(int argc, char** argv) {
                 stats::Table::num(p.tree_reduction_pct(), 1),
                 std::to_string(p.tree.overlay_relay_messages),
                 stats::Table::num(p.tree.wire_bytes_per_job() / 1024.0, 2),
+                stats::Table::num(bid_kb_per_job(p.tree), 2),
+                std::to_string(p.tree.bids_pruned),
+                stats::Table::num(prune_pct(p.tree), 1),
                 stats::Table::num(p.tree.acceptance_pct(), 2),
                 stats::Table::num(resp_delta, 2)});
   }
@@ -460,7 +478,12 @@ int main(int argc, char** argv) {
           "\"piggyback_accept_pct\": %.2f, "
           "\"bids_per_auction_unbatched\": %.4f, "
           "\"bids_per_auction_batched\": %.4f, "
-          "\"bids_per_auction_tree\": %.4f,\n",
+          "\"bids_per_auction_tree\": %.4f, "
+          "\"tree_bid_bytes_per_job\": %.4f, "
+          "\"batched_bid_bytes_per_job\": %.4f, "
+          "\"tree_bids_pruned\": %llu, "
+          "\"tree_bid_prune_pct\": %.2f, "
+          "\"tree_bid_prune_bytes_saved\": %llu,\n",
           p.size, p.unbatched.msgs_per_job.mean(),
           p.batched.msgs_per_job.mean(), p.reduction_pct(),
           p.tree.wire_msgs_per_job(), p.batched.wire_msgs_per_job(),
@@ -485,7 +508,11 @@ int main(int argc, char** argv) {
           p.piggyback.acceptance_pct(),
           p.unbatched.auctions.bids_per_auction.mean(),
           p.batched.auctions.bids_per_auction.mean(),
-          p.tree.auctions.bids_per_auction.mean());
+          p.tree.auctions.bids_per_auction.mean(),
+          bid_kb_per_job(p.tree) * 1024.0, bid_kb_per_job(p.batched) * 1024.0,
+          static_cast<unsigned long long>(p.tree.bids_pruned),
+          prune_pct(p.tree),
+          static_cast<unsigned long long>(p.tree.bid_prune_bytes_saved));
       by_type("batched_by_type", p.batched);
       std::fprintf(f, ",\n");
       by_type("tree_by_type", p.tree);

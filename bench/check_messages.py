@@ -31,7 +31,33 @@ METRICS = ("batched_msgs_per_job", "tree_wire_msgs_per_job",
            "coalition_wire_msgs_per_job",
            # bytes/job per transport column (wire-size model)
            "batched_bytes_per_job", "tree_bytes_per_job",
-           "coalition_bytes_per_job")
+           "coalition_bytes_per_job",
+           # kBid bytes/job on the tree (the convergecast prune + delta
+           # encoding headline — a regression here means the compact
+           # frame accounting degraded even if totals still pass)
+           "tree_bid_bytes_per_job")
+
+# Hard invariants checked within the MEASURED file alone (no baseline
+# needed): the pruned + delta-encoded convergecast must keep the tree's
+# total bytes/job at or below the batched direct transport's at EVERY
+# federation size, with acceptance unchanged — the whole point of the
+# overlay is paying fewer bytes, not just fewer messages.  The same 5%
+# tolerance bounds measurement wiggle.
+
+
+def invariant_failures(measured, tolerance):
+    failures = []
+    for size, point in sorted(measured.items()):
+        if "tree_bytes_per_job" not in point:
+            continue
+        limit = point["batched_bytes_per_job"] * (1.0 + tolerance / 100.0)
+        ok = point["tree_bytes_per_job"] <= limit
+        print(f"size {size:>3} tree_bytes_per_job {point['tree_bytes_per_job']:10.1f}"
+              f" <= batched_bytes_per_job {point['batched_bytes_per_job']:10.1f}"
+              f" (+{tolerance:.0f}%)  {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append((size, "tree_bytes_per_job>batched_bytes_per_job"))
+    return failures
 
 
 def main():
@@ -58,6 +84,9 @@ def main():
                   f" {limit:8.3f})  {status}")
             if point[metric] > limit:
                 failures.append((size, metric))
+    invariants = invariant_failures(measured, tolerance)
+    checked += len(measured)
+    failures += invariants
     if checked == 0:
         sys.exit("error: no comparable (size, metric) points found")
     if failures:

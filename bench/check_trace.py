@@ -29,7 +29,8 @@ import sys
 SPAN_KINDS = {"job", "enquiry", "hold", "placement", "auction",
               "solicit_flush", "bid", "fanout_epoch", "relay",
               "convergecast", "coalition_formed", "coalition_place",
-              "churn", "suspicion", "tree_repair", "coalition_reform"}
+              "churn", "suspicion", "tree_repair", "coalition_reform",
+              "bid_prune"}
 
 
 def fail(msg):

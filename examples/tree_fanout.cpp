@@ -30,9 +30,20 @@ int main() {
   const auto direct = core::run_experiment(cfg, kClusters, kOftPercent);
 
   cfg.transport.kind = transport::TransportKind::kTree;
-  std::printf("tree transport: fanout %u, epoch %.0f s\n\n",
-              cfg.transport.tree_fanout, cfg.transport.tree_epoch);
+  std::printf("tree transport: fanout %u, epoch %.0f s, bid prune k=%u, "
+              "delta encoding %s\n\n",
+              cfg.transport.tree_fanout, cfg.transport.tree_epoch,
+              cfg.transport.bid_prune_k,
+              cfg.transport.bid_delta_encode ? "on" : "off");
   const auto tree = core::run_experiment(cfg, kClusters, kOftPercent);
+
+  // The same tree with the convergecast forwarded whole (no pruning, no
+  // delta encoding): the reference the pruned run must match bid-for-bid
+  // on every clearing outcome.
+  auto raw_cfg = cfg;
+  raw_cfg.transport.bid_prune_k = 0;
+  raw_cfg.transport.bid_delta_encode = false;
+  const auto tree_raw = core::run_experiment(raw_cfg, kClusters, kOftPercent);
 
   stats::Table t({"Metric", "Direct (batched)", "Tree overlay"});
   t.add_row({"wire msgs/job", stats::Table::num(direct.wire_msgs_per_job(), 2),
@@ -55,6 +66,13 @@ int main() {
   t.add_row({"bids per auction",
              stats::Table::num(direct.auctions.bids_per_auction.mean(), 2),
              stats::Table::num(tree.auctions.bids_per_auction.mean(), 2)});
+  t.add_row({"bids pruned in-network", std::to_string(direct.bids_pruned),
+             std::to_string(tree.bids_pruned)});
+  t.add_row({"prune+encode MB saved",
+             stats::Table::num(
+                 static_cast<double>(direct.bid_prune_bytes_saved) / 1.0e6, 2),
+             stats::Table::num(
+                 static_cast<double>(tree.bid_prune_bytes_saved) / 1.0e6, 2)});
   std::printf("%s\n", t.str().c_str());
 
   std::printf("per-type wire messages (direct -> tree):\n");
@@ -71,6 +89,29 @@ int main() {
       100.0 * (1.0 - tree.wire_msgs_per_job() / direct.wire_msgs_per_job());
   std::printf("\ntree overlay cut wire messages/job by %.1f%%\n", cut);
 
+  // The PR 8 headline: with in-network top-k bid pruning and the
+  // delta-encoded convergecast, the tree no longer trades bytes for
+  // message count — it must beat the batched direct transport on BOTH
+  // axes, and pruning must leave every clearing outcome bit-identical
+  // to the whole-convergecast tree (the relays provably preserve the
+  // engine's rank prefix, so acceptance and settled spend match).
+  const bool fewer_bytes =
+      tree.total_message_bytes <= direct.total_message_bytes;
+  const bool same_outcomes =
+      tree.total_accepted == tree_raw.total_accepted &&
+      tree.total_messages == tree_raw.total_messages &&
+      tree.fed_budget_incl.sum() == tree_raw.fed_budget_incl.sum() &&
+      tree.fed_response_incl.sum() == tree_raw.fed_response_incl.sum();
+  std::printf("tree bytes <= batched bytes: %s (%.2f vs %.2f MB)\n"
+              "pruned run identical to whole-convergecast run: %s "
+              "(%llu bids tombstoned, %.2f MB saved)\n",
+              fewer_bytes ? "yes" : "NO",
+              static_cast<double>(tree.total_message_bytes) / 1.0e6,
+              static_cast<double>(direct.total_message_bytes) / 1.0e6,
+              same_outcomes ? "yes" : "NO",
+              static_cast<unsigned long long>(tree.bids_pruned),
+              static_cast<double>(tree.bid_prune_bytes_saved) / 1.0e6);
+
   // Determinism self-check: identical seed, identical overlay run.
   const auto replay = core::run_experiment(cfg, kClusters, kOftPercent);
   const bool identical = replay.total_messages == tree.total_messages &&
@@ -78,5 +119,5 @@ int main() {
                              tree.overlay_relay_messages &&
                          replay.total_accepted == tree.total_accepted;
   std::printf("deterministic replay: %s\n", identical ? "yes" : "NO");
-  return identical && cut > 25.0 ? 0 : 1;
+  return identical && cut > 25.0 && fewer_bytes && same_outcomes ? 0 : 1;
 }

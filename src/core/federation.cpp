@@ -594,6 +594,8 @@ FederationResult Federation::aggregate() const {
   result.total_messages = ledger_.total();
   result.total_message_bytes = ledger_.total_bytes();
   result.overlay_relay_messages = ledger_.relay_total();
+  result.bids_pruned = transport_->bids_pruned();
+  result.bid_prune_bytes_saved = transport_->bid_prune_bytes_saved();
   for (std::size_t t = 0; t < kMessageTypeCount; ++t) {
     result.messages_by_type[t] =
         ledger_.count_of(static_cast<MessageType>(t));

@@ -12,11 +12,28 @@ std::uint64_t wire_bytes(const Message& msg) noexcept {
     return kMessageHeaderBytes +
            membership::kGossipRecordBytes * msg.gossip.size();
   }
+  // A pruned (tombstoned) bid entry costs its marker, not a full quote;
+  // only TreeTransport's convergecast pruning produces them, so direct
+  // messages take the branch-free multiply below.
+  std::uint64_t bid_bytes = kBidWireBytes * msg.batch_bids.size();
+  if (msg.type == MessageType::kBid) {
+    for (const BatchedBid& bid : msg.batch_bids) {
+      if (bid.pruned) bid_bytes -= kBidWireBytes - kBidTombstoneBytes;
+    }
+  }
   return kMessageHeaderBytes +
          kJobWireBytes *
              std::max<std::uint64_t>(1, msg.batch_jobs.size()) +
-         kBidWireBytes * msg.batch_bids.size() +
-         kAwardWireBytes * msg.batch_awards.size();
+         bid_bytes + kAwardWireBytes * msg.batch_awards.size();
+}
+
+std::uint64_t encoded_bid_frame_bytes(std::uint64_t sources,
+                                      std::uint64_t bases,
+                                      std::uint64_t deltas,
+                                      std::uint64_t tombstones) noexcept {
+  return kBidFrameBytes + kBidSourceBytes * sources +
+         kBidQuoteBytes * bases + kBidDeltaBytes * deltas +
+         kBidTombstoneBytes * tombstones;
 }
 
 MessageLedger::MessageLedger(std::size_t n_gfas)

@@ -78,6 +78,12 @@ struct BatchedBid {
   double ask = 0.0;
   sim::SimTime completion_estimate = 0.0;
   bool feasible = false;
+  /// In-network prune tombstone: an overlay relay scored this bid out of
+  /// the decision-relevant rank prefix (TreeTransport convergecast
+  /// pruning) and forwarded only the answer marker.  The quote fields
+  /// above are zeroed; the origin's book records the bidder as answered
+  /// without entering a bid.
+  bool pruned = false;
 };
 
 /// One award riding on a batched call-for-bids instead of its own kAward
@@ -161,6 +167,11 @@ struct Message {
   /// the wire cost was booked by the transport as shared edge messages,
   /// so per-job policy counters must not book the delivery again.
   bool via_overlay = false;
+
+  /// Single-bid kBid counterpart of BatchedBid::pruned: the whole bid
+  /// was tombstoned in-network; price/completion_estimate/accept are
+  /// zeroed and only the answer marker reaches the origin.
+  bool bid_pruned = false;
 };
 
 // ---- wire-size model --------------------------------------------------------
@@ -175,10 +186,37 @@ inline constexpr std::uint64_t kBidWireBytes = 32;        ///< one BatchedBid
 inline constexpr std::uint64_t kAwardWireBytes =
     kJobWireBytes + 16;  ///< PiggybackedAward: job + payment
 
+// Compact convergecast frame (TreeTransport bid aggregation): an edge
+// message that merges every bid payload crossing one tree edge in one
+// instant pays the message header ONCE, identifies each merged
+// provider→origin stream by a fixed stub instead of a full header + Job
+// record, and carries each surviving quote either whole (the first of
+// its job-shape group on the edge) or as a quantum delta against that
+// base (same log-bucket shape keys as the provider-side bid TTL cache).
+// A pruned bid shrinks to a tombstone: job + bidder reference, enough
+// for the origin's book to mark the bidder answered.
+inline constexpr std::uint64_t kBidFrameBytes =
+    kMessageHeaderBytes;  ///< per merged edge message
+inline constexpr std::uint64_t kBidSourceBytes =
+    16;  ///< per provider→origin stream: provider, origin, count
+inline constexpr std::uint64_t kBidQuoteBytes =
+    kBidWireBytes;  ///< first quote of a shape group: full BatchedBid
+inline constexpr std::uint64_t kBidDeltaBytes =
+    12;  ///< same-shape follower: job ref + quantized ask/estimate deltas
+inline constexpr std::uint64_t kBidTombstoneBytes =
+    8;  ///< pruned bid: job ref + bidder ref
+
 /// Serialized size of one message under the model above.  Every message
 /// carries at least one Job (the identification/payload field); batched
 /// messages replace it with their batch.
 [[nodiscard]] std::uint64_t wire_bytes(const Message& msg) noexcept;
+
+/// Serialized size of one compact convergecast edge frame: `sources`
+/// merged provider streams carrying `bases` full quotes, `deltas`
+/// same-shape delta quotes, and `tombstones` prune markers.
+[[nodiscard]] std::uint64_t encoded_bid_frame_bytes(
+    std::uint64_t sources, std::uint64_t bases, std::uint64_t deltas,
+    std::uint64_t tombstones) noexcept;
 
 /// Per-GFA local/remote message counters plus per-type message and byte
 /// totals.  Overlay relay traffic (TreeTransport edge messages, which

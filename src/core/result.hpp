@@ -75,6 +75,12 @@ struct FederationResult {
   /// Overlay relay wire messages (TreeTransport edge messages; included
   /// in total_messages, 0 on the direct transport).
   std::uint64_t overlay_relay_messages = 0;
+  /// Bid entries the overlay tombstoned in-network (convergecast
+  /// score-and-prune; 0 on the direct transport or with pruning off).
+  std::uint64_t bids_pruned = 0;
+  /// Wire bytes the convergecast prune + delta encoding saved against
+  /// forwarding every bid payload whole on every tree edge.
+  std::uint64_t bid_prune_bytes_saved = 0;
   directory::DirectoryTraffic directory_traffic;
 
   // Economy aggregate.

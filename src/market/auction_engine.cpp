@@ -21,6 +21,7 @@ void AuctionBook::reopen(cluster::JobId job,
   solicited_.assign(solicited.begin(), solicited.end());
   answered_.assign(solicited_.size(), false);
   outstanding_ = solicited_.size();
+  pruned_ = 0;
   bids_.clear();
   bids_.reserve(solicited_.size());
 }
@@ -37,35 +38,16 @@ bool AuctionBook::add(const Bid& bid) {
   return false;  // unsolicited
 }
 
-double AuctionEngine::score(const cluster::Job& job, const Bid& bid) const {
-  double w = 0.0;
-  switch (scoring_) {
-    case ScoringRule::kPrice:
-      // Exactly the legacy rank key, so price-only clearing is
-      // bit-identical to the pre-scoring engine.
-      return bid.ask;
-    case ScoringRule::kCompletion:
-      return bid.completion_estimate;
-    case ScoringRule::kWeighted:
-      w = time_weight_;
-      break;
-    case ScoringRule::kPerJob:
-      w = job.opt == cluster::Optimization::kTime ? time_weight_ : 0.0;
-      break;
+bool AuctionBook::add_pruned(federation::ParticipantId bidder) {
+  for (std::size_t i = 0; i < solicited_.size(); ++i) {
+    if (solicited_[i] != bidder) continue;
+    if (answered_[i]) return false;  // duplicate (re-delivered tombstone)
+    answered_[i] = true;
+    --outstanding_;
+    ++pruned_;
+    return true;
   }
-  // Both attributes normalized against the job's own QoS envelope, so the
-  // blend is dimensionless and roughly in [0, 1] for feasible bids: the
-  // ask against the budget (the reserve price), the completion guarantee
-  // against the deadline window from submission.  An attribute whose
-  // envelope is unset (zero budget / zero deadline, e.g. workloads loaded
-  // without QoS fabrication) drops out of the blend — a degenerate 1e12x
-  // scale would silently swamp the other term instead.
-  const double price_norm = job.budget > 0.0 ? bid.ask / job.budget : 0.0;
-  const double time_norm =
-      job.deadline > 0.0
-          ? (bid.completion_estimate - job.submit) / job.deadline
-          : 0.0;
-  return (1.0 - w) * price_norm + w * time_norm;
+  return false;  // unsolicited
 }
 
 std::vector<Award> AuctionEngine::clear(const cluster::Job& job,
@@ -74,31 +56,23 @@ std::vector<Award> AuctionEngine::clear(const cluster::Job& job,
     Bid bid;
     double score;
   };
+  const JobQos qos = JobQos::of(job);
   std::vector<Scored> feasible;
   feasible.reserve(bids.size());
   for (const Bid& bid : bids) {
-    if (!bid.feasible) continue;
-    GF_EXPECTS(bid.ask >= 0.0);
-    if (enforce_budget_ && bid.ask > job.budget) continue;
-    if (enforce_deadline_ &&
-        bid.completion_estimate > job.absolute_deadline()) {
-      continue;
-    }
-    feasible.push_back(Scored{bid, score(job, bid)});
+    GF_EXPECTS(bid.ask >= 0.0 || !bid.feasible);
+    if (!scorer_.admissible(qos, bid)) continue;
+    feasible.push_back(Scored{bid, scorer_.score(qos, bid)});
   }
-  // Best score wins; ties break on the lower ask, then the earlier
-  // completion guarantee, then the lower participant id — a total order,
-  // so clearing is deterministic for any arrival order of the bids.
-  // (Singleton ids equal their cluster index, so solo clearing orders
-  // exactly as the pre-participant engine did.)
+  // Best score wins under the scorer's shared total order (score, ask,
+  // completion guarantee, participant id), so clearing is deterministic
+  // for any arrival order of the bids — and identical to the rank order
+  // the pruning relays preserve.  (Singleton ids equal their cluster
+  // index, so solo clearing orders exactly as the pre-participant
+  // engine did.)
   std::sort(feasible.begin(), feasible.end(),
             [](const Scored& a, const Scored& b) {
-              if (a.score != b.score) return a.score < b.score;
-              if (a.bid.ask != b.bid.ask) return a.bid.ask < b.bid.ask;
-              if (a.bid.completion_estimate != b.bid.completion_estimate) {
-                return a.bid.completion_estimate < b.bid.completion_estimate;
-              }
-              return a.bid.bidder < b.bid.bidder;
+              return BidScorer::rank_less(a.score, a.bid, b.score, b.bid);
             });
 
   std::vector<Award> ranking;
@@ -111,7 +85,7 @@ std::vector<Award> AuctionEngine::clear(const cluster::Job& job,
         // one; flooring at the own ask keeps the payment individually
         // rational (generalized second price, see file comment).
         payment = std::max(feasible[i].bid.ask, feasible[i + 1].bid.ask);
-      } else if (enforce_budget_) {
+      } else if (scorer_.enforce_budget()) {
         // Lone (or last-ranked) bidder: the reserve price — the user's
         // budget — plays the second bid, as in a Vickrey auction with a
         // reserve.  Without budget enforcement there is no reserve and the

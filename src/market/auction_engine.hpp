@@ -36,6 +36,7 @@
 
 #include "cluster/job.hpp"
 #include "market/bid.hpp"
+#include "market/bid_scorer.hpp"
 
 namespace gridfed::market {
 
@@ -65,8 +66,23 @@ class AuctionBook {
   /// Returns true when the bid entered the book.
   bool add(const Bid& bid);
 
+  /// Records a *tombstoned* answer: an overlay relay scored `bidder`'s
+  /// bid out of the decision-relevant rank prefix and forwarded only the
+  /// marker (tree_transport.hpp).  The bidder counts as answered — the
+  /// book still completes without waiting out the bid timeout — but no
+  /// bid enters the ranking.  Returns true when the tombstone consumed
+  /// the bidder's outstanding slot (duplicates/unsolicited ignored, as
+  /// in add()).
+  bool add_pruned(federation::ParticipantId bidder);
+
   /// True when every solicited bidder has answered.
   [[nodiscard]] bool complete() const noexcept { return outstanding_ == 0; }
+
+  /// Answers that arrived as in-network prune tombstones.  bids().size()
+  /// + pruned() is the number of bidders that actually answered — the
+  /// figure the clearing report exposes, so auction telemetry is
+  /// transport-invariant.
+  [[nodiscard]] std::size_t pruned() const noexcept { return pruned_; }
 
   [[nodiscard]] cluster::JobId job() const noexcept { return job_; }
   [[nodiscard]] const std::vector<Bid>& bids() const noexcept { return bids_; }
@@ -84,6 +100,7 @@ class AuctionBook {
   std::vector<federation::ParticipantId> solicited_;
   std::vector<bool> answered_;  // parallel to solicited_
   std::size_t outstanding_ = 0;
+  std::size_t pruned_ = 0;
   std::vector<Bid> bids_;
 };
 
@@ -109,13 +126,13 @@ class AuctionEngine {
 
   /// Multi-attribute clearing: rank by `scoring` with `time_weight` on
   /// the completion term (kWeighted always, kPerJob for OFT jobs).
+  /// Scoring, admissibility, and tie-breaking all delegate to the shared
+  /// BidScorer, so the in-network pruning relays rank bids under the
+  /// exact total order this engine clears by.
   AuctionEngine(ClearingRule rule, ScoringRule scoring, double time_weight,
                 bool enforce_budget, bool enforce_deadline)
       : rule_(rule),
-        scoring_(scoring),
-        time_weight_(time_weight),
-        enforce_budget_(enforce_budget),
-        enforce_deadline_(enforce_deadline) {}
+        scorer_(scoring, time_weight, enforce_budget, enforce_deadline) {}
 
   /// Deterministic award ranking for `job` over `bids` (see file comment).
   /// Empty when no bid is feasible.
@@ -124,17 +141,19 @@ class AuctionEngine {
 
   /// The rank key of `bid` for `job` under this engine's scoring rule
   /// (lower is better; exposed for tests and telemetry).
-  [[nodiscard]] double score(const cluster::Job& job, const Bid& bid) const;
+  [[nodiscard]] double score(const cluster::Job& job, const Bid& bid) const {
+    return scorer_.score(JobQos::of(job), bid);
+  }
 
   [[nodiscard]] ClearingRule rule() const noexcept { return rule_; }
-  [[nodiscard]] ScoringRule scoring() const noexcept { return scoring_; }
+  [[nodiscard]] ScoringRule scoring() const noexcept {
+    return scorer_.scoring();
+  }
+  [[nodiscard]] const BidScorer& scorer() const noexcept { return scorer_; }
 
  private:
   ClearingRule rule_;
-  ScoringRule scoring_;
-  double time_weight_;
-  bool enforce_budget_;
-  bool enforce_deadline_;
+  BidScorer scorer_;
 };
 
 }  // namespace gridfed::market

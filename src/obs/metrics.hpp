@@ -48,6 +48,8 @@ enum class Counter : std::uint8_t {
   kReplayedSolicitations,  ///< call-for-bids segments replayed by repair
   kCoalitionReforms,       ///< coalitions re-formed after churn
   kJobsOrphaned,           ///< placements swept off a confirmed-dead peer
+  kBidsPruned,             ///< bid entries tombstoned by convergecast relays
+  kBidPruneBytesSaved,     ///< wire bytes saved by prune + delta encoding
   kCount,
 };
 inline constexpr std::size_t kCounterCount =
@@ -79,6 +81,8 @@ inline constexpr std::size_t kCounterCount =
     case Counter::kReplayedSolicitations: return "replayed_solicitations";
     case Counter::kCoalitionReforms: return "coalition_reforms";
     case Counter::kJobsOrphaned: return "jobs_orphaned";
+    case Counter::kBidsPruned: return "bids_pruned";
+    case Counter::kBidPruneBytesSaved: return "bid_prune_bytes_saved";
     case Counter::kCount: break;
   }
   return "?";

@@ -29,9 +29,10 @@ enum class SpanKind : std::uint8_t {
   kSuspicion,       ///< instant: a view's suspect→dead transition
   kTreeRepair,      ///< instant: a dead relay excised, losses replayed
   kCoalitionReform, ///< instant: a coalition re-formed after churn
+  kBidPrune,        ///< instant: one convergecast flush's score-and-prune
 };
 inline constexpr std::uint8_t kSpanKindCount =
-    static_cast<std::uint8_t>(SpanKind::kCoalitionReform) + 1;
+    static_cast<std::uint8_t>(SpanKind::kBidPrune) + 1;
 
 [[nodiscard]] constexpr const char* to_string(SpanKind kind) noexcept {
   switch (kind) {
@@ -51,6 +52,7 @@ inline constexpr std::uint8_t kSpanKindCount =
     case SpanKind::kSuspicion: return "suspicion";
     case SpanKind::kTreeRepair: return "tree_repair";
     case SpanKind::kCoalitionReform: return "coalition_reform";
+    case SpanKind::kBidPrune: return "bid_prune";
   }
   return "?";
 }

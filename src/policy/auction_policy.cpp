@@ -1,13 +1,13 @@
 #include "policy/auction_policy.hpp"
 
 #include <algorithm>
-#include <bit>
 #include <cmath>
 #include <utility>
 
 #include "coalition/coalition_manager.hpp"
 #include "economy/cost_model.hpp"
 #include "market/bid_pricing.hpp"
+#include "market/bid_scorer.hpp"
 #include "sim/check.hpp"
 #include "sim/hash.hpp"
 
@@ -16,16 +16,10 @@ namespace gridfed::policy {
 AuctionPolicy::AuctionPolicy(SchedulerContext& ctx)
     : SchedulingPolicy(ctx), dbc_fallback_(ctx) {}
 
-namespace {
-/// Log-scale shape bucket: values within ~`quantum` of each other map to
-/// the same bin.  quantum <= 0 degenerates to bit-exact matching.
-[[nodiscard]] std::int64_t shape_bucket(double value, double quantum) {
-  if (quantum <= 0.0) {
-    return std::bit_cast<std::int64_t>(value);
-  }
-  return std::llround(std::log1p(std::max(0.0, value)) / quantum);
-}
-}  // namespace
+// The cache's shape buckets are market::shape_bucket — the SAME key the
+// overlay's convergecast delta encoder groups quotes by, so "two jobs
+// share a cached quote" and "two bids share a base quote on the wire"
+// are one definition.
 
 std::size_t AuctionPolicy::BidCacheKeyHash::operator()(
     const BidCacheKey& key) const noexcept {
@@ -378,7 +372,10 @@ void AuctionPolicy::clear_auction(cluster::JobId id) {
   market::ClearingReport report;
   report.job = p.job.id;
   report.solicited = auction.book.solicited();
-  report.bids = auction.book.bids().size();
+  // Tombstoned answers count as bids received: the providers DID answer,
+  // the overlay just carried a marker instead of the quote — so the
+  // bids-per-auction telemetry is invariant under transport pruning.
+  report.bids = auction.book.bids().size() + auction.book.pruned();
   report.feasible = st.awards.size();
   report.awarded = !st.awards.empty();
   if (report.awarded) {
@@ -566,8 +563,8 @@ market::Bid AuctionPolicy::make_bid(const cluster::Job& job) {
   const sim::SimTime ttl = cfg.auction.bid_cache_ttl;
   const double quantum = cfg.auction.bid_cache_quantum;
   const BidCacheKey key{job.origin, job.processors,
-                        shape_bucket(job.length_mi, quantum),
-                        shape_bucket(job.comm_overhead, quantum)};
+                        market::shape_bucket(job.length_mi, quantum),
+                        market::shape_bucket(job.comm_overhead, quantum)};
   if (ttl > 0.0) {
     ++counters_.bid_cache_lookups;
     const auto it = bid_cache_.find(key);
@@ -666,10 +663,16 @@ void AuctionPolicy::on_bid(const core::Message& msg) {
       if (it == auctions_.end()) continue;  // cleared at the timeout: stale
       // The book rejects duplicates (a re-delivered wire message), so
       // the message only counts once it actually enters a book.
+      // A tombstoned entry (overlay convergecast prune) carries no
+      // quote: the bidder is marked answered so the book completes on
+      // the same instant it would unpruned, but no bid is entered —
+      // the relay proved it outside the decision-relevant rank prefix.
       const bool entered =
-          it->second.book.add(market::Bid{bidder, entry.ask,
-                                          entry.completion_estimate,
-                                          entry.feasible});
+          entry.pruned
+              ? it->second.book.add_pruned(bidder)
+              : it->second.book.add(market::Bid{bidder, entry.ask,
+                                                entry.completion_estimate,
+                                                entry.feasible});
       if (entered && !counted) {
         ++it->second.pending.messages;
         counted = true;
@@ -683,9 +686,11 @@ void AuctionPolicy::on_bid(const core::Message& msg) {
   OpenAuction& auction = it->second;
   // A bid from a coalition's representative enters under the coalition's
   // participant id (singletons map to themselves).
-  const bool entered = auction.book.add(
-      market::Bid{participant_of(msg.from), msg.price,
-                  msg.completion_estimate, msg.accept});
+  const bool entered =
+      msg.bid_pruned
+          ? auction.book.add_pruned(participant_of(msg.from))
+          : auction.book.add(market::Bid{participant_of(msg.from), msg.price,
+                                         msg.completion_estimate, msg.accept});
   if (entered && !msg.via_overlay) ++auction.pending.messages;
   if (auction.book.complete()) clear_auction(msg.job.id);
 }

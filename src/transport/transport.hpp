@@ -118,6 +118,19 @@ class Transport {
     groups_ = registry;
   }
 
+  // ---- overlay aggregation telemetry (0 for non-aggregating transports) -----
+
+  /// Bid entries the overlay tombstoned in-network (convergecast
+  /// score-and-prune); lands in FederationResult::bids_pruned.
+  [[nodiscard]] virtual std::uint64_t bids_pruned() const noexcept {
+    return 0;
+  }
+  /// Wire bytes the convergecast prune + delta encoding saved against
+  /// forwarding every payload whole; FederationResult::bid_prune_bytes_saved.
+  [[nodiscard]] virtual std::uint64_t bid_prune_bytes_saved() const noexcept {
+    return 0;
+  }
+
   // ---- membership churn hooks (no-ops for topology-free transports) ---------
 
   /// The failure detector confirmed `index` dead: route around it and

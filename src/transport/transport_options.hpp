@@ -46,6 +46,30 @@ struct TransportOptions {
   /// epoch to same-instant coalescing only.
   sim::SimTime tree_epoch = 120.0;
 
+  /// In-network bid pruning (kTree): interior relays score the buffered
+  /// bids of each job under the federation's active market::ScoringRule
+  /// and forward only the best `bid_prune_k` per (job, edge); the rest
+  /// shrink to answer tombstones, so the origin's book still completes
+  /// without waiting out the bid timeout.  The surviving set on every
+  /// edge is a superset of the clearing engine's rank prefix (the
+  /// relays rank under the engine's exact total order), so cleared
+  /// prices are identical to the unpruned engine as long as the award
+  /// walk never declines past the prefix — k >= 2 always keeps
+  /// Vickrey's winner AND runner-up, and the default leaves generous
+  /// headroom for decline cascades.  Values 1 are clamped up to 2;
+  /// 0 disables pruning (every bid is forwarded whole).
+  std::uint32_t bid_prune_k = 8;
+
+  /// Delta/quantum encoding of the bid convergecast (kTree): bids
+  /// crossing the same tree edge in one instant merge into a single
+  /// compact frame — one header per edge message, a fixed stub per
+  /// provider stream, and one full quote per job-shape group with
+  /// followers encoded as quantized deltas (core/message.hpp's
+  /// kBidFrameBytes model).  Pure byte accounting: delivered payloads,
+  /// loss/duplication lotteries, and event timing under constant
+  /// latency are untouched.
+  bool bid_delta_encode = true;
+
   /// Failure injection: probability that an idempotent acknowledgement
   /// (kReply or kBid) is delivered twice.  Those two legs are safe to
   /// duplicate by construction — a second reply finds its enquiry gone,

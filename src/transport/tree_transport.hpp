@@ -39,8 +39,10 @@
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "market/bid_scorer.hpp"
 #include "transport/transport.hpp"
 
 namespace gridfed::transport {
@@ -87,6 +89,18 @@ class TreeTransport final : public Transport {
   /// the interesting crash target for repair tests.
   [[nodiscard]] bool interior_relay(cluster::ResourceIndex owner) const;
 
+  // ---- convergecast aggregation telemetry ----------------------------------
+  /// Bid entries scored out of the decision-relevant rank prefix and
+  /// forwarded as tombstones (TransportOptions::bid_prune_k).
+  [[nodiscard]] std::uint64_t bids_pruned() const noexcept override {
+    return bids_pruned_;
+  }
+  /// Wire bytes the prune + delta encoding saved against forwarding
+  /// every bid payload whole on every edge.
+  [[nodiscard]] std::uint64_t bid_prune_bytes_saved() const noexcept override {
+    return prune_bytes_saved_;
+  }
+
   // ---- repair telemetry ----------------------------------------------------
   [[nodiscard]] std::uint64_t repairs() const noexcept { return repairs_; }
   [[nodiscard]] std::uint64_t replayed_solicitations() const noexcept {
@@ -129,6 +143,34 @@ class TreeTransport final : public Transport {
     core::Message msg;  ///< .to already set to the final target
   };
 
+  // ---- convergecast score-and-prune + delta encoding ----------------------
+  /// What a relay knows about a job it forwarded the solicitation for:
+  /// the QoS envelope the scorer ranks against, and the log-bucket shape
+  /// key the delta encoder groups quotes by.  Harvested from every
+  /// kCallForBids that fans out through the tree; retained for the run
+  /// (a few dozen bytes per job — the solicitations themselves dwarf
+  /// it), because bids for a job may convergecast in several waves.
+  struct JobFacts {
+    market::JobQos qos;
+    std::uint64_t shape = 0;
+  };
+  /// Per bid entry of a queued convergecast payload: the hop index of
+  /// the first edge the entry is pruned on (path-length = never), and
+  /// its job's shape key for the per-edge delta grouping.
+  struct BidEntryMeta {
+    std::uint32_t prune_hop = 0;
+    std::uint64_t shape = 0;
+  };
+  /// Per-edge tallies of the compact convergecast frame, parallel to
+  /// scratch_edges_ while an encoded kBid relay is in flight.
+  struct EdgeFrame {
+    std::uint64_t naive_bytes = 0;  ///< what whole-payload forwarding costs
+    std::uint32_t sources = 0;      ///< merged provider→origin streams
+    std::uint32_t bases = 0;        ///< first quote of a shape group
+    std::uint32_t deltas = 0;       ///< same-shape follower quotes
+    std::uint32_t tombstones = 0;   ///< pruned-bid markers
+  };
+
   [[nodiscard]] std::uint32_t parent_pos(std::uint32_t pos) const noexcept {
     return (pos - 1) / fanout_;
   }
@@ -149,6 +191,23 @@ class TreeTransport final : public Transport {
   void maybe_flush_fanout();
   void flush_fanout();
   void flush_convergecast();
+
+  /// Remembers every job a call-for-bids carries (QoS envelope + shape
+  /// key), so the convergecast relays can score and delta-group the
+  /// bids coming back.
+  void harvest_job_facts(const core::Message& msg);
+  void remember_job(const cluster::Job& job);
+  /// The tentpole: ranks each job's queued bids under the engine's
+  /// exact total order and computes, per bid, the first path edge it
+  /// falls out of the per-edge top-k on (see .cpp for why per-edge
+  /// top-k equals top-k of the bids crossing the edge).  Fills
+  /// scratch_entry_meta_ and marks pruned deliveries in `queue`.
+  void prune_convergecast(std::vector<core::Message>& queue);
+  /// Edge count key for the per-(job, edge) rank counters.
+  [[nodiscard]] std::uint64_t edge_key(std::uint32_t from_pos,
+                                       std::uint32_t to_pos) const noexcept {
+    return static_cast<std::uint64_t>(from_pos) * owner_at_.size() + to_pos;
+  }
 
   /// The shared relay machinery: books one wire message per directed
   /// edge used this flush (loss lottery per edge), then delivers every
@@ -178,6 +237,19 @@ class TreeTransport final : public Transport {
   std::vector<core::Message> convergecast_queue_;
   bool convergecast_armed_ = false;
 
+  // Convergecast score-and-prune + delta encoding state.
+  std::uint32_t prune_k_ = 0;      ///< 0 = forward every bid whole
+  bool encode_bids_ = false;       ///< compact per-edge frame accounting
+  double shape_quantum_ = 0.0;     ///< log-bucket width of the shape keys
+  market::BidScorer scorer_;       ///< the engine's exact rank order
+  std::unordered_map<cluster::JobId, JobFacts> job_facts_;
+  std::uint64_t bids_pruned_ = 0;
+  std::uint64_t prune_bytes_saved_ = 0;
+  /// True while relay() runs on a convergecast flush whose entry meta
+  /// (scratch_entry_meta_) is populated — switches the kBid edge byte
+  /// accounting to the compact frame model.
+  bool bid_frame_relay_ = false;
+
   // Scratch reused across flushes (hot path at 50 clusters).
   std::vector<RelayItem> scratch_items_;
   std::vector<EdgeUse> scratch_edges_;
@@ -185,6 +257,13 @@ class TreeTransport final : public Transport {
   std::vector<std::uint32_t> scratch_path_;
   /// path_positions is logically const (path_hops introspection).
   mutable std::vector<std::uint32_t> scratch_up_;
+  // Convergecast scratch: per-payload entry meta (indexed payload_id-1),
+  // per-job rank candidates, per-(job, edge) better-ranked counters, and
+  // the per-edge shape groups / frame tallies of the current relay.
+  std::vector<std::vector<BidEntryMeta>> scratch_entry_meta_;
+  std::unordered_map<std::uint64_t, std::uint32_t> scratch_rank_counts_;
+  std::vector<EdgeFrame> scratch_edge_frames_;
+  std::unordered_set<std::uint64_t> scratch_shape_seen_;
 };
 
 }  // namespace gridfed::transport

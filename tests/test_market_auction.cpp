@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "core/federation.hpp"
+#include "sim/random.hpp"
 #include "economy/pricing.hpp"
 #include "market/auction_engine.hpp"
 #include "market/bid_pricing.hpp"
@@ -255,6 +257,78 @@ TEST(AuctionScoring, ScoreNormalizesAgainstQosEnvelope) {
   const market::Bid bid{0, 50.0, 500.0, true};
   // 0.5 * (50/100) + 0.5 * (500/1000) = 0.5
   EXPECT_DOUBLE_EQ(engine.score(job, bid), 0.5);
+}
+
+// ---- pruned-book clearing equivalence ---------------------------------------
+
+// The license for in-network convergecast pruning (tree_transport.hpp):
+// clearing a book pruned to the top-k admissible bids under the shared
+// BidScorer rank order must award the same winner at the same payment as
+// clearing the full book, for every scoring rule, whenever k >= 2 (the
+// Vickrey payment needs the runner-up's ask).  Property-swept over
+// random books rather than hand-picked ones so score ties, reserve
+// pricing and inadmissible bids all get exercised.
+TEST(PrunedClearing, VickreyWinnerAndPaymentMatchFullBook) {
+  sim::Rng rng(0xb1dfeedULL);
+  std::size_t deep_books = 0;  // books where pruning actually dropped bids
+  for (const auto rule :
+       {market::ScoringRule::kPrice, market::ScoringRule::kCompletion,
+        market::ScoringRule::kWeighted, market::ScoringRule::kPerJob}) {
+    const market::AuctionEngine engine(market::ClearingRule::kVickrey, rule,
+                                       0.6, true, true);
+    for (int trial = 0; trial < 200; ++trial) {
+      cluster::Job job = auction_job(rng.uniform(50.0, 150.0),
+                                     rng.uniform(400.0, 1200.0));
+      job.opt = rng.bernoulli(0.5) ? cluster::Optimization::kTime
+                                   : cluster::Optimization::kCost;
+      const auto n = rng.uniform_int(1, 16);
+      std::vector<market::Bid> bids;
+      for (std::uint64_t b = 0; b < n; ++b) {
+        bids.push_back({static_cast<federation::ParticipantId>(b),
+                        rng.uniform(5.0, 160.0), rng.uniform(100.0, 1500.0),
+                        rng.bernoulli(0.9)});
+      }
+      const auto full = engine.clear(job, bids);
+
+      const std::size_t k = 2 + static_cast<std::size_t>(trial % 4);
+      // What the relays deliver: the k best admissible bids (the rest
+      // arrive as tombstones and never enter the book's ranking).
+      const auto qos = market::JobQos::of(job);
+      std::vector<market::Bid> kept;
+      for (const auto& bid : bids) {
+        if (engine.scorer().admissible(qos, bid)) kept.push_back(bid);
+      }
+      std::sort(kept.begin(), kept.end(),
+                [&](const market::Bid& a, const market::Bid& b) {
+                  return market::BidScorer::rank_less(
+                      engine.scorer().score(qos, a), a,
+                      engine.scorer().score(qos, b), b);
+                });
+      if (kept.size() > k) {
+        kept.resize(k);
+        ++deep_books;
+      }
+      const auto pruned = engine.clear(job, kept);
+
+      ASSERT_EQ(pruned.size(), std::min(full.size(), k));
+      for (std::size_t i = 0; i < pruned.size(); ++i) {
+        EXPECT_EQ(pruned[i].bid.bidder, full[i].bid.bidder)
+            << "rule " << static_cast<int>(rule) << " trial " << trial
+            << " pos " << i;
+        // The last kept position falls back to the reserve price when
+        // the full book still had a next ask below it — every earlier
+        // position (the winner included, since k >= 2) must settle
+        // identically.
+        if (i + 1 < pruned.size() || full.size() == pruned.size()) {
+          EXPECT_DOUBLE_EQ(pruned[i].payment, full[i].payment)
+              << "rule " << static_cast<int>(rule) << " trial " << trial
+              << " pos " << i;
+        }
+      }
+    }
+  }
+  // The sweep must actually have pruned something.
+  EXPECT_GT(deep_books, 100u);
 }
 
 // ---- bid pricing ------------------------------------------------------------

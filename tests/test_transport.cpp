@@ -65,6 +65,8 @@ struct RunDigest {
   std::uint64_t dropped = 0;
   std::uint64_t accepted = 0;
   std::uint64_t rejected = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t prune_saved = 0;
   stats::AuctionStats auctions;
 };
 
@@ -85,6 +87,7 @@ RunDigest digest(const core::FederationConfig& cfg, std::uint32_t oft,
                    result.total_message_bytes,
                    result.overlay_relay_messages, fed.messages_dropped(),
                    result.total_accepted, result.total_rejected,
+                   result.bids_pruned, result.bid_prune_bytes_saved,
                    result.auctions};
 }
 
@@ -277,6 +280,101 @@ TEST(Duplication, DbcRepliesTolerateDuplication) {
   const auto dup = digest(cfg, 30);
   EXPECT_EQ(dup.hash, clean.hash);
   EXPECT_GT(dup.messages, clean.messages);
+}
+
+// ---- convergecast score-and-prune + delta encoding --------------------------
+
+core::FederationConfig pruned_tree_config(market::ScoringRule rule) {
+  auto cfg = tree_config(core::SchedulingMode::kAuction);
+  cfg.auction.batch_solicitations = true;
+  cfg.auction.solicit_batch_window = 300.0;
+  cfg.auction.scoring = rule;
+  return cfg;
+}
+
+TEST(BidPruning, OutcomeInvariantAcrossScoringModes) {
+  // Interior relays forward only the top-k bids per (job, edge) under
+  // the federation's active scoring rule.  Because a fold of per-node
+  // top-k equals top-k of the full crossing set, the origin's rank
+  // prefix survives for every rule — outcomes, message counts and book
+  // thickness must be bit-identical to the whole convergecast, with
+  // strictly fewer bytes on the wire.  20 clusters so books are deeper
+  // than k = 8 and pruning actually fires.
+  for (const auto rule :
+       {market::ScoringRule::kPrice, market::ScoringRule::kCompletion,
+        market::ScoringRule::kWeighted, market::ScoringRule::kPerJob}) {
+    auto whole = pruned_tree_config(rule);
+    whole.transport.bid_prune_k = 0;
+    whole.transport.bid_delta_encode = false;
+    const auto p = digest(pruned_tree_config(rule), 30, 20);
+    const auto w = digest(whole, 30, 20);
+    EXPECT_EQ(p.hash, w.hash) << "rule " << static_cast<int>(rule);
+    EXPECT_EQ(p.messages, w.messages);
+    EXPECT_EQ(p.relays, w.relays);
+    EXPECT_EQ(p.accepted, w.accepted);
+    EXPECT_EQ(p.rejected, w.rejected);
+    EXPECT_DOUBLE_EQ(p.auctions.bids_per_auction.mean(),
+                     w.auctions.bids_per_auction.mean());
+    EXPECT_GT(p.pruned, 0u) << "rule " << static_cast<int>(rule);
+    EXPECT_EQ(w.pruned, 0u);
+    EXPECT_LT(p.bytes, w.bytes);
+    EXPECT_GT(p.prune_saved, 0u);
+  }
+}
+
+TEST(BidPruning, DeltaEncodingAloneKeepsOutcomes) {
+  // The compact frame (shared header + per-shape base quotes + deltas)
+  // must be a pure byte-accounting change: with pruning disabled it
+  // still shrinks every convergecast frame, tombstoning nothing.
+  auto encoded = pruned_tree_config(market::ScoringRule::kPrice);
+  encoded.transport.bid_prune_k = 0;  // encoding only
+  auto plain = encoded;
+  plain.transport.bid_delta_encode = false;
+  const auto e = digest(encoded, 30, 20);
+  const auto p = digest(plain, 30, 20);
+  EXPECT_EQ(e.hash, p.hash);
+  EXPECT_EQ(e.messages, p.messages);
+  EXPECT_EQ(e.pruned, 0u);
+  EXPECT_LT(e.bytes, p.bytes);
+  EXPECT_GT(e.prune_saved, 0u);  // encoding savings ride the same counter
+}
+
+TEST(BidPruning, LossAndDuplicationThroughPruningRelay) {
+  // Failure injection through the pruning relay: tombstoned frames get
+  // dropped and delivered twice like any other payload.  Every job must
+  // still resolve (timeouts cover lost frames, books reject duplicate
+  // tombstones) and the run must replay bit-identically.
+  auto cfg = pruned_tree_config(market::ScoringRule::kPerJob);
+  const auto clean = digest(cfg, 30, 20);
+  cfg.message_drop_rate = 0.2;
+  cfg.negotiate_timeout = 200.0;  // > relayed hops + tree_epoch (120)
+  cfg.network_latency = 1.0;
+  cfg.auction.bid_timeout = 200.0;
+  cfg.transport.duplicate_rate = 0.3;
+  const auto d = digest(cfg, 30, 20);
+  EXPECT_GT(d.dropped, 0u);
+  EXPECT_GT(d.pruned, 0u);
+  // The lossless run resolves the whole workload; the injected run must
+  // resolve exactly the same number of jobs.
+  EXPECT_EQ(d.accepted + d.rejected, clean.accepted + clean.rejected);
+  const auto replay = digest(cfg, 30, 20);
+  EXPECT_EQ(replay.hash, d.hash);
+  EXPECT_EQ(replay.dropped, d.dropped);
+  EXPECT_EQ(replay.pruned, d.pruned);
+  EXPECT_EQ(replay.prune_saved, d.prune_saved);
+}
+
+TEST(BidPruning, DuplicationStaysOutcomeInvisibleWithPruning) {
+  // A duplicated frame re-delivers its tombstones too; the book must
+  // reject a duplicate "answered without bidding" mark exactly like a
+  // duplicate bid, keeping outcomes bit-identical to the clean run.
+  auto cfg = pruned_tree_config(market::ScoringRule::kPrice);
+  const auto clean = digest(cfg, 30, 20);
+  cfg.transport.duplicate_rate = 0.3;
+  const auto dup = digest(cfg, 30, 20);
+  EXPECT_EQ(dup.hash, clean.hash);
+  EXPECT_GT(dup.messages, clean.messages);
+  EXPECT_EQ(dup.accepted, clean.accepted);
 }
 
 // ---- arena lifetime ---------------------------------------------------------
