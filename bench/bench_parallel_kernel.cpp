@@ -1,0 +1,112 @@
+// BENCH_kernel.json — the sharded conservative-parallel kernel's
+// trajectory: the same calibrated auction workload (batched solicitation
+// on a sqrt(2)-latency WAN) executed by the seed's sequential engine
+// (the 1-thread column) and by the safe-window kernel on N worker
+// threads (the N-thread column), per federation size.  The two columns
+// pin both halves of the contract:
+//
+//   * correctness — the per-job outcome digests must be identical
+//     (fate, executor, message count, cost and completion, bitwise);
+//   * performance — wall-clock speedup at 50+ clusters, recorded next
+//     to the host's CPU count so the CI gate (bench/check_messages.py)
+//     can hold the floor only where the hardware can express it.
+//
+// Usage: bench_parallel_kernel [--sizes=12,25,50,100,200] [--threads=N]
+//                              [--json=PATH]
+//   --threads defaults to the hardware concurrency (min 2).
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gridfed;
+  bench::banner("Parallel kernel",
+                "Sequential vs sharded safe-window execution — outcome "
+                "digests and wall-clock, per federation size");
+
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::uint32_t threads =
+      bench::threads_arg(argc, argv, hw > 2 ? hw : 2);
+  const std::vector<std::size_t> sizes =
+      bench::sizes_arg(argc, argv, {12, 25, 50, 100, 200});
+
+  std::printf("host CPUs: %u, N-thread column runs threads=%u\n\n", hw,
+              threads);
+
+  struct Row {
+    bench::ParallelRunPoint seq;
+    bench::ParallelRunPoint par;
+  };
+  std::vector<Row> rows;
+  rows.reserve(sizes.size());
+  bool all_match = true;
+  for (const std::size_t n : sizes) {
+    Row row;
+    row.seq = bench::parallel_kernel_run(n, 0);
+    row.par = bench::parallel_kernel_run(n, threads);
+    all_match = all_match && row.seq.digest == row.par.digest;
+    rows.push_back(row);
+  }
+
+  stats::Table t({"System size", "Jobs", "1-thread s", "N-thread s",
+                  "Speedup", "Shards", "Windows", "Events", "Digests"});
+  for (const Row& r : rows) {
+    const double speedup =
+        r.par.seconds > 0.0 ? r.seq.seconds / r.par.seconds : 0.0;
+    t.add_row({std::to_string(r.seq.size),
+               std::to_string(r.seq.jobs),
+               stats::Table::num(r.seq.seconds, 3),
+               stats::Table::num(r.par.seconds, 3),
+               stats::Table::num(speedup, 2),
+               std::to_string(r.par.shards),
+               std::to_string(r.par.windows),
+               std::to_string(r.par.events),
+               r.seq.digest == r.par.digest ? "match" : "DIVERGED"});
+  }
+  std::printf("%s\n", t.str().c_str());
+  if (!all_match) {
+    std::fprintf(stderr,
+                 "error: sharded outcomes diverged from the sequential "
+                 "engine\n");
+  }
+
+  const std::string json = bench::json_path(argc, argv);
+  if (!json.empty()) {
+    std::FILE* f = std::fopen(json.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json.c_str());
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"artifact\": \"parallel_kernel\",\n"
+                 "  \"num_cpus\": %u,\n  \"threads\": %u,\n"
+                 "  \"latency_s\": %.16f,\n  \"points\": [\n",
+                 hw, threads, bench::kBenchParallelLatency);
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      const double speedup =
+          r.par.seconds > 0.0 ? r.seq.seconds / r.par.seconds : 0.0;
+      std::fprintf(
+          f,
+          "    {\"size\": %zu, \"jobs\": %llu, "
+          "\"seq_seconds\": %.4f, \"par_seconds\": %.4f, "
+          "\"speedup\": %.4f, \"shards\": %u, \"windows\": %llu, "
+          "\"events\": %llu, \"accept_pct\": %.2f, "
+          "\"msgs_per_job\": %.4f, \"outcomes_match\": %s}%s\n",
+          r.seq.size, static_cast<unsigned long long>(r.seq.jobs),
+          r.seq.seconds, r.par.seconds, speedup, r.par.shards,
+          static_cast<unsigned long long>(r.par.windows),
+          static_cast<unsigned long long>(r.par.events), r.par.accept_pct,
+          r.par.msgs_per_job, r.seq.digest == r.par.digest ? "true" : "false",
+          i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("JSON summary written to %s\n", json.c_str());
+  }
+  return all_match ? 0 : 1;
+}

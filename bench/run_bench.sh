@@ -1,14 +1,22 @@
 #!/usr/bin/env bash
-# Records the perf trajectory: runs the kernel microbenchmarks and the
-# fig10/fig11 message-scaling benches, emitting
+# Records the perf trajectory: runs the parallel-kernel sweep, the kernel
+# microbenchmarks, and the fig10/fig11 message-scaling benches, emitting
 #
-#   BENCH_kernel.json    — google-benchmark JSON (BM_EventQueuePushPop,
-#                          BM_SimulationEventDispatch, probed dispatch, ...)
-#   BENCH_messages.json  — fig10 + fig11 summaries incl. the auction
-#                          batching comparison (msgs/job AND bytes/job)
-#   BENCH_metrics.json   — observability metrics time-series of the
-#                          50-cluster auction+tree+coalition observed run
-#                          (epoch-sampled counters + ledger columns)
+#   BENCH_kernel.json       — sharded safe-window kernel trajectory: the
+#                             1-thread (sequential engine) vs N-thread
+#                             columns per federation size, with outcome
+#                             digests, speedup and the host CPU count
+#                             (bench_parallel_kernel --json)
+#   BENCH_kernel_micro.json — google-benchmark JSON (BM_EventQueuePushPop,
+#                             BM_SimulationEventDispatch, probed dispatch,
+#                             ...)
+#   BENCH_messages.json     — fig10 + fig11 summaries incl. the auction
+#                             batching comparison (msgs/job AND bytes/job)
+#                             and the parallel_scaling sweep at 50/200/500
+#                             clusters
+#   BENCH_metrics.json      — observability metrics time-series of the
+#                             50-cluster auction+tree+coalition observed
+#                             run (epoch-sampled counters + ledger columns)
 #
 # Usage: bench/run_bench.sh [BUILD_DIR] [OUT_DIR]
 #   BUILD_DIR  defaults to ./build
@@ -26,13 +34,16 @@ if [[ ! -x "$BUILD_DIR/bench_fig10_msg_per_job_scaling" ]]; then
   exit 1
 fi
 
-echo "== kernel microbenchmarks -> $OUT_DIR/BENCH_kernel.json"
+echo "== parallel kernel sweep -> $OUT_DIR/BENCH_kernel.json"
+"$BUILD_DIR/bench_parallel_kernel" --json="$OUT_DIR/BENCH_kernel.json"
+
+echo "== kernel microbenchmarks -> $OUT_DIR/BENCH_kernel_micro.json"
 if [[ -x "$BUILD_DIR/bench_micro_kernel" ]]; then
   "$BUILD_DIR/bench_micro_kernel" \
     --benchmark_filter='BM_EventQueuePushPop|BM_SimulationEventDispatch|BM_SimulationEventDispatchProbed|BM_DirectoryRankedQuery' \
     --benchmark_repetitions=5 \
     --benchmark_report_aggregates_only=true \
-    --benchmark_out="$OUT_DIR/BENCH_kernel.json" \
+    --benchmark_out="$OUT_DIR/BENCH_kernel_micro.json" \
     --benchmark_out_format=json
 else
   echo "  bench_micro_kernel missing (google-benchmark not installed); skipped"
@@ -46,6 +57,8 @@ trap 'rm -rf "$tmpdir"' EXIT
 # metrics registry on and dumps its epoch time-series.
 # --churn adds the membership-churn sweep (0/10/20% mid-run cluster
 # loss) and its churn_sweep columns to the JSON.
+# The parallel sweep (sequential vs N-thread digests + wall-clock at
+# 50/200/500 clusters) runs by default; --par-sizes narrows it.
 "$BUILD_DIR/bench_fig10_msg_per_job_scaling" --json="$tmpdir/fig10.json" \
   --churn \
   --metrics="$OUT_DIR/BENCH_metrics.json" \
@@ -64,5 +77,6 @@ trap 'rm -rf "$tmpdir"' EXIT
 
 echo "== summary"
 grep -A7 'Auction mode' "$tmpdir/fig10.txt" | head -10 || true
-echo "done: $OUT_DIR/BENCH_kernel.json $OUT_DIR/BENCH_messages.json" \
-     "$OUT_DIR/BENCH_metrics.json"
+grep -A8 'Sharded parallel kernel' "$tmpdir/fig10.txt" | head -12 || true
+echo "done: $OUT_DIR/BENCH_kernel.json $OUT_DIR/BENCH_kernel_micro.json" \
+     "$OUT_DIR/BENCH_messages.json $OUT_DIR/BENCH_metrics.json"

@@ -140,6 +140,17 @@ struct FederationConfig {
   /// (and GRIDFED_TRACE=0 compiles the instrumentation out entirely).
   obs::ObsConfig obs = {};
 
+  /// Worker threads for the conservative-parallel kernel
+  /// (sim/parallel.hpp).  0 or 1 = the seed's single-threaded engine,
+  /// bit-identical to every golden.  >= 2 shards the clusters across
+  /// worker threads under the safe-window protocol; this requires a
+  /// nonzero WAN delay floor (network_latency > 0 or a wan model — the
+  /// lookahead), otherwise the run silently falls back to the sequential
+  /// engine.  Parallel runs reproduce the same *outcomes* for any thread
+  /// count, but are not bit-identical to the sequential event order (FP
+  /// accumulation order differs in aggregates).
+  std::uint32_t threads = 0;
+
   /// Master seed for workload generation and population assignment.
   std::uint64_t seed = 0x9042005ULL;
 };

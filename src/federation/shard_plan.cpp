@@ -1,0 +1,46 @@
+#include "federation/shard_plan.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/check.hpp"
+
+namespace gridfed::federation {
+
+ShardPlan build_shard_plan(std::span<const std::uint64_t> ring_keys,
+                           std::uint32_t block, std::uint32_t max_shards) {
+  GF_EXPECTS(block >= 1);
+  const std::size_t n = ring_keys.size();
+  ShardPlan plan;
+  plan.shard_of.assign(n, 0);
+  if (n == 0 || max_shards < 2) return plan;
+
+  // Ring order with the index tie-break — identical to coalition
+  // formation and the overlay heap layout, so block boundaries coincide
+  // with coalition bucket boundaries exactly.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (ring_keys[a] != ring_keys[b]) {
+                return ring_keys[a] < ring_keys[b];
+              }
+              return a < b;
+            });
+
+  const std::size_t blocks = (n + block - 1) / block;
+  const std::size_t shards =
+      std::min<std::size_t>(max_shards, blocks);
+  if (shards < 2) return plan;
+
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    const std::size_t b = pos / block;
+    // Contiguous, near-even deal: block b -> shard floor(b * S / B).
+    const std::size_t s = b * shards / blocks;
+    plan.shard_of[order[pos]] = static_cast<std::uint32_t>(s);
+  }
+  plan.shards = static_cast<std::uint32_t>(shards);
+  return plan;
+}
+
+}  // namespace gridfed::federation

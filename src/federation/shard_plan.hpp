@@ -1,0 +1,38 @@
+#pragma once
+// Partition of the federation's clusters across the parallel kernel's
+// worker shards (sim/parallel.hpp).  The partition is built over the
+// SAME ring order as coalition formation and the overlay tree layout:
+// sites sort by (ring_hash(name), index) and consecutive runs of
+// `block` sites — exactly the coalition buckets — are kept whole, so a
+// coalition's representative and members always land on one shard and
+// the manager's member_bid / member_admit fan-out stays shard-local.
+// Blocks are then dealt to shards contiguously and near-evenly.
+//
+// The plan is a pure function of (ring keys, block, max_shards): it
+// does not depend on which worker executes what, which is one of the
+// pillars of the kernel's thread-count-invariant outcomes.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace gridfed::federation {
+
+/// Site → shard assignment for one parallel run.
+struct ShardPlan {
+  std::uint32_t shards = 0;            ///< worker lanes (0 = not viable)
+  std::vector<std::uint32_t> shard_of; ///< per site index
+};
+
+/// Builds the ring-ordered, block-aligned partition described above.
+/// `ring_keys[i]` is overlay::ring_hash of site i's name; `block` >= 1
+/// is the indivisible run length (the coalition bucket_size, or 1 when
+/// coalitions are off); `max_shards` caps the shard count (the
+/// configured worker-thread count).  The returned plan has
+/// shards == min(max_shards, number of blocks); callers should fall
+/// back to the sequential engine when shards < 2.
+[[nodiscard]] ShardPlan build_shard_plan(
+    std::span<const std::uint64_t> ring_keys, std::uint32_t block,
+    std::uint32_t max_shards);
+
+}  // namespace gridfed::federation

@@ -1,0 +1,126 @@
+#pragma once
+// Lock-free cross-shard mailbox for the conservative-parallel kernel.
+//
+// Each shard (and the global lane) owns one MpscMailbox.  Any worker
+// thread may post() into any mailbox mid-window; the coordinator drains
+// every mailbox at the window barrier, when all producers are parked, and
+// schedules the posts onto the owning lane's event queue in causal-token
+// order.  push is a Vyukov intrusive MPSC enqueue (one exchange + one
+// store, wait-free for producers); drain is single-consumer and relies on
+// the barrier for quiescence, so it never observes a half-linked node.
+//
+// Determinism: the arrival interleaving of concurrent posts is
+// nondeterministic, so drain order must never depend on it.  Every post
+// carries a CausalToken whose (primary, secondary) pair is derived from
+// simulation-deterministic state (see parallel.hpp); the coordinator
+// sorts a drained batch by (time, priority, token, from) — a total order
+// that is identical for every worker-thread count.
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/inline_function.hpp"
+#include "sim/types.hpp"
+
+namespace gridfed::sim {
+
+/// Deterministic ordering key for cross-shard posts.  `primary` is unique
+/// per originating dispatch (a fresh per-lane counter, or inherited from
+/// the mailbox post that triggered the dispatch); `secondary` orders the
+/// posts made within one dispatch.  Tokens reproduce the sequential
+/// kernel's same-instant ordering for causally chained traffic (e.g. the
+/// tree fanout -> per-provider bid trampolines).
+struct CausalToken {
+  std::uint64_t primary = 0;
+  std::uint64_t secondary = 0;
+};
+
+/// One cross-lane message: "run `action` on the owning lane at time `t`".
+struct MailboxPost {
+  SimTime t = 0.0;
+  EventPriority priority = EventPriority::kMessage;
+  std::uint32_t from = 0;  ///< originating site, last-resort tie-break
+  CausalToken token;
+  InlineFunction action;
+};
+
+/// Total order over drained posts; unique by token construction, `from`
+/// kept as a defensive final key.
+inline bool mailbox_post_less(const MailboxPost& a, const MailboxPost& b) {
+  if (a.t != b.t) return a.t < b.t;
+  if (a.priority != b.priority) return a.priority < b.priority;
+  if (a.token.primary != b.token.primary) {
+    return a.token.primary < b.token.primary;
+  }
+  if (a.token.secondary != b.token.secondary) {
+    return a.token.secondary < b.token.secondary;
+  }
+  return a.from < b.from;
+}
+
+/// Multi-producer single-consumer unbounded queue (Vyukov-style intrusive
+/// list).  Producers are wait-free; the consumer must only drain while
+/// producers are quiescent (the window barrier guarantees this).
+class MpscMailbox {
+ public:
+  MpscMailbox() {
+    Node* stub = new Node;
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  MpscMailbox(const MpscMailbox&) = delete;
+  MpscMailbox& operator=(const MpscMailbox&) = delete;
+
+  ~MpscMailbox() {
+    Node* n = tail_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Producer side; callable from any thread.
+  void post(MailboxPost p) {
+    Node* n = new Node;
+    n->post = std::move(p);
+    Node* prev = head_.exchange(n, std::memory_order_acq_rel);
+    prev->next.store(n, std::memory_order_release);
+  }
+
+  /// Consumer side; producers must be parked (window barrier).  Appends
+  /// the drained posts to `out` in arrival order — the caller sorts by
+  /// mailbox_post_less before scheduling.  Returns the number drained.
+  std::size_t drain(std::vector<MailboxPost>& out) {
+    std::size_t n = 0;
+    for (;;) {
+      Node* next = tail_->next.load(std::memory_order_acquire);
+      if (next == nullptr) break;
+      out.push_back(std::move(next->post));
+      delete tail_;  // consumed node (or the stub) becomes garbage
+      tail_ = next;  // drained node doubles as the new stub
+      ++n;
+    }
+    return n;
+  }
+
+  /// Valid only at quiescence (same contract as drain).
+  [[nodiscard]] bool empty() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct Node {
+    std::atomic<Node*> next{nullptr};
+    MailboxPost post;
+  };
+
+  alignas(64) std::atomic<Node*> head_;  ///< producers push here
+  alignas(64) Node* tail_;               ///< consumer-owned
+};
+
+}  // namespace gridfed::sim

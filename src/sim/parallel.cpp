@@ -1,0 +1,195 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/check.hpp"
+
+namespace gridfed::sim {
+
+thread_local ParallelEngine::LaneTls ParallelEngine::tls_;
+
+ParallelEngine::ParallelEngine(std::size_t n_shards, Simulation& global_lane,
+                               SimTime lookahead, std::size_t max_sites)
+    : global_(global_lane), lookahead_(lookahead) {
+  GF_EXPECTS(n_shards >= 1);
+  GF_EXPECTS(lookahead_ > 0.0);
+  shard_sims_.reserve(n_shards);
+  shard_boxes_.reserve(n_shards);
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    shard_sims_.push_back(std::make_unique<Simulation>());
+    shard_boxes_.push_back(std::make_unique<MpscMailbox>());
+  }
+  site_primary_.assign(max_sites, 0);
+  // The constructing thread is the coordinator: everything it schedules
+  // before run() (workload load, membership start, periodics) belongs to
+  // the global lane or targets shard queues directly while no worker
+  // exists yet.
+  tls_.lane = kGlobalLane;
+}
+
+ParallelEngine::~ParallelEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  tls_.lane = kNoLane;
+}
+
+int ParallelEngine::current_lane() noexcept { return tls_.lane; }
+
+CausalToken ParallelEngine::make_token(std::uint32_t from_site) {
+  LaneTls& tl = tls_;
+  if (tl.token_active) {
+    // Child of a mailbox-delivered dispatch: inherit the parent's
+    // primary so same-instant descendants sort in the parent posts'
+    // order (e.g. tree-fanout bids sort in fanout-item order, matching
+    // the sequential kernel).
+    const std::uint64_t sub =
+        tl.post_counter < ((1ull << kTokenShift) - 1) ? ++tl.post_counter
+                                                      : (1ull << kTokenShift) - 1;
+    return CausalToken{tl.token_primary, tl.token_base | sub};
+  }
+  if (tl.lane == kGlobalLane) {
+    return CausalToken{++global_primary_, 0};
+  }
+  GF_EXPECTS(from_site < site_primary_.size());
+  // Shard-originated root post: per-site counter, incremented only by
+  // the shard that owns the site, in that shard's (N-invariant)
+  // execution order.
+  const std::uint64_t serial = ++site_primary_[from_site];
+  return CausalToken{
+      kSiteNamespace | (static_cast<std::uint64_t>(from_site) << 32) |
+          (serial & 0xFFFFFFFFull),
+      0};
+}
+
+void ParallelEngine::post(int target_lane, SimTime t, EventPriority priority,
+                          std::uint32_t from_site, InlineFunction action) {
+  MailboxPost p;
+  p.t = t;
+  p.priority = priority;
+  p.from = from_site;
+  p.token = make_token(from_site);
+  p.action = std::move(action);
+  if (target_lane == kGlobalLane) {
+    global_box_.post(std::move(p));
+  } else {
+    GF_EXPECTS(target_lane >= 0 &&
+               static_cast<std::size_t>(target_lane) < shard_boxes_.size());
+    shard_boxes_[static_cast<std::size_t>(target_lane)]->post(std::move(p));
+  }
+}
+
+void ParallelEngine::drain_into(MpscMailbox& box, Simulation& sim) {
+  drain_scratch_.clear();
+  if (box.drain(drain_scratch_) == 0) return;
+  std::sort(drain_scratch_.begin(), drain_scratch_.end(), mailbox_post_less);
+  for (MailboxPost& p : drain_scratch_) {
+    // Wrap the action so descendants posted during its dispatch inherit
+    // the token (see make_token).  The wrapper captures an
+    // InlineFunction, so it heap-boxes — acceptable: cross-shard
+    // deliveries already carry boxed Message payloads.
+    struct TokenScope {
+      std::uint64_t primary;
+      std::uint64_t base;
+      InlineFunction act;
+      void operator()() {
+        LaneTls& tl = tls_;
+        tl.token_active = true;
+        tl.token_primary = primary;
+        tl.token_base = base;
+        tl.post_counter = 0;
+        act();
+        tl.token_active = false;
+      }
+    };
+    sim.schedule_at(p.t, p.priority,
+                    TokenScope{p.token.primary, p.token.secondary << kTokenShift,
+                               std::move(p.action)});
+  }
+}
+
+void ParallelEngine::worker_main(std::size_t s) {
+  std::uint64_t seen = 0;
+  Simulation& sim = *shard_sims_[s];
+  for (;;) {
+    SimTime horizon;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      horizon = horizon_;
+    }
+    tls_.lane = static_cast<int>(s);
+    sim.run_until(horizon);
+    tls_.lane = kNoLane;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (++done_ == workers_.size()) cv_done_.notify_one();
+    }
+  }
+}
+
+void ParallelEngine::run_window(SimTime horizon) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    horizon_ = horizon;
+    done_ = 0;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return done_ == workers_.size(); });
+}
+
+void ParallelEngine::run() {
+  if (workers_.empty()) {
+    workers_.reserve(shard_sims_.size());
+    for (std::size_t s = 0; s < shard_sims_.size(); ++s) {
+      workers_.emplace_back([this, s] { worker_main(s); });
+    }
+  }
+  for (;;) {
+    // Shard mailboxes are empty here (drained at the end of the previous
+    // window), but the global lane may have posted to ITSELF while it
+    // ran (gossip pull replies ride the mailbox like every delivery);
+    // pull those in first so t_global below sees every pending event —
+    // otherwise a window could overrun them.
+    drain_into(global_box_, global_);
+    SimTime t_global = global_.next_event_time();
+    SimTime t_min = t_global;
+    for (const auto& sh : shard_sims_) {
+      t_min = std::min(t_min, sh->next_event_time());
+    }
+    if (t_min == kTimeInfinity) break;
+    // Never cross the global lane's head: its events (churn, confirmed
+    // deaths, periodic snapshots) may touch shard state and must run
+    // with every shard parked at exactly that time.
+    const SimTime w_end = std::min(t_min + lookahead_, t_global);
+    run_window(w_end);
+    ++windows_;
+    // Coordinator acts as the global lane: first pull in the ops the
+    // shards trampolined this window (times <= w_end), then advance.
+    drain_into(global_box_, global_);
+    global_.run_until(w_end);
+    // Outbound deliveries land at >= T_min + L >= w_end: safe to
+    // schedule now that each shard clock sits at w_end.
+    for (std::size_t s = 0; s < shard_sims_.size(); ++s) {
+      drain_into(*shard_boxes_[s], *shard_sims_[s]);
+    }
+  }
+}
+
+std::uint64_t ParallelEngine::events_executed() const {
+  std::uint64_t total = global_.events_executed();
+  for (const auto& sh : shard_sims_) total += sh->events_executed();
+  return total;
+}
+
+}  // namespace gridfed::sim

@@ -1,0 +1,136 @@
+#pragma once
+// Conservative-parallel execution of a sharded simulation.
+//
+// The federation is partitioned into S shards, each owning a private
+// Simulation (event queue + clock), plus one *global lane* — the
+// pre-existing Federation Simulation — that keeps every piece of
+// inherently centralized logic single-threaded: tree-transport
+// batching/flushes, membership gossip and churn, directory mutation, and
+// the periodic behaviours.  Shards advance concurrently inside a safe
+// window; cross-shard traffic rides per-lane MPSC mailboxes and is
+// drained at the window barrier.
+//
+// Safe-window protocol (Chandy-Misra-style conservative synchronization):
+//   T_min  = min next-event time over all shard queues + the global queue
+//   W_end  = min(T_min + L, global queue's next-event time)
+// where L > 0 is the lookahead — the minimum WAN delay the LatencyModel
+// can produce (network::LatencyModel::min_latency(); every control and
+// payload delay is floored by the pairwise latency, see
+// LatencyModel::transfer_time).  All shards run_until(W_end) in parallel;
+// any message they emit is delayed by >= L, so it lands at
+// t >= T_min + L >= W_end — never inside the window being executed.  The
+// global lane is a synchronization point (its events may touch shard
+// state: churn, gossip-confirmed deaths), so a window never crosses the
+// global queue's head; the coordinator runs the global lane to W_end at
+// the barrier while the workers are parked, then drains every mailbox in
+// causal-token order and opens the next window.
+//
+// Determinism across worker counts: window boundaries depend only on
+// queue contents (not on S), mailbox drain order is sorted by the
+// N-invariant CausalToken, and each shard's interior execution is
+// sequential.  See mpsc_mailbox.hpp for the token construction.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/mpsc_mailbox.hpp"
+#include "sim/simulation.hpp"
+#include "sim/types.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace gridfed::sim {
+
+/// Lane id of the global (coordinator) lane.
+inline constexpr int kGlobalLane = -1;
+/// Lane id reported on threads that are not part of any engine.
+inline constexpr int kNoLane = -2;
+
+class ParallelEngine {
+ public:
+  /// `n_shards` worker lanes plus the caller-owned `global_lane`.
+  /// `max_sites` bounds the site indices passed to post() (sizes the
+  /// per-site token counters).  `lookahead` must be > 0.
+  ParallelEngine(std::size_t n_shards, Simulation& global_lane,
+                 SimTime lookahead, std::size_t max_sites);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  [[nodiscard]] std::size_t shards() const noexcept {
+    return shard_sims_.size();
+  }
+  [[nodiscard]] Simulation& shard(std::size_t s) { return *shard_sims_[s]; }
+  [[nodiscard]] Simulation& global() noexcept { return global_; }
+  [[nodiscard]] SimTime lookahead() const noexcept { return lookahead_; }
+
+  /// Lane the calling thread is currently executing: a shard index on a
+  /// worker mid-window, kGlobalLane on the coordinator (also between
+  /// run() calls and during construction), kNoLane on foreign threads.
+  [[nodiscard]] static int current_lane() noexcept;
+
+  /// Cross-lane post: run `action` on `target_lane` (shard index or
+  /// kGlobalLane) at absolute time `t`.  Callable from any lane; the
+  /// causal token is derived from the caller's dispatch context so drain
+  /// order is identical for every worker count.
+  void post(int target_lane, SimTime t, EventPriority priority,
+            std::uint32_t from_site, InlineFunction action);
+
+  /// Runs the window loop until every queue and mailbox is empty.
+  void run();
+
+  /// Number of safe windows executed.
+  [[nodiscard]] std::uint64_t windows() const noexcept { return windows_; }
+  /// Events executed across all lanes (global + shards).
+  [[nodiscard]] std::uint64_t events_executed() const;
+
+ private:
+  struct LaneTls {
+    int lane = kNoLane;
+    bool token_active = false;      ///< inside a mailbox-wrapped dispatch
+    std::uint64_t token_primary = 0;
+    std::uint64_t token_base = 0;   ///< parent secondary << kTokenShift
+    std::uint64_t post_counter = 0; ///< posts made during this dispatch
+  };
+  static thread_local LaneTls tls_;
+
+  static constexpr std::uint64_t kTokenShift = 16;
+  /// Site-namespace bit: fresh shard-side primaries sort after all
+  /// global-lane primaries at equal (t, priority) — deterministically.
+  static constexpr std::uint64_t kSiteNamespace = 1ull << 63;
+
+  [[nodiscard]] CausalToken make_token(std::uint32_t from_site);
+  void worker_main(std::size_t s);
+  void run_window(SimTime horizon);
+  void drain_into(MpscMailbox& box, Simulation& sim);
+
+  Simulation& global_;
+  SimTime lookahead_;
+  std::vector<std::unique_ptr<Simulation>> shard_sims_;
+  std::vector<std::unique_ptr<MpscMailbox>> shard_boxes_;
+  MpscMailbox global_box_;
+
+  /// Fresh-primary counters: global lane (coordinator-only) and per-site
+  /// (only that site's shard thread increments its slot).
+  std::uint64_t global_primary_ = 0;
+  std::vector<std::uint64_t> site_primary_;
+
+  // Worker pool + window barrier.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t epoch_ = 0;
+  SimTime horizon_ = 0.0;
+  std::size_t done_ = 0;
+  bool stop_ = false;
+
+  std::uint64_t windows_ = 0;
+  std::vector<MailboxPost> drain_scratch_;
+};
+
+}  // namespace gridfed::sim

