@@ -208,12 +208,18 @@ inline constexpr std::uint32_t kBenchCoalitionBucket = 4;
 
 /// The auction + batched-solicitation configuration the parallel-kernel
 /// sweeps execute on `threads` workers (0 = the sequential engine).
-inline core::FederationConfig parallel_kernel_config(std::uint32_t threads) {
+/// `fel` selects the future-event-list backend (hybrid by default); it
+/// changes only the cost of the run, never its outcomes, so sweeping it
+/// against a fixed thread count isolates the event-queue's share of the
+/// wall clock.
+inline core::FederationConfig parallel_kernel_config(
+    std::uint32_t threads, const sim::FelConfig& fel = {}) {
   auto cfg = core::make_config(core::SchedulingMode::kAuction);
   cfg.auction.batch_solicitations = true;
   cfg.auction.solicit_batch_window = kBenchBatchWindow;
   cfg.network_latency = kBenchParallelLatency;
   cfg.threads = threads;
+  cfg.fel = fel;
   return cfg;
 }
 
@@ -237,8 +243,9 @@ struct ParallelRunPoint {
 
 inline ParallelRunPoint parallel_kernel_run(std::size_t n,
                                             std::uint32_t threads,
-                                            std::uint32_t oft_percent = 30) {
-  const auto cfg = parallel_kernel_config(threads);
+                                            std::uint32_t oft_percent = 30,
+                                            const sim::FelConfig& fel = {}) {
+  const auto cfg = parallel_kernel_config(threads, fel);
   const auto specs = cluster::replicated_specs(n);
   core::Federation fed(cfg, specs);
   const auto traces =

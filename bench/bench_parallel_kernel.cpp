@@ -11,6 +11,13 @@
 //     to the host's CPU count so the CI gate (bench/check_messages.py)
 //     can hold the floor only where the hardware can express it.
 //
+// A third, cheap column cross-checks the future-event-list backend: the
+// sequential engine re-run with the ladder queue forced on from the
+// first key must reproduce the heap-path digest bitwise
+// (fel_digest_match in the JSON).  The FEL is pure mechanism — swapping
+// it may change wall-clock but never outcomes — and this sweep is where
+// that claim is re-proven on every recording host.
+//
 // Usage: bench_parallel_kernel [--sizes=12,25,50,100,200] [--threads=N]
 //                              [--json=PATH]
 //   --threads defaults to the hardware concurrency (min 2).
@@ -40,20 +47,26 @@ int main(int argc, char** argv) {
   struct Row {
     bench::ParallelRunPoint seq;
     bench::ParallelRunPoint par;
+    bench::ParallelRunPoint ladder;  ///< sequential, FEL forced to ladder
   };
+  const sim::FelConfig ladder_fel{sim::FelConfig::Kind::kLadder, 8192};
   std::vector<Row> rows;
   rows.reserve(sizes.size());
   bool all_match = true;
+  bool fel_match = true;
   for (const std::size_t n : sizes) {
     Row row;
     row.seq = bench::parallel_kernel_run(n, 0);
     row.par = bench::parallel_kernel_run(n, threads);
+    row.ladder = bench::parallel_kernel_run(n, 0, 30, ladder_fel);
     all_match = all_match && row.seq.digest == row.par.digest;
+    fel_match = fel_match && row.seq.digest == row.ladder.digest;
     rows.push_back(row);
   }
 
   stats::Table t({"System size", "Jobs", "1-thread s", "N-thread s",
-                  "Speedup", "Shards", "Windows", "Events", "Digests"});
+                  "Speedup", "Shards", "Windows", "Events", "Digests",
+                  "FEL"});
   for (const Row& r : rows) {
     const double speedup =
         r.par.seconds > 0.0 ? r.seq.seconds / r.par.seconds : 0.0;
@@ -65,13 +78,19 @@ int main(int argc, char** argv) {
                std::to_string(r.par.shards),
                std::to_string(r.par.windows),
                std::to_string(r.par.events),
-               r.seq.digest == r.par.digest ? "match" : "DIVERGED"});
+               r.seq.digest == r.par.digest ? "match" : "DIVERGED",
+               r.seq.digest == r.ladder.digest ? "match" : "DIVERGED"});
   }
   std::printf("%s\n", t.str().c_str());
   if (!all_match) {
     std::fprintf(stderr,
                  "error: sharded outcomes diverged from the sequential "
                  "engine\n");
+  }
+  if (!fel_match) {
+    std::fprintf(stderr,
+                 "error: ladder-FEL outcomes diverged from the heap "
+                 "path\n");
   }
 
   const std::string json = bench::json_path(argc, argv);
@@ -96,17 +115,19 @@ int main(int argc, char** argv) {
           "\"seq_seconds\": %.4f, \"par_seconds\": %.4f, "
           "\"speedup\": %.4f, \"shards\": %u, \"windows\": %llu, "
           "\"events\": %llu, \"accept_pct\": %.2f, "
-          "\"msgs_per_job\": %.4f, \"outcomes_match\": %s}%s\n",
+          "\"msgs_per_job\": %.4f, \"outcomes_match\": %s, "
+          "\"fel_digest_match\": %s}%s\n",
           r.seq.size, static_cast<unsigned long long>(r.seq.jobs),
           r.seq.seconds, r.par.seconds, speedup, r.par.shards,
           static_cast<unsigned long long>(r.par.windows),
           static_cast<unsigned long long>(r.par.events), r.par.accept_pct,
           r.par.msgs_per_job, r.seq.digest == r.par.digest ? "true" : "false",
+          r.seq.digest == r.ladder.digest ? "true" : "false",
           i + 1 < rows.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("JSON summary written to %s\n", json.c_str());
   }
-  return all_match ? 0 : 1;
+  return all_match && fel_match ? 0 : 1;
 }

@@ -19,7 +19,10 @@ it is gated too: outcome digests must match the sequential engine
 unconditionally, and the N-thread column must beat the 1-thread column
 at 50+ clusters — but only when the measuring host reported >= 2 CPUs,
 so a single-core CI runner still gates correctness without failing on
-wall-clock it cannot express.
+wall-clock it cannot express.  Points recorded by newer binaries also
+carry "fel_digest_match" — the sequential engine re-run with the ladder
+future-event list must reproduce the heap-path digest bitwise — and
+that pin is gated unconditionally too.
 
 Usage: check_messages.py MEASURED.json CHECKED_IN.json [tolerance_pct]
 """
@@ -111,6 +114,17 @@ def parallel_failures(measured, baseline, tolerance):
                   f"sequential engine  FAIL")
             failures.append((size, "parallel_outcomes_diverged"))
             continue
+        # FEL backend pin (newer artifacts only): the sequential engine
+        # re-run with the ladder future-event list forced on must match
+        # the heap-path digest bitwise.  Missing from older files — the
+        # gate, like the metric gates above, never breaks old baselines.
+        if "fel_digest_match" in point:
+            checks += 1
+            if not point["fel_digest_match"]:
+                print(f"size {size:>3} ladder-FEL outcomes DIVERGED from "
+                      f"the heap path  FAIL")
+                failures.append((size, "fel_digest_diverged"))
+                continue
         speedup = point.get("speedup", 0.0)
         if cpus >= 2 and size >= 50:
             checks += 1

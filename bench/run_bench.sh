@@ -34,13 +34,30 @@ if [[ ! -x "$BUILD_DIR/bench_fig10_msg_per_job_scaling" ]]; then
   exit 1
 fi
 
-echo "== parallel kernel sweep -> $OUT_DIR/BENCH_kernel.json"
-"$BUILD_DIR/bench_parallel_kernel" --json="$OUT_DIR/BENCH_kernel.json"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+# The wall-clock trajectories (BENCH_kernel.json and the fig10
+# parallel_scaling section) are only worth re-recording on a host that
+# can actually run the N-thread column in parallel; on a 1- or 2-CPU
+# container the sweep still RUNS — its digest cross-checks (sequential
+# vs sharded, heap vs ladder FEL) gate correctness and fail the script
+# on divergence — but the checked-in multi-core trajectory is kept.
+NCPUS="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+
+if [[ "$NCPUS" -ge 4 ]]; then
+  echo "== parallel kernel sweep -> $OUT_DIR/BENCH_kernel.json"
+  "$BUILD_DIR/bench_parallel_kernel" --json="$OUT_DIR/BENCH_kernel.json"
+else
+  echo "== parallel kernel sweep (digest check only: $NCPUS CPUs < 4," \
+       "checked-in BENCH_kernel.json kept)"
+  "$BUILD_DIR/bench_parallel_kernel" --json="$tmpdir/kernel.json"
+fi
 
 echo "== kernel microbenchmarks -> $OUT_DIR/BENCH_kernel_micro.json"
 if [[ -x "$BUILD_DIR/bench_micro_kernel" ]]; then
   "$BUILD_DIR/bench_micro_kernel" \
-    --benchmark_filter='BM_EventQueuePushPop|BM_SimulationEventDispatch|BM_SimulationEventDispatchProbed|BM_DirectoryRankedQuery' \
+    --benchmark_filter='BM_EventQueuePushPop|BM_EventQueueFel|BM_SimulationEventDispatch|BM_SimulationEventDispatchProbed|BM_DirectoryRankedQuery' \
     --benchmark_repetitions=5 \
     --benchmark_report_aggregates_only=true \
     --benchmark_out="$OUT_DIR/BENCH_kernel_micro.json" \
@@ -50,8 +67,6 @@ else
 fi
 
 echo "== fig10/fig11 message scaling -> $OUT_DIR/BENCH_messages.json"
-tmpdir="$(mktemp -d)"
-trap 'rm -rf "$tmpdir"' EXIT
 # --metrics rides the same invocation: after the comparison tables the
 # binary re-runs the largest auction+tree+coalition point with the
 # metrics registry on and dumps its epoch time-series.
@@ -73,7 +88,25 @@ trap 'rm -rf "$tmpdir"' EXIT
   echo '  "fig11":'
   sed 's/^/  /' "$tmpdir/fig11.json"
   echo '}'
-} > "$OUT_DIR/BENCH_messages.json"
+} > "$tmpdir/messages.json"
+# On a <4-CPU host, splice the checked-in multi-core parallel_scaling
+# trajectory back in (the freshly measured one was still digest-checked
+# above via the sweep's own exit status; only its wall-clock columns are
+# meaningless here).
+if [[ "$NCPUS" -lt 4 && -f "$OUT_DIR/BENCH_messages.json" ]]; then
+  python3 - "$tmpdir/messages.json" "$OUT_DIR/BENCH_messages.json" <<'PY' || true
+import json, sys
+new_path, old_path = sys.argv[1], sys.argv[2]
+new = json.load(open(new_path))
+keep = json.load(open(old_path)).get("fig10", {}).get("parallel_scaling")
+if keep and new.get("fig10", {}).get("parallel_scaling"):
+    new["fig10"]["parallel_scaling"] = keep
+    json.dump(new, open(new_path, "w"), indent=2)
+    open(new_path, "a").write("\n")
+    print("  <4-CPU host: kept the checked-in parallel_scaling trajectory")
+PY
+fi
+mv "$tmpdir/messages.json" "$OUT_DIR/BENCH_messages.json"
 
 echo "== summary"
 grep -A7 'Auction mode' "$tmpdir/fig10.txt" | head -10 || true

@@ -15,6 +15,7 @@
 #include "membership/membership_config.hpp"
 #include "network/latency_model.hpp"
 #include "obs/obs_config.hpp"
+#include "sim/fel.hpp"
 #include "sim/types.hpp"
 #include "transport/transport_options.hpp"
 #include "workload/calibration.hpp"
@@ -150,6 +151,14 @@ struct FederationConfig {
   /// count, but are not bit-identical to the sequential event order (FP
   /// accumulation order differs in aggregates).
   std::uint32_t threads = 0;
+
+  /// Future-event-list selection for every simulation lane (global and
+  /// per-shard alike): the heap/ladder hybrid by default, or a forced
+  /// pure structure for A/B benchmarking.  Both structures pop in the
+  /// identical (time, priority, seq) total order, so this knob never
+  /// changes outcomes or digests — only push/pop cost at scale (see
+  /// sim/fel.hpp and bench/README.md "Future-event list").
+  sim::FelConfig fel = {};
 
   /// Master seed for workload generation and population assignment.
   std::uint64_t seed = 0x9042005ULL;

@@ -13,6 +13,7 @@ Federation::Federation(FederationConfig config,
                        std::vector<cluster::ResourceSpec> specs)
     : cfg_(config),
       specs_(std::move(specs)),
+      sim_(config.fel),
       ledger_(specs_.empty() ? 1 : specs_.size()),
       bank_(specs_.empty() ? 1 : specs_.size()),
       util_at_window_(specs_.size(), 0.0),
@@ -97,7 +98,7 @@ Federation::Federation(FederationConfig config,
       parallel_ = std::make_unique<ParallelRuntime>();
       parallel_->plan = std::move(plan);
       parallel_->engine = std::make_unique<sim::ParallelEngine>(
-          parallel_->plan.shards, sim_, lookahead, specs_.size());
+          parallel_->plan.shards, sim_, lookahead, specs_.size(), cfg_.fel);
       parallel_->lanes.reserve(parallel_->plan.shards);
       for (std::uint32_t s = 0; s < parallel_->plan.shards; ++s) {
         parallel_->lanes.emplace_back(specs_.size());

@@ -40,3 +40,27 @@ namespace detail {
       ::gridfed::sim::detail::contract_fail("postcondition", #cond, __FILE__, \
                                             __LINE__);                        \
   } while (false)
+
+/// Debug-build kernel-consistency check.  The event kernel's cached
+/// state (EventQueue's `next_time_`, live-size bookkeeping, the
+/// no-cancelled-head invariant) is re-derived from the backing structure
+/// after every mutating op when this is on.  Follows NDEBUG so the
+/// sanitizer CI jobs (Debug builds) run fully checked while Release hot
+/// loops compile the re-derivation out; structures additionally expose
+/// an always-compiled `debug_validate()` so Release test binaries can
+/// opt in explicitly (tests/test_ladder_queue.cpp).
+#ifndef GRIDFED_SIM_CHECK
+#ifdef NDEBUG
+#define GRIDFED_SIM_CHECK 0
+#else
+#define GRIDFED_SIM_CHECK 1
+#endif
+#endif
+
+#if GRIDFED_SIM_CHECK
+#define GF_SIM_CHECK(cond) GF_ENSURES(cond)
+#else
+#define GF_SIM_CHECK(cond) \
+  do {                     \
+  } while (false)
+#endif

@@ -1,36 +1,46 @@
 #pragma once
-// Future-event list: a 4-ary min-heap over Event's strict weak ordering.
-// std::priority_queue is not used because we need (a) move-out of the top
-// element and (b) cheap clear(); both are awkward through its interface.
+// Future-event list: a hybrid over two backing structures that pop in
+// the identical total order (see fel.hpp):
 //
-// Layout: each pending event is one 128-bit integer key
+//   * HeapFel     — the 4-ary min-heap; O(log n) but cache-resident and
+//                   unbeatable while the pending set fits L1/L2;
+//   * LadderQueue — Rung/Bucket/Bottom ladder (ladder_queue.hpp); O(1)
+//                   amortized independent of size, the cold-cache choice.
 //
-//     [ time as IEEE-754 bits : 64 | priority : 2 | seq : 40 | slot : 22 ]
+// The hybrid stays on the heap below FelConfig::spill_threshold pending
+// keys and migrates to the ladder above it (un-spilling at threshold/4 —
+// hysteresis, so a set oscillating around the threshold does not thrash
+// O(n) migrations).  Because both structures emit the exact full-key
+// order — [ time : 64 | priority : 2 | seq : 40 | slot : 22 ], where the
+// IEEE bit pattern of a non-negative double orders like its value — the
+// backend choice and every migration are invisible to pop order, which
+// is what lets each ParallelEngine lane pick its structure independently
+// without perturbing a single golden digest.
 //
-// For non-negative doubles the IEEE bit pattern orders exactly like the
-// value, so a single unsigned 128-bit compare implements the full
-// (time, priority, seq) strict weak ordering — one branch where the
-// naive comparator needs three.  The 48-byte inline callbacks live in a
-// stable slot-indexed side array and never move while queued; sifting
-// shuffles 16-byte integers only.  The heap is 4-ary rather than binary
-// because halving the tree depth halves the key moves per pop and four
-// children share a cache line.  Sifts use hole insertion (one move per
-// level) instead of the three-move swaps std::push_heap / std::pop_heap
-// perform.  Measured against the std::function binary heap it replaces,
-// push+pop throughput is ~2-3x (see bench_micro_kernel / BENCH_kernel).
+// The inline callbacks live in a stable slot-indexed side array of
+// cache-line-sized records (callback + occupant identity together, so a
+// dispatch touches exactly one line per slot) and never move while
+// queued; the FEL structures shuffle 16-byte integers only.
+// Cancellation (erase / update_key) is tombstone-based:
+// the low 64 key bits (priority‖seq‖slot, unique per pending event) name
+// the victim; a cancelled minimum is removed eagerly so the cached
+// next_time() never reports a dead event, and deeper tombstones are
+// discarded when they surface or at migration.
 
-#include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/event.hpp"
+#include "sim/fel.hpp"
+#include "sim/ladder_queue.hpp"
 
 namespace gridfed::sim {
 
-/// Min-heap of pending events ordered by (time, priority, seq).
+/// Pending-event list ordered by (time, priority, seq).
 /// Deterministic: equal-time events pop in insertion order within a
-/// priority class.
+/// priority class, regardless of which backing structure holds them.
 ///
 /// Contracts (all checked, loud): event times are non-negative (the
 /// simulation clock starts at 0 and never moves backwards), seq < 2^40,
@@ -39,19 +49,38 @@ namespace gridfed::sim {
 /// silently reordering.
 class EventQueue {
  public:
-  EventQueue() {
-    // One queue drives a whole federation; pre-sizing skips the first
-    // rounds of growth (and InlineFunction relocation) in the hot loop.
-    heap_.reserve(kInitialCapacity);
-    actions_.reserve(kInitialCapacity);
+  /// Names a pending event for erase()/update_key().  Default-constructed
+  /// handles are invalid; a handle dies when its event pops, is erased,
+  /// or is rescheduled (update_key hands back a fresh one).
+  class EventHandle {
+   public:
+    EventHandle() = default;
+    [[nodiscard]] bool valid() const noexcept { return raw_ != kNoEvent; }
+
+   private:
+    friend class EventQueue;
+    static constexpr std::uint64_t kNoEvent = ~std::uint64_t{0};
+    explicit EventHandle(std::uint64_t raw) noexcept : raw_(raw) {}
+    std::uint64_t raw_ = kNoEvent;
+  };
+
+  EventQueue() : EventQueue(FelConfig{}) {}
+
+  explicit EventQueue(const FelConfig& cfg) : cfg_(cfg) {
+    // One queue drives a whole federation lane; pre-sizing skips the
+    // first rounds of growth (and InlineFunction relocation) in the hot
+    // loop.
+    slots_.reserve(kInitialCapacity);
     free_slots_.reserve(kInitialCapacity);
+    spilled_ = cfg_.kind == FelConfig::Kind::kLadder;
   }
 
-  /// Inserts an event.  O(log n), allocation-free apart from amortized
-  /// storage growth (slots freed by pop() are reused).  Defined inline
-  /// below: push/pop are the innermost simulation loop and inlining lets
-  /// callers elide the Event round-trip entirely.
-  void push(Event ev);
+  /// Inserts an event.  O(log n) on the heap, O(1) amortized on the
+  /// ladder; allocation-free apart from amortized storage growth (slots
+  /// freed by pop()/erase() are reused).  Returns a handle for
+  /// erase()/update_key(); callers that never cancel may ignore it.
+  /// Defined inline below: push/pop are the innermost simulation loop.
+  EventHandle push(Event ev);
 
   /// Removes and returns the earliest event.  Precondition: !empty().
   [[nodiscard]] Event pop();
@@ -62,37 +91,104 @@ class EventQueue {
   /// Precondition: !empty().
   SimTime pop_into(InlineFunction& action);
 
-  /// Timestamp of the earliest event (cached; no heap access).
+  /// Cancels a pending event.  Returns false if the handle no longer
+  /// names one (already popped, erased, or rescheduled).  Erasing the
+  /// current minimum removes it structurally — and invalidates the
+  /// cached next_time() — immediately; deeper victims leave a tombstone
+  /// that is discarded when it surfaces.  The callback is destroyed and
+  /// the action slot recycled either way.
+  bool erase(EventHandle h);
+
+  /// Reschedules a pending event to `new_time`, keeping its callback and
+  /// priority class.  `new_seq` must be a fresh sequence number (the
+  /// Simulation's monotone counter) so the total key order stays unique.
+  /// Returns the event's new handle, or an invalid handle if `h` no
+  /// longer names a pending event.
+  EventHandle update_key(EventHandle h, SimTime new_time, EventSeq new_seq);
+
+  /// Timestamp of the earliest event (cached; no structure access).
   /// Precondition: !empty().
   [[nodiscard]] SimTime next_time() const noexcept { return next_time_; }
 
-  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
+  /// Number of pending (non-cancelled) events.
+  [[nodiscard]] std::size_t size() const noexcept { return live_; }
 
   /// Drops all pending events (storage capacity is retained).
-  void clear() noexcept {
-    heap_.clear();
-    actions_.clear();
-    free_slots_.clear();
-    next_time_ = kTimeInfinity;
-  }
+  void clear() noexcept;
+
+  // ---- introspection (tests, benches) -------------------------------------
+
+  [[nodiscard]] const FelConfig& fel_config() const noexcept { return cfg_; }
+  /// True while the ladder is the active backing structure.
+  [[nodiscard]] bool spilled() const noexcept { return spilled_; }
+
+  /// Always-compiled structural self-check: cached next_time() matches
+  /// the structural minimum, the minimum is never a tombstone, and live
+  /// + cancelled bookkeeping covers the backing structure exactly.
+  /// GF_SIM_CHECK runs it after every mutating op in debug builds;
+  /// Release test binaries call it explicitly.  Throws ContractViolation.
+  void debug_validate();
 
  private:
-  static constexpr std::size_t kArity = 4;
   static constexpr std::size_t kInitialCapacity = 4096;
-  static constexpr std::uint64_t kSlotBits = 22;
-  static constexpr std::uint64_t kSeqBits = 40;
+  /// How many upcoming pops after_remove prefetches slot records for
+  /// when the ladder's sorted Bottom run makes them exactly known (~4
+  /// dispatches ≈ one DRAM miss latency of lead time).
+  static constexpr std::size_t kPrefetchDepth = 4;
 
-  using Key = unsigned __int128;
-
-  [[nodiscard]] static SimTime time_of(Key k) noexcept {
-    return std::bit_cast<SimTime>(static_cast<std::uint64_t>(k >> 64));
+  [[nodiscard]] FelKey active_min() {
+    return spilled_ ? ladder_.min_key() : heap_.min_key();
+  }
+  [[nodiscard]] FelKey active_pop() {
+    return spilled_ ? ladder_.pop_min() : heap_.pop_min();
   }
 
-  std::vector<Key> heap_;
-  std::vector<InlineFunction> actions_;    ///< slot-indexed, stable
+  /// Shared body of pop()/pop_into(): pops the minimum, moves its
+  /// callback into `action`, recycles the slot, and returns the full
+  /// 128-bit key so callers decode time/priority/seq without a second
+  /// min query.
+  FelKey pop_key(InlineFunction& action);
+
+  /// Re-establishes the cached-min invariant after a structural removal:
+  /// pops tombstoned minima, un-spills across the hysteresis floor, and
+  /// refreshes next_time_.  live_ must already be decremented.
+  void after_remove();
+  /// Pops cancelled keys off the structural min.  Precondition: live_ > 0.
+  void drop_cancelled_min();
+  void maybe_spill();
+  void maybe_unspill();
+  void migrate_to_ladder();
+  void migrate_to_heap();
+  /// Drops tombstoned keys from a drained key set; empties cancelled_.
+  void filter_cancelled(std::vector<FelKey>& keys);
+  [[nodiscard]] bool consistent();
+
+  FelConfig cfg_;
+  HeapFel heap_;
+  LadderQueue ladder_;
+  bool spilled_ = false;  ///< which structure is active
+
+  /// One action slot: the parked callback plus the low-64 key bits of
+  /// the occupant (EventHandle::kNoEvent when free — validates handles
+  /// across slot reuse).  Cache-line aligned: slots are read in key
+  /// order, i.e. randomly, so keeping everything a dispatch needs on one
+  /// line halves the misses of split side arrays and lets after_remove's
+  /// single prefetch cover the whole next pop.
+  struct alignas(64) Slot {
+    InlineFunction action;
+    std::uint64_t low = EventHandle::kNoEvent;
+  };
+
+  std::vector<Slot> slots_;                ///< slot-indexed, stable
   std::vector<std::uint32_t> free_slots_;  ///< recycled action slots
-  SimTime next_time_ = kTimeInfinity;      ///< time_of(heap_[0]), in sync
+
+  /// Low-64 identities of cancelled keys still inside the backing
+  /// structure.  The structural minimum is never in here.
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::size_t live_ = 0;               ///< pending minus cancelled
+  SimTime next_time_ = kTimeInfinity;  ///< time of the structural min
+  std::vector<FelKey> migrate_scratch_;
 };
 
 }  // namespace gridfed::sim

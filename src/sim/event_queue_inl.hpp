@@ -3,7 +3,8 @@
 // the design).  push/pop are the innermost loop of every simulation run;
 // keeping them header-inline lets callers fold the Event round-trip away
 // (e.g. a caller that only reads the popped time never materializes the
-// decoded priority/seq).
+// decoded priority/seq).  The spilled_ branch predicts perfectly in
+// steady state — a lane flips it once per migration, not per event.
 
 #include <algorithm>
 #include <utility>
@@ -13,114 +14,133 @@
 
 namespace gridfed::sim {
 
-inline void EventQueue::push(Event ev) {
+inline EventQueue::EventHandle EventQueue::push(Event ev) {
   // The IEEE-bits-as-integer ordering trick needs a non-negative time
   // (which also rejects NaN).  -0.0 would bit-sort above every positive
   // value, so normalize it to +0.0.
   GF_EXPECTS(ev.time >= 0.0);
   if (ev.time == 0.0) ev.time = 0.0;
-  GF_EXPECTS(ev.seq < (std::uint64_t{1} << kSeqBits));
+  GF_EXPECTS(ev.seq < (std::uint64_t{1} << kFelSeqBits));
   // The pack reserves 2 bits for the priority; a grown enum must not
   // silently truncate into a different ordering class.
   static_assert(static_cast<int>(EventPriority::kControl) < 4,
                 "EventPriority no longer fits the 2-bit key field");
 
   // Park the callback in a stable slot; only the 16-byte key enters the
-  // heap.
+  // backing structure.
   std::uint32_t slot;
   if (!free_slots_.empty()) {
     slot = free_slots_.back();
     free_slots_.pop_back();
-    actions_[slot] = std::move(ev.action);
   } else {
-    slot = static_cast<std::uint32_t>(actions_.size());
-    actions_.push_back(std::move(ev.action));
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
   }
-  GF_EXPECTS(slot < (std::uint32_t{1} << kSlotBits));
+  GF_EXPECTS(slot < (std::uint32_t{1} << kFelSlotBits));
 
-  const Key key =
-      (static_cast<Key>(std::bit_cast<std::uint64_t>(ev.time)) << 64) |
-      (static_cast<std::uint64_t>(ev.priority) << (kSeqBits + kSlotBits)) |
-      (ev.seq << kSlotBits) | slot;
+  const std::uint64_t low =
+      (static_cast<std::uint64_t>(ev.priority) << (kFelSeqBits + kFelSlotBits)) |
+      (ev.seq << kFelSlotBits) | slot;
+  Slot& s = slots_[slot];
+  s.action = std::move(ev.action);
+  s.low = low;
+  const FelKey key =
+      (static_cast<FelKey>(std::bit_cast<std::uint64_t>(ev.time)) << 64) | low;
 
-  // Hole insertion: open a hole at the back, move parents down while they
-  // sort after the new key, then drop the key into the final hole.
-  std::size_t hole = heap_.size();
-  heap_.emplace_back();
-  while (hole > 0) {
-    const std::size_t parent = (hole - 1) / kArity;
-    if (!(key < heap_[parent])) break;
-    heap_[hole] = heap_[parent];
-    hole = parent;
+  if (spilled_) {
+    ladder_.push(key);
+  } else {
+    heap_.push(key);
+    maybe_spill();
   }
-  heap_[hole] = key;
-  next_time_ = time_of(heap_.front());
+  ++live_;
+  // The structural min is live (tombstoned minima are removed eagerly),
+  // so the cached time folds in with one compare — no min_key() call,
+  // which keeps ladder pushes O(1) (min_key may sort a bucket).
+  if (ev.time < next_time_) next_time_ = ev.time;
+  GF_SIM_CHECK(consistent());
+  return EventHandle{low};
+}
+
+inline FelKey EventQueue::pop_key(InlineFunction& action) {
+  const FelKey top = active_pop();
+  const std::uint32_t slot = fel_slot_of(top);
+  Slot& s = slots_[slot];
+  action = std::move(s.action);
+  s.low = EventHandle::kNoEvent;
+  free_slots_.push_back(slot);
+  --live_;
+  after_remove();
+  GF_SIM_CHECK(consistent());
+  return top;
 }
 
 inline SimTime EventQueue::pop_into(InlineFunction& action) {
-  GF_EXPECTS(!heap_.empty());
-  constexpr std::uint64_t kSlotMask = (std::uint64_t{1} << kSlotBits) - 1;
-  const Key top = heap_.front();
-  const auto slot =
-      static_cast<std::uint32_t>(static_cast<std::uint64_t>(top) & kSlotMask);
-  action = std::move(actions_[slot]);
-  free_slots_.push_back(slot);
-
-  const std::size_t n = heap_.size() - 1;
-  if (n == 0) {
-    heap_.pop_back();
-    next_time_ = kTimeInfinity;
-    return time_of(top);
-  }
-  const Key last = heap_.back();
-  heap_.pop_back();
-  // Bottom-up deletion (Wegener): promote the min-child chain into the
-  // root hole all the way to a leaf — branchlessly, the chain is fully
-  // determined by the children — then sift the former last key up from
-  // the leaf hole (it was a leaf itself, so it almost always stays put).
-  // This avoids the per-level "does `last` fit here?" mispredicted branch
-  // of the classic sift-down.
-  std::size_t hole = 0;
-  for (;;) {
-    const std::size_t first = hole * kArity + 1;
-    if (first + kArity <= n) {  // full node: branchless min of four
-      const std::size_t b01 =
-          heap_[first + 1] < heap_[first] ? first + 1 : first;
-      const std::size_t b23 =
-          heap_[first + 3] < heap_[first + 2] ? first + 3 : first + 2;
-      const std::size_t best = heap_[b23] < heap_[b01] ? b23 : b01;
-      heap_[hole] = heap_[best];
-      hole = best;
-    } else {
-      if (first >= n) break;
-      std::size_t best = first;
-      for (std::size_t c = first + 1; c < n; ++c) {
-        if (heap_[c] < heap_[best]) best = c;
-      }
-      heap_[hole] = heap_[best];
-      hole = best;
-    }
-  }
-  while (hole > 0) {
-    const std::size_t parent = (hole - 1) / kArity;
-    if (!(last < heap_[parent])) break;
-    heap_[hole] = heap_[parent];
-    hole = parent;
-  }
-  heap_[hole] = last;
-  next_time_ = time_of(heap_.front());
-  return time_of(top);
+  GF_EXPECTS(live_ > 0);
+  return fel_time_of(pop_key(action));
 }
 
 inline Event EventQueue::pop() {
-  GF_EXPECTS(!heap_.empty());
-  constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << kSeqBits) - 1;
-  const auto low = static_cast<std::uint64_t>(heap_.front());
+  GF_EXPECTS(live_ > 0);
+  constexpr std::uint64_t kSeqMask = (std::uint64_t{1} << kFelSeqBits) - 1;
   Event ev;
-  ev.seq = (low >> kSlotBits) & kSeqMask;
-  ev.priority = static_cast<EventPriority>(low >> (kSeqBits + kSlotBits));
-  ev.time = pop_into(ev.action);
+  const FelKey top = pop_key(ev.action);
+  const auto low = fel_low64(top);
+  ev.seq = (low >> kFelSlotBits) & kSeqMask;
+  ev.priority =
+      static_cast<EventPriority>(low >> (kFelSeqBits + kFelSlotBits));
+  ev.time = fel_time_of(top);
   return ev;
+}
+
+inline void EventQueue::after_remove() {
+  if (live_ == 0) {
+    // Only tombstones (if anything) remain: drop them wholesale.  A
+    // hybrid lane also returns to the heap here — the cheapest possible
+    // un-spill point.
+    if (spilled_) {
+      ladder_.clear();
+      if (cfg_.kind == FelConfig::Kind::kHybrid) spilled_ = false;
+    } else {
+      heap_.clear();
+    }
+    cancelled_.clear();
+    next_time_ = kTimeInfinity;
+    return;
+  }
+  if (!cancelled_.empty()) drop_cancelled_min();
+  maybe_unspill();
+  const FelKey next = active_min();
+  next_time_ = fel_time_of(next);
+  // The next dispatch will move this slot's record out; its line is a
+  // guaranteed miss on large pending sets (slots are read in key order,
+  // i.e. randomly).  Start the fetch now so it overlaps the caller's
+  // work between pops.  On the ladder, Bottom's sorted run names the
+  // next several pops exactly — not just the next one — so fetch deep
+  // enough to cover a full miss latency; repeat prefetches of a line
+  // already in flight are near-free.
+  __builtin_prefetch(&slots_[fel_slot_of(next)], 1);
+  if (spilled_) {
+    const std::size_t depth = std::min<std::size_t>(
+        ladder_.materialized_run(), kPrefetchDepth);
+    for (std::size_t i = 1; i < depth; ++i) {
+      __builtin_prefetch(&slots_[fel_slot_of(ladder_.materialized_at(i))], 1);
+    }
+  }
+}
+
+inline void EventQueue::maybe_spill() {
+  if (cfg_.kind == FelConfig::Kind::kHybrid &&
+      heap_.size() >= cfg_.spill_threshold) {
+    migrate_to_ladder();
+  }
+}
+
+inline void EventQueue::maybe_unspill() {
+  if (spilled_ && cfg_.kind == FelConfig::Kind::kHybrid &&
+      live_ <= cfg_.spill_threshold / 4) {
+    migrate_to_heap();
+  }
 }
 
 }  // namespace gridfed::sim

@@ -10,14 +10,15 @@ namespace gridfed::sim {
 thread_local ParallelEngine::LaneTls ParallelEngine::tls_;
 
 ParallelEngine::ParallelEngine(std::size_t n_shards, Simulation& global_lane,
-                               SimTime lookahead, std::size_t max_sites)
+                               SimTime lookahead, std::size_t max_sites,
+                               const FelConfig& fel)
     : global_(global_lane), lookahead_(lookahead) {
   GF_EXPECTS(n_shards >= 1);
   GF_EXPECTS(lookahead_ > 0.0);
   shard_sims_.reserve(n_shards);
   shard_boxes_.reserve(n_shards);
   for (std::size_t s = 0; s < n_shards; ++s) {
-    shard_sims_.push_back(std::make_unique<Simulation>());
+    shard_sims_.push_back(std::make_unique<Simulation>(fel));
     shard_boxes_.push_back(std::make_unique<MpscMailbox>());
   }
   site_primary_.assign(max_sites, 0);

@@ -53,9 +53,14 @@ class ParallelEngine {
  public:
   /// `n_shards` worker lanes plus the caller-owned `global_lane`.
   /// `max_sites` bounds the site indices passed to post() (sizes the
-  /// per-site token counters).  `lookahead` must be > 0.
+  /// per-site token counters).  `lookahead` must be > 0.  `fel` selects
+  /// each shard lane's future-event-list structure; every lane owns a
+  /// private EventQueue and spills/un-spills independently of its
+  /// siblings (a hot lane can ride the ladder while light lanes stay on
+  /// the heap), with no effect on pop order or digests.
   ParallelEngine(std::size_t n_shards, Simulation& global_lane,
-                 SimTime lookahead, std::size_t max_sites);
+                 SimTime lookahead, std::size_t max_sites,
+                 const FelConfig& fel = {});
   ~ParallelEngine();
 
   ParallelEngine(const ParallelEngine&) = delete;

@@ -39,6 +39,9 @@ using EventAction = InlineFunction;
 class Simulation {
  public:
   Simulation() = default;
+  /// FEL selection for this lane's queue (see sim::FelConfig): the
+  /// hybrid default, or a forced heap/ladder for A/B benchmarking.
+  explicit Simulation(const FelConfig& fel) : queue_(fel) {}
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 

@@ -211,6 +211,74 @@ TEST(ParallelKernel, CoalitionsNeverSpanShards) {
   SUCCEED();
 }
 
+// ---- FEL backend invariance: heap vs ladder vs hybrid -----------------------
+// Both FEL structures pop in the identical (time, priority, seq) total
+// order, so swapping the backing — or migrating mid-run — must be
+// bit-identical at the SAME thread count: same engine, same draw order,
+// same FP accumulation order, exact_fp digests.  The hybrid runs with a
+// tiny spill threshold so it genuinely rides the ladder (and crosses the
+// spill/un-spill hysteresis) during the run instead of idling below the
+// default 8192-key threshold.
+
+core::FederationConfig with_fel(core::FederationConfig cfg,
+                                sim::FelConfig::Kind kind,
+                                std::size_t spill_threshold) {
+  cfg.fel.kind = kind;
+  cfg.fel.spill_threshold = spill_threshold;
+  return cfg;
+}
+
+class FelBackendModes
+    : public ::testing::TestWithParam<core::SchedulingMode> {};
+
+TEST_P(FelBackendModes, LadderAndHybridAreBitIdenticalToHeapPerThreadCount) {
+  const core::SchedulingMode mode = GetParam();
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    const auto base = parallel_config(mode, threads);
+    const RunDigest heap = run_digest(
+        with_fel(base, sim::FelConfig::Kind::kHeap, 8192), 12, 30);
+    const RunDigest hybrid = run_digest(
+        with_fel(base, sim::FelConfig::Kind::kHybrid, 64), 12, 30);
+    expect_same_outcomes(heap, hybrid, /*exact_fp=*/true);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, FelBackendModes,
+    ::testing::Values(core::SchedulingMode::kIndependent,
+                      core::SchedulingMode::kFederationNoEconomy,
+                      core::SchedulingMode::kEconomy,
+                      core::SchedulingMode::kAuction),
+    [](const auto& info) {
+      std::string name = to_string(info.param);
+      std::replace(name.begin(), name.end(), '+', '_');
+      return name;
+    });
+
+TEST(FelBackend, ForcedLadderMatchesHeapExactly) {
+  // The pure-ladder A/B column: every lane on the ladder from key one.
+  const auto base = parallel_config(core::SchedulingMode::kEconomy, 4);
+  const RunDigest heap =
+      run_digest(with_fel(base, sim::FelConfig::Kind::kHeap, 8192), 12, 30);
+  const RunDigest ladder =
+      run_digest(with_fel(base, sim::FelConfig::Kind::kLadder, 8192), 12, 30);
+  expect_same_outcomes(heap, ladder, /*exact_fp=*/true);
+}
+
+TEST(FelBackend, TreeCoalitionChurnPinsAcrossBackendsPerThreadCount) {
+  // The hardest configuration — tree transport + coalitions + membership
+  // churn — with lanes spilling mid-run: still bit-identical per thread
+  // count, sequential (threads 1) through 8 workers.
+  for (const std::uint32_t threads : {1u, 2u, 4u, 8u}) {
+    const auto base = churn_config(threads);
+    const RunDigest heap = run_digest(
+        with_fel(base, sim::FelConfig::Kind::kHeap, 8192), 16, 30);
+    const RunDigest hybrid = run_digest(
+        with_fel(base, sim::FelConfig::Kind::kHybrid, 64), 16, 30);
+    expect_same_outcomes(heap, hybrid, /*exact_fp=*/true);
+  }
+}
+
 // ---- failure injection: worker-count invariance ----------------------------
 
 TEST(ParallelKernel, LossyRunsAreWorkerCountInvariant) {
